@@ -1,0 +1,46 @@
+// nocpu-bench regenerates the experiment tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	nocpu-bench              # run everything
+//	nocpu-bench -e E2,E4     # run a subset
+//	nocpu-bench -list        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nocpu/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := exp.IDs()
+	if *which != "" {
+		ids = strings.Split(*which, ",")
+	}
+	for _, id := range ids {
+		res, err := exp.Run(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+	}
+}

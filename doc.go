@@ -1,0 +1,21 @@
+// Package nocpu is an emulated CPU-less machine: a Go reproduction of
+// "The Last CPU" (Joel Nider and Sasha Fedorova, HotOS 2021).
+//
+// The paper argues that once applications are offloaded to programmable
+// devices, the CPU's remaining duties — initialization, coordination,
+// error handling — can move into a privileged system-management bus plus
+// self-managing devices, and the CPU can be removed entirely. This module
+// builds that machine in software (the emulator §2.4 of the paper calls
+// for), alongside a centralized-CPU baseline, and quantifies the paper's
+// claims.
+//
+// Entry points:
+//
+//   - internal/core: assemble and boot machines (see examples/).
+//   - internal/exp: the experiment harness (cmd/nocpu-bench).
+//   - cmd/nocpu-sim: run the paper's §3 KVS scenario with a full trace.
+//
+// The benchmarks in bench_test.go exercise one scenario per experiment
+// table; EXPERIMENTS.md records full results. All timing is virtual
+// (discrete-event simulation) and deterministic.
+package nocpu

@@ -1,0 +1,71 @@
+// multitenant runs several independent applications on the same CPU-less
+// machine: three KVS tenants on one smart NIC, each with its own data
+// file on the shared smart SSD, each in its own virtual address space
+// (PASID). It demonstrates §2.1's isolation requirements: per-instance
+// service contexts on the SSD, per-app IOMMU address spaces, and the
+// fact that one tenant cannot see another's data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocpu/internal/core"
+	"nocpu/internal/kvs"
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+)
+
+func main() {
+	sys := core.MustNew(core.Options{Flavor: core.Decentralized, Seed: 9})
+	if err := sys.Boot(); err != nil {
+		log.Fatal(err)
+	}
+
+	const tenants = 3
+	stores := make([]*kvs.Store, tenants)
+	for i := 0; i < tenants; i++ {
+		file := fmt.Sprintf("tenant%d.dat", i)
+		if err := sys.CreateFile(file, nil); err != nil {
+			log.Fatal(err)
+		}
+		stores[i] = sys.NewKVS(core.KVSOptions{App: msg.AppID(i + 1), File: file})
+	}
+	for i, st := range stores {
+		if err := sys.WaitReady(st); err != nil {
+			log.Fatalf("tenant %d: %v", i, err)
+		}
+	}
+
+	do := func(app msg.AppID, req kvs.Request) kvs.Response {
+		var resp kvs.Response
+		done := false
+		sys.NIC().Deliver(app, kvs.EncodeRequest(req), func(b []byte) {
+			resp, _ = kvs.DecodeResponse(b)
+			done = true
+		})
+		for !done {
+			sys.Eng.RunFor(20 * sim.Microsecond)
+		}
+		return resp
+	}
+
+	// Each tenant writes under the same key name — separate namespaces.
+	for i := range stores {
+		do(msg.AppID(i+1), kvs.Request{Op: kvs.OpPut, Key: "shared-name",
+			Value: []byte(fmt.Sprintf("tenant-%d-secret", i))})
+	}
+	for i := range stores {
+		r := do(msg.AppID(i+1), kvs.Request{Op: kvs.OpGet, Key: "shared-name"})
+		fmt.Printf("tenant %d reads %q\n", i, r.Value)
+	}
+
+	// Isolation evidence: each app is a distinct PASID context on the
+	// NIC's IOMMU, and the SSD holds one service connection per tenant.
+	fmt.Printf("\nNIC IOMMU address spaces: %d (one per tenant)\n", sys.NIC().Device().IOMMU().Contexts())
+	nicStats := sys.NIC().Device().IOMMU().Stats()
+	fmt.Printf("NIC translations: %d (TLB hit rate %.1f%%)\n", nicStats.Translations,
+		100*float64(nicStats.TLBHits)/float64(nicStats.TLBHits+nicStats.TLBMisses))
+	fmt.Printf("bus pages mapped: %d, grants authorized: %d\n",
+		sys.Bus.Stats().PagesMapped, sys.Bus.Stats().GrantsOK)
+}

@@ -1,0 +1,3 @@
+module nocpu
+
+go 1.22

@@ -1,0 +1,283 @@
+// Package admin implements §4's "System Maintenance" story: the CPU-less
+// machine "will not have a local console", so an operator manages it
+// remotely — "the logs could be accessed remotely by another machine over
+// the network through a remote access service. User authentication can be
+// performed by an authentication service running on any device."
+//
+// The admin console is itself just an application offloaded to the smart
+// NIC: it authenticates operator requests by token, reads log files from
+// the smart SSD over the ordinary data plane, reports device statistics,
+// and forwards authenticated image uploads to device loader services
+// (§2.1). Nothing about management requires a CPU either.
+package admin
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nocpu/internal/msg"
+	"nocpu/internal/smartnic"
+)
+
+// Op is an admin command opcode.
+type Op uint8
+
+// Admin operations.
+const (
+	OpPing    Op = iota + 1
+	OpStatLog    // -> current log size
+	OpTailLog    // args: n u32 -> last n bytes of the log
+	OpUpload     // args: image name + bytes -> forwarded to loader
+)
+
+// Status codes.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota
+	StatusAuthFailed
+	StatusUnavailable
+	StatusError
+)
+
+// Request is a decoded admin command.
+type Request struct {
+	Op    Op
+	Token uint64
+	N     uint32 // tail length
+	Name  string // upload image name
+	Data  []byte // upload payload
+}
+
+// Response is a decoded admin reply.
+type Response struct {
+	Status Status
+	Size   uint64
+	Data   []byte
+}
+
+// EncodeRequest serializes a command.
+func EncodeRequest(r Request) []byte {
+	b := make([]byte, 15+2+len(r.Name)+4+len(r.Data))
+	b[0] = byte(r.Op)
+	binary.LittleEndian.PutUint64(b[1:], r.Token)
+	binary.LittleEndian.PutUint32(b[9:], r.N)
+	binary.LittleEndian.PutUint16(b[13:], uint16(len(r.Name)))
+	copy(b[15:], r.Name)
+	off := 15 + len(r.Name)
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(r.Data)))
+	copy(b[off+4:], r.Data)
+	return b
+}
+
+// DecodeRequest parses a command.
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) < 19 {
+		return Request{}, fmt.Errorf("admin: short request")
+	}
+	nameLen := int(binary.LittleEndian.Uint16(b[13:]))
+	if len(b) < 19+nameLen {
+		return Request{}, fmt.Errorf("admin: truncated name")
+	}
+	r := Request{
+		Op:    Op(b[0]),
+		Token: binary.LittleEndian.Uint64(b[1:]),
+		N:     binary.LittleEndian.Uint32(b[9:]),
+		Name:  string(b[15 : 15+nameLen]),
+	}
+	off := 15 + nameLen
+	dataLen := int(binary.LittleEndian.Uint32(b[off:]))
+	if len(b) < off+4+dataLen {
+		return Request{}, fmt.Errorf("admin: truncated data")
+	}
+	if dataLen > 0 {
+		r.Data = append([]byte(nil), b[off+4:off+4+dataLen]...)
+	}
+	return r, nil
+}
+
+// EncodeResponse serializes a reply.
+func EncodeResponse(r Response) []byte {
+	b := make([]byte, 13+len(r.Data))
+	b[0] = byte(r.Status)
+	binary.LittleEndian.PutUint64(b[1:], r.Size)
+	binary.LittleEndian.PutUint32(b[9:], uint32(len(r.Data)))
+	copy(b[13:], r.Data)
+	return b
+}
+
+// DecodeResponse parses a reply.
+func DecodeResponse(b []byte) (Response, error) {
+	if len(b) < 13 {
+		return Response{}, fmt.Errorf("admin: short response")
+	}
+	r := Response{Status: Status(b[0]), Size: binary.LittleEndian.Uint64(b[1:])}
+	n := int(binary.LittleEndian.Uint32(b[9:]))
+	if len(b) < 13+n {
+		return Response{}, fmt.Errorf("admin: truncated response")
+	}
+	if n > 0 {
+		r.Data = append([]byte(nil), b[13:13+n]...)
+	}
+	return r, nil
+}
+
+// Config parameterizes the console.
+type Config struct {
+	App msg.AppID
+	// Token is the operator credential every command must carry.
+	Token uint64
+	// LogFile is the log to serve (on the smart SSD).
+	LogFile string
+	// LogToken authenticates the console's own open of the log file.
+	LogToken uint64
+	// Memctrl is the memory controller's address.
+	Memctrl msg.DeviceID
+	// Loader is the device whose loader service OpUpload targets.
+	Loader msg.DeviceID
+	// LoaderToken authenticates uploads at the device.
+	LoaderToken uint64
+}
+
+// Console is the remote-maintenance application.
+type Console struct {
+	cfg   Config
+	rt    *smartnic.Runtime
+	log   smartnic.FileAPI
+	ready bool
+
+	// pendingUploads routes loader responses back to the operator
+	// commands that initiated them, keyed by image name.
+	pendingUploads map[string]func(*msg.LoadResp)
+
+	// Served counts successfully executed commands.
+	Served uint64
+	// AuthFailures counts rejected commands.
+	AuthFailures uint64
+}
+
+// New builds a console app; add it to a NIC with AddApp.
+func New(cfg Config) *Console {
+	return &Console{cfg: cfg, pendingUploads: make(map[string]func(*msg.LoadResp))}
+}
+
+// AppID implements smartnic.App.
+func (c *Console) AppID() msg.AppID { return c.cfg.App }
+
+// Ready reports whether the log connection is up.
+func (c *Console) Ready() bool { return c.ready }
+
+// Boot implements smartnic.App.
+func (c *Console) Boot(rt *smartnic.Runtime) {
+	c.rt = rt
+	// One LoadResp handler for the console's lifetime; individual upload
+	// commands register continuations by image name.
+	rt.NIC().Device().Handle(msg.KindLoadResp, func(e msg.Envelope) {
+		m := e.Msg.(*msg.LoadResp)
+		if cb, ok := c.pendingUploads[m.Image]; ok {
+			delete(c.pendingUploads, m.Image)
+			cb(m)
+		}
+	})
+	rt.OpenFile(c.cfg.Memctrl, c.cfg.LogFile, c.cfg.LogToken, 32, func(f *smartnic.FileClient, err error) {
+		if err != nil {
+			return // console stays unavailable; operator sees StatusUnavailable
+		}
+		c.log = f
+		c.ready = true
+	})
+}
+
+// PeerFailed implements smartnic.App.
+func (c *Console) PeerFailed(dev msg.DeviceID) {
+	if c.log != nil && c.log.Provider() == dev {
+		c.ready = false
+	}
+}
+
+// ServeNetwork implements smartnic.App: decode, authenticate, execute.
+func (c *Console) ServeNetwork(payload []byte, reply func([]byte)) {
+	req, err := DecodeRequest(payload)
+	if err != nil {
+		reply(EncodeResponse(Response{Status: StatusError}))
+		return
+	}
+	// §4: authentication before anything else.
+	if req.Token != c.cfg.Token {
+		c.AuthFailures++
+		reply(EncodeResponse(Response{Status: StatusAuthFailed}))
+		return
+	}
+	switch req.Op {
+	case OpPing:
+		c.Served++
+		reply(EncodeResponse(Response{Status: StatusOK}))
+	case OpStatLog:
+		if !c.ready {
+			reply(EncodeResponse(Response{Status: StatusUnavailable}))
+			return
+		}
+		c.log.Stat(func(size uint64, err error) {
+			if err != nil {
+				reply(EncodeResponse(Response{Status: StatusError}))
+				return
+			}
+			c.Served++
+			reply(EncodeResponse(Response{Status: StatusOK, Size: size}))
+		})
+	case OpTailLog:
+		if !c.ready {
+			reply(EncodeResponse(Response{Status: StatusUnavailable}))
+			return
+		}
+		c.log.Stat(func(size uint64, err error) {
+			if err != nil {
+				reply(EncodeResponse(Response{Status: StatusError}))
+				return
+			}
+			n := uint64(req.N)
+			if max := uint64(c.log.MaxIO()); n > max {
+				n = max
+			}
+			if n > size {
+				n = size
+			}
+			if n == 0 {
+				c.Served++
+				reply(EncodeResponse(Response{Status: StatusOK, Size: size}))
+				return
+			}
+			c.log.Read(size-n, int(n), func(b []byte, err error) {
+				if err != nil {
+					reply(EncodeResponse(Response{Status: StatusError}))
+					return
+				}
+				c.Served++
+				reply(EncodeResponse(Response{Status: StatusOK, Size: size, Data: b}))
+			})
+		})
+	case OpUpload:
+		if c.cfg.Loader == 0 {
+			reply(EncodeResponse(Response{Status: StatusError}))
+			return
+		}
+		// Forward to the device loader (§2.1) with the loader credential;
+		// the operator's own credential was already checked.
+		if _, busy := c.pendingUploads[req.Name]; busy {
+			reply(EncodeResponse(Response{Status: StatusError, Data: []byte("upload in progress")}))
+			return
+		}
+		c.pendingUploads[req.Name] = func(m *msg.LoadResp) {
+			if m.OK {
+				c.Served++
+				reply(EncodeResponse(Response{Status: StatusOK}))
+			} else {
+				reply(EncodeResponse(Response{Status: StatusError, Data: []byte(m.Reason)}))
+			}
+		}
+		c.rt.NIC().Device().Send(c.cfg.Loader, &msg.LoadReq{Image: req.Name, Token: c.cfg.LoaderToken, Data: req.Data})
+	default:
+		reply(EncodeResponse(Response{Status: StatusError}))
+	}
+}

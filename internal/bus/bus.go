@@ -1,0 +1,763 @@
+// Package bus implements the system-management bus of "The Last CPU" —
+// the specialized control plane that replaces the CPU-resident OS kernel
+// (§2.2).
+//
+// The bus is a privileged message switch. It carries no data and holds no
+// policy: it forwards unicast messages, fans out broadcasts (discovery,
+// failure notices), records device liveness, and performs the one
+// privileged mechanism of the design — programming device IOMMUs — and
+// only when instructed by the resource's controller:
+//
+//   - When it forwards a successful AllocResp from the memory controller
+//     to the requesting device, it programs that device's IOMMU with the
+//     granted mappings (§3 step 6).
+//   - When a device asks to share one of its app's regions with another
+//     device (GrantReq), the bus first asks the memory controller for
+//     authorization (AuthReq/AuthResp) and only then programs the target
+//     IOMMU (§3: "must be first authorized by the memory controller").
+//
+// Devices never receive references to each other's IOMMUs; the bus holds
+// the only handles, which is the paper's security argument made literal.
+package bus
+
+import (
+	"fmt"
+
+	"nocpu/internal/iommu"
+	"nocpu/internal/msg"
+	"nocpu/internal/physmem"
+	"nocpu/internal/sim"
+	"nocpu/internal/trace"
+)
+
+// Config is the bus timing and watchdog model. Per §2.3 the management
+// bus "need not" be high-throughput; defaults are deliberately modest and
+// experiment E10 sweeps them.
+type Config struct {
+	// HopLatency is the one-way latency of a message between a device and
+	// the bus (and bus to device).
+	HopLatency sim.Duration
+	// BytesPerNs is bus bandwidth; control messages are small so this
+	// rarely matters (0.5 = 500 MB/s).
+	BytesPerNs float64
+	// ProcPerMsg is the bus's processing cost per message (it must
+	// "process messages, so it can update the management tables").
+	ProcPerMsg sim.Duration
+	// MapPerPage is the cost of programming one IOMMU page-table entry.
+	MapPerPage sim.Duration
+	// WatchdogTimeout marks a device failed when no heartbeat arrives
+	// within it. 0 disables the watchdog.
+	WatchdogTimeout sim.Duration
+}
+
+// DefaultConfig models a microcontroller-class bus: 1 µs hops, 500 MB/s,
+// 500 ns per message of table-update work.
+var DefaultConfig = Config{
+	HopLatency:      1 * sim.Microsecond,
+	BytesPerNs:      0.5,
+	ProcPerMsg:      500 * sim.Nanosecond,
+	MapPerPage:      150 * sim.Nanosecond,
+	WatchdogTimeout: 0,
+}
+
+// Stats counts bus activity for the experiments.
+type Stats struct {
+	Messages      uint64
+	Deliveries    uint64
+	Broadcasts    uint64
+	Dropped       uint64
+	PagesMapped   uint64
+	PagesUnmapped uint64
+	GrantsOK      uint64
+	GrantsDenied  uint64
+	DevicesFailed uint64
+	Resets        uint64
+}
+
+// Handler receives messages delivered to a device.
+type Handler func(env msg.Envelope)
+
+type attachment struct {
+	id      msg.DeviceID
+	name    string
+	role    msg.Role
+	handler Handler
+	mmu     *iommu.IOMMU
+	alive   bool
+	lastHB  sim.Time
+	// mmuEngine models the device-side IOMMU command interface: table
+	// programming serializes per device but runs in parallel across
+	// devices (the bus only dispatches commands).
+	mmuEngine *sim.Server
+}
+
+// ownerKey identifies an app region for grant auditing.
+type ownerKey struct {
+	app msg.AppID
+	va  uint64
+}
+
+// grantRec is one recorded grant (possibly a sub-range of an owned
+// region).
+type grantRec struct {
+	target msg.DeviceID
+	pages  int // 4 KiB units
+	huge   bool
+	runs   int // huge runs when huge
+}
+
+// Bus is the system-management bus.
+type Bus struct {
+	eng  *sim.Engine
+	cfg  Config
+	tr   *trace.Tracer
+	proc *sim.Server
+	// egress serializes outgoing deliveries on the shared medium: a
+	// broadcast to N devices occupies the bus for N transmission times.
+	egress  *sim.Server
+	devices map[msg.DeviceID]*attachment
+	memctrl msg.DeviceID
+
+	// owners records, from intercepted AllocResps, which device owns each
+	// allocated app region (app+base VA -> owning device and page count).
+	owners map[ownerKey]ownerInfo
+	// grants records which targets were granted each (possibly sub-)
+	// region, for revoke and free cleanup.
+	grants map[ownerKey][]grantRec
+	// pendingGrants correlates AuthReq nonces with the originating
+	// GrantReq.
+	pendingGrants map[uint32]pendingGrant
+	nextNonce     uint32
+
+	stats Stats
+}
+
+type ownerInfo struct {
+	dev   msg.DeviceID
+	pages int // 4 KiB units (huge regions store runs*512)
+	huge  bool
+}
+
+type pendingGrant struct {
+	req msg.GrantReq
+	src msg.DeviceID
+}
+
+// New creates a bus on the engine. tr may be nil.
+func New(eng *sim.Engine, cfg Config, tr *trace.Tracer) *Bus {
+	if cfg.BytesPerNs <= 0 {
+		cfg.BytesPerNs = DefaultConfig.BytesPerNs
+	}
+	b := &Bus{
+		eng:           eng,
+		cfg:           cfg,
+		tr:            tr,
+		proc:          sim.NewServer(eng),
+		egress:        sim.NewServer(eng),
+		devices:       make(map[msg.DeviceID]*attachment),
+		owners:        make(map[ownerKey]ownerInfo),
+		grants:        make(map[ownerKey][]grantRec),
+		pendingGrants: make(map[uint32]pendingGrant),
+	}
+	if cfg.WatchdogTimeout > 0 {
+		b.scheduleWatchdog()
+	}
+	return b
+}
+
+// Stats returns a copy of the counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Port is a device's attachment point to the bus.
+type Port struct {
+	bus *Bus
+	id  msg.DeviceID
+}
+
+// ID returns the attached device's bus address.
+func (p *Port) ID() msg.DeviceID { return p.id }
+
+// Attach connects a device to the bus. The IOMMU handle is how the bus —
+// and only the bus — programs the device's translations. A device with
+// RoleMemoryController becomes the authorizer for memory operations; at
+// most one may attach.
+func (b *Bus) Attach(id msg.DeviceID, name string, role msg.Role, mmu *iommu.IOMMU, h Handler) (*Port, error) {
+	if id == 0 || id == msg.Broadcast || id == msg.BusID {
+		return nil, fmt.Errorf("bus: reserved device id %v", id)
+	}
+	if _, dup := b.devices[id]; dup {
+		return nil, fmt.Errorf("bus: device id %v already attached", id)
+	}
+	if role == msg.RoleMemoryController {
+		if b.memctrl != 0 {
+			return nil, fmt.Errorf("bus: second memory controller %v (have %v)", id, b.memctrl)
+		}
+		b.memctrl = id
+	}
+	b.devices[id] = &attachment{id: id, name: name, role: role, handler: h, mmu: mmu, mmuEngine: sim.NewServer(b.eng)}
+	return &Port{bus: b, id: id}, nil
+}
+
+// nameOf returns a device's name for tracing.
+func (b *Bus) nameOf(id msg.DeviceID) string {
+	switch id {
+	case msg.Broadcast:
+		return "broadcast"
+	case msg.BusID:
+		return "bus"
+	}
+	if a, ok := b.devices[id]; ok {
+		return a.name
+	}
+	return id.String()
+}
+
+// Send submits a message from the port's device. Transport: one hop to
+// the bus, FIFO bus processing, then (for unicast/broadcast) one hop to
+// each destination. Encoded size determines serialization time.
+func (p *Port) Send(dst msg.DeviceID, m msg.Message) {
+	b := p.bus
+	env := msg.Envelope{Src: p.id, Dst: dst, Msg: m}
+	size := msg.EncodedSize(m)
+	wire := b.cfg.HopLatency + sim.Duration(float64(size)/b.cfg.BytesPerNs)
+	b.eng.After(wire, func() {
+		b.proc.Submit(b.cfg.ProcPerMsg, func() { b.process(env) })
+	})
+}
+
+// process runs on the bus after the message has been received and the
+// processing cost paid.
+func (b *Bus) process(env msg.Envelope) {
+	b.stats.Messages++
+	b.tr.Record(b.eng.Now(), b.nameOf(env.Src), b.nameOf(env.Dst), env.Msg.Kind().String(), summarize(env.Msg))
+
+	src, ok := b.devices[env.Src]
+	if !ok {
+		b.stats.Dropped++
+		return
+	}
+
+	// Lifecycle messages addressed to the bus.
+	if env.Dst == msg.BusID {
+		b.handleBusMessage(src, env)
+		return
+	}
+
+	// A dead device's messages are dropped (it should not be talking),
+	// except Hello/ResetDone which revive it, handled above.
+	if !src.alive {
+		b.stats.Dropped++
+		return
+	}
+
+	if env.Dst == msg.Broadcast {
+		b.stats.Broadcasts++
+		for _, a := range b.sortedDevices() {
+			if a.id == env.Src || !a.alive {
+				continue
+			}
+			b.deliver(env, a)
+		}
+		return
+	}
+
+	dst, ok := b.devices[env.Dst]
+	if !ok || !dst.alive {
+		b.stats.Dropped++
+		return
+	}
+
+	// Privileged interception: a successful AllocResp from the memory
+	// controller causes the bus to program the requester's IOMMU before
+	// the response is delivered (§3 step 6). When no memory controller is
+	// registered (the centralized baseline), the bus is pure transport
+	// and AllocResps pass through untouched.
+	if ar, isAlloc := env.Msg.(*msg.AllocResp); isAlloc && b.memctrl != 0 {
+		if env.Src != b.memctrl {
+			// Only the registered controller may authorize mappings; a
+			// forged AllocResp is dropped.
+			b.stats.Dropped++
+			return
+		}
+		if ar.OK {
+			if err := b.programMappings(dst, ar); err != nil {
+				// Mapping failed: convert to a failure response so the
+				// requester learns the truth.
+				env.Msg = &msg.AllocResp{App: ar.App, OK: false, Reason: err.Error(), VA: ar.VA}
+				b.deliver(env, dst)
+				return
+			}
+			// The response reaches the requester only after its IOMMU
+			// tables are programmed.
+			dst.mmuEngine.Submit(sim.Duration(len(ar.Frames))*b.cfg.MapPerPage, func() {
+				b.deliver(env, dst)
+			})
+			return
+		}
+	}
+	if fr, isFree := env.Msg.(*msg.FreeResp); isFree && env.Src == b.memctrl && fr.OK {
+		b.unmapEverywhere(dst, fr)
+	}
+
+	b.deliver(env, dst)
+}
+
+// sortedDevices iterates attachments in id order for determinism.
+func (b *Bus) sortedDevices() []*attachment {
+	out := make([]*attachment, 0, len(b.devices))
+	var max msg.DeviceID
+	for id := range b.devices {
+		if id > max {
+			max = id
+		}
+	}
+	for id := msg.DeviceID(1); id <= max; id++ {
+		if a, ok := b.devices[id]; ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// deliver schedules the final hop to one destination. Transmission time
+// occupies the shared medium (so broadcasts serialize per destination);
+// propagation overlaps.
+func (b *Bus) deliver(env msg.Envelope, dst *attachment) {
+	b.stats.Deliveries++
+	size := msg.EncodedSize(env.Msg)
+	tx := sim.Duration(float64(size) / b.cfg.BytesPerNs)
+	b.egress.Submit(tx, func() {
+		b.eng.After(b.cfg.HopLatency, func() {
+			if !dst.alive {
+				b.stats.Dropped++
+				return
+			}
+			dst.handler(env)
+		})
+	})
+}
+
+// sendFromBus emits a bus-originated message to one device.
+func (b *Bus) sendFromBus(dst *attachment, m msg.Message) {
+	b.tr.Record(b.eng.Now(), "bus", dst.name, m.Kind().String(), summarize(m))
+	b.stats.Deliveries++
+	env := msg.Envelope{Src: msg.BusID, Dst: dst.id, Msg: m}
+	tx := sim.Duration(float64(msg.EncodedSize(m)) / b.cfg.BytesPerNs)
+	b.egress.Submit(tx, func() {
+		b.eng.After(b.cfg.HopLatency, func() {
+			// Reset must reach even dead devices — it is the revival path.
+			if !dst.alive {
+				if _, isReset := m.(*msg.Reset); !isReset {
+					b.stats.Dropped++
+					return
+				}
+			}
+			dst.handler(env)
+		})
+	})
+}
+
+// handleBusMessage processes messages addressed to the bus itself.
+func (b *Bus) handleBusMessage(src *attachment, env msg.Envelope) {
+	switch m := env.Msg.(type) {
+	case *msg.Hello:
+		src.alive = true
+		src.lastHB = b.eng.Now()
+		b.sendFromBus(src, &msg.HelloAck{})
+	case *msg.ResetDone:
+		src.alive = true
+		src.lastHB = b.eng.Now()
+	case *msg.Heartbeat:
+		if src.alive {
+			src.lastHB = b.eng.Now()
+		}
+	case *msg.GrantReq:
+		b.handleGrant(src, m)
+	case *msg.RevokeReq:
+		b.handleRevoke(src, m)
+	case *msg.AuthResp:
+		b.handleAuthResp(src, m)
+	default:
+		b.stats.Dropped++
+	}
+}
+
+// programMappings installs an AllocResp's frames into the requester's
+// IOMMU and records ownership.
+func (b *Bus) programMappings(dst *attachment, ar *msg.AllocResp) error {
+	if dst.mmu == nil {
+		return fmt.Errorf("device %s has no IOMMU", dst.name)
+	}
+	pasid := iommu.PASID(ar.App)
+	if !dst.mmu.HasContext(pasid) {
+		if err := dst.mmu.CreateContext(pasid); err != nil {
+			return err
+		}
+	}
+	perm := iommu.Perm(ar.Perm)
+	if perm == 0 {
+		perm = iommu.PermRW
+	}
+	if ar.Huge {
+		for i, f := range ar.Frames {
+			va := iommu.VirtAddr(ar.VA + uint64(i)*iommu.HugePageSize)
+			if err := dst.mmu.MapHuge(pasid, va, physmem.Frame(f), perm); err != nil {
+				for j := 0; j < i; j++ {
+					_ = dst.mmu.UnmapHuge(pasid, iommu.VirtAddr(ar.VA+uint64(j)*iommu.HugePageSize))
+				}
+				return err
+			}
+		}
+		b.stats.PagesMapped += uint64(len(ar.Frames) * iommu.HugeFrames)
+		b.owners[ownerKey{ar.App, ar.VA}] = ownerInfo{dev: dst.id, pages: len(ar.Frames) * iommu.HugeFrames, huge: true}
+		return nil
+	}
+	for i, f := range ar.Frames {
+		va := iommu.VirtAddr(ar.VA + uint64(i)*physmem.PageSize)
+		if err := dst.mmu.Map(pasid, va, physmem.Frame(f), perm); err != nil {
+			// Roll back partial work so a failed alloc leaves no residue.
+			for j := 0; j < i; j++ {
+				_ = dst.mmu.Unmap(pasid, iommu.VirtAddr(ar.VA+uint64(j)*physmem.PageSize))
+			}
+			return err
+		}
+	}
+	b.stats.PagesMapped += uint64(len(ar.Frames))
+	b.owners[ownerKey{ar.App, ar.VA}] = ownerInfo{dev: dst.id, pages: len(ar.Frames)}
+	return nil
+}
+
+// ownsRange reports whether dev owns an allocated region of app fully
+// containing [va, va+bytes).
+func (b *Bus) ownsRange(dev msg.DeviceID, app msg.AppID, va, bytes uint64) bool {
+	for key, info := range b.owners {
+		if key.app != app || info.dev != dev {
+			continue
+		}
+		end := key.va + uint64(info.pages)*physmem.PageSize
+		if va >= key.va && va+bytes <= end {
+			return true
+		}
+	}
+	return false
+}
+
+// unmapEverywhere handles a successful FreeResp: the region disappears
+// from the owner and every grantee (including sub-range grants carved
+// out of it).
+func (b *Bus) unmapEverywhere(owner *attachment, fr *msg.FreeResp) {
+	key := ownerKey{fr.App, fr.VA}
+	info, ok := b.owners[key]
+	if !ok || info.dev != owner.id {
+		return
+	}
+	pasid := iommu.PASID(fr.App)
+	regionEnd := fr.VA + uint64(info.pages)*physmem.PageSize
+	work := 0
+	// Owner's own mappings.
+	if owner.mmu != nil {
+		work += b.unmapRegion(owner.mmu, pasid, fr.VA, info.pages, info.huge)
+	}
+	// Any grants whose range falls inside the freed region.
+	for gkey, recs := range b.grants {
+		if gkey.app != fr.App || gkey.va < fr.VA || gkey.va >= regionEnd {
+			continue
+		}
+		for _, rec := range recs {
+			a, ok := b.devices[rec.target]
+			if !ok || a.mmu == nil {
+				continue
+			}
+			n := b.unmapRegion(a.mmu, pasid, gkey.va, rec.pages, rec.huge)
+			a.mmuEngine.Submit(sim.Duration(n)*b.cfg.MapPerPage, nil)
+		}
+		delete(b.grants, gkey)
+	}
+	owner.mmuEngine.Submit(sim.Duration(work)*b.cfg.MapPerPage, nil)
+	delete(b.owners, key)
+}
+
+// unmapRegion removes a region's translations (huge-aware) and returns
+// the number of PTEs cleared.
+func (b *Bus) unmapRegion(mmu *iommu.IOMMU, pasid iommu.PASID, va uint64, pages int, huge bool) int {
+	n := 0
+	if huge {
+		runs := pages / iommu.HugeFrames
+		for i := 0; i < runs; i++ {
+			hva := iommu.VirtAddr(va + uint64(i)*iommu.HugePageSize)
+			if err := mmu.UnmapHuge(pasid, hva); err == nil {
+				b.stats.PagesUnmapped += uint64(iommu.HugeFrames)
+				n++
+			}
+		}
+		return n
+	}
+	for i := 0; i < pages; i++ {
+		pva := iommu.VirtAddr(va + uint64(i)*physmem.PageSize)
+		if err := mmu.Unmap(pasid, pva); err == nil {
+			b.stats.PagesUnmapped++
+			n++
+		}
+	}
+	return n
+}
+
+// handleGrant begins the authorize-then-map protocol.
+func (b *Bus) handleGrant(src *attachment, m *msg.GrantReq) {
+	deny := func(reason string) {
+		b.stats.GrantsDenied++
+		b.sendFromBus(src, &msg.GrantResp{App: m.App, OK: false, Reason: reason, VA: m.VA, Target: m.Target})
+	}
+	// The bus's own sanity checks (mechanism, not policy): requester must
+	// own the range, target must exist.
+	if !b.ownsRange(src.id, m.App, m.VA, m.Bytes) {
+		deny("requester does not own region")
+		return
+	}
+	tgt, ok := b.devices[m.Target]
+	if !ok || !tgt.alive {
+		deny("unknown or dead target device")
+		return
+	}
+	if b.memctrl == 0 {
+		deny("no memory controller")
+		return
+	}
+	mc := b.devices[b.memctrl]
+	b.nextNonce++
+	nonce := b.nextNonce
+	b.pendingGrants[nonce] = pendingGrant{req: *m, src: src.id}
+	b.sendFromBus(mc, &msg.AuthReq{App: m.App, VA: m.VA, Bytes: m.Bytes, Target: m.Target, Perm: m.Perm, Nonce: nonce})
+}
+
+// handleAuthResp completes a pending grant.
+func (b *Bus) handleAuthResp(src *attachment, m *msg.AuthResp) {
+	if src.id != b.memctrl {
+		b.stats.Dropped++ // forged authorization
+		return
+	}
+	pg, ok := b.pendingGrants[m.Nonce]
+	if !ok {
+		b.stats.Dropped++
+		return
+	}
+	delete(b.pendingGrants, m.Nonce)
+	requester := b.devices[pg.src]
+	reply := func(ok bool, reason string) {
+		if requester == nil {
+			return
+		}
+		if ok {
+			b.stats.GrantsOK++
+		} else {
+			b.stats.GrantsDenied++
+		}
+		b.sendFromBus(requester, &msg.GrantResp{App: pg.req.App, OK: ok, Reason: reason, VA: pg.req.VA, Target: pg.req.Target})
+	}
+	if !m.OK {
+		reply(false, m.Reason)
+		return
+	}
+	tgt, ok := b.devices[pg.req.Target]
+	if !ok || !tgt.alive || tgt.mmu == nil {
+		reply(false, "target vanished")
+		return
+	}
+	pasid := iommu.PASID(m.App)
+	if !tgt.mmu.HasContext(pasid) {
+		if err := tgt.mmu.CreateContext(pasid); err != nil {
+			reply(false, err.Error())
+			return
+		}
+	}
+	perm := iommu.Perm(m.Perm)
+	if perm == 0 {
+		perm = iommu.PermRW
+	}
+	if m.Huge {
+		for i, f := range m.Frames {
+			va := iommu.VirtAddr(m.VA + uint64(i)*iommu.HugePageSize)
+			if err := tgt.mmu.MapHuge(pasid, va, physmem.Frame(f), perm); err != nil {
+				for j := 0; j < i; j++ {
+					_ = tgt.mmu.UnmapHuge(pasid, iommu.VirtAddr(m.VA+uint64(j)*iommu.HugePageSize))
+				}
+				reply(false, err.Error())
+				return
+			}
+		}
+		b.stats.PagesMapped += uint64(len(m.Frames) * iommu.HugeFrames)
+	} else {
+		for i, f := range m.Frames {
+			va := iommu.VirtAddr(m.VA + uint64(i)*physmem.PageSize)
+			if err := tgt.mmu.Map(pasid, va, physmem.Frame(f), perm); err != nil {
+				for j := 0; j < i; j++ {
+					_ = tgt.mmu.Unmap(pasid, iommu.VirtAddr(m.VA+uint64(j)*physmem.PageSize))
+				}
+				reply(false, err.Error())
+				return
+			}
+		}
+		b.stats.PagesMapped += uint64(len(m.Frames))
+	}
+	key := ownerKey{m.App, m.VA}
+	rec := grantRec{target: pg.req.Target, pages: len(m.Frames)}
+	if m.Huge {
+		rec.pages = len(m.Frames) * iommu.HugeFrames
+		rec.huge = true
+		rec.runs = len(m.Frames)
+	}
+	b.grants[key] = append(b.grants[key], rec)
+	// The grant is acknowledged only after the target's tables are
+	// programmed.
+	tgt.mmuEngine.Submit(sim.Duration(len(m.Frames))*b.cfg.MapPerPage, func() {
+		reply(true, "")
+	})
+}
+
+// handleRevoke removes a previous grant from the target device.
+func (b *Bus) handleRevoke(src *attachment, m *msg.RevokeReq) {
+	key := ownerKey{m.App, m.VA}
+	deny := func(reason string) {
+		b.sendFromBus(src, &msg.RevokeResp{App: m.App, OK: false, Reason: reason})
+	}
+	if !b.ownsRange(src.id, m.App, m.VA, m.Bytes) {
+		deny("requester does not own region")
+		return
+	}
+	var rec grantRec
+	found := false
+	for i, r := range b.grants[key] {
+		if r.target == m.Target {
+			rec = r
+			b.grants[key] = append(b.grants[key][:i], b.grants[key][i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		deny("no such grant")
+		return
+	}
+	if len(b.grants[key]) == 0 {
+		delete(b.grants, key)
+	}
+	if tgt, ok := b.devices[m.Target]; ok && tgt.mmu != nil {
+		pasid := iommu.PASID(m.App)
+		n := b.unmapRegion(tgt.mmu, pasid, m.VA, rec.pages, rec.huge)
+		tgt.mmuEngine.Submit(sim.Duration(n)*b.cfg.MapPerPage, nil)
+	}
+	b.sendFromBus(src, &msg.RevokeResp{App: m.App, OK: true})
+}
+
+// scheduleWatchdog arms the periodic liveness scan.
+func (b *Bus) scheduleWatchdog() {
+	b.eng.After(b.cfg.WatchdogTimeout/2, func() {
+		now := b.eng.Now()
+		for _, a := range b.sortedDevices() {
+			if a.alive && now.Sub(a.lastHB) > b.cfg.WatchdogTimeout {
+				b.failDevice(a, "watchdog: missed heartbeats")
+			}
+		}
+		b.scheduleWatchdog()
+	})
+}
+
+// failDevice marks a device dead, notifies everyone, and attempts a reset
+// (§4 "Error Handling").
+func (b *Bus) failDevice(a *attachment, reason string) {
+	a.alive = false
+	b.stats.DevicesFailed++
+	// Fail any grant still waiting on the dead party (requester, target,
+	// or the authorizing controller): the requester must not hang.
+	for nonce, pg := range b.pendingGrants {
+		if pg.src != a.id && pg.req.Target != a.id && b.memctrl != a.id {
+			continue
+		}
+		delete(b.pendingGrants, nonce)
+		if req, ok := b.devices[pg.src]; ok && req.alive {
+			b.stats.GrantsDenied++
+			b.sendFromBus(req, &msg.GrantResp{
+				App: pg.req.App, OK: false,
+				Reason: "device failed during grant: " + a.name,
+				VA:     pg.req.VA, Target: pg.req.Target,
+			})
+		}
+	}
+	b.tr.Record(b.eng.Now(), "bus", "broadcast", "device.failed", a.name+": "+reason)
+	for _, other := range b.sortedDevices() {
+		if other.id == a.id || !other.alive {
+			continue
+		}
+		b.deliver(msg.Envelope{Src: msg.BusID, Dst: other.id, Msg: &msg.DeviceFailed{Device: a.id}}, other)
+	}
+	b.stats.Resets++
+	b.sendFromBus(a, &msg.Reset{Reason: reason})
+}
+
+// FailDevice force-fails a device by id (fault injection in tests and the
+// fault-tolerance example).
+func (b *Bus) FailDevice(id msg.DeviceID, reason string) error {
+	a, ok := b.devices[id]
+	if !ok {
+		return fmt.Errorf("bus: unknown device %v", id)
+	}
+	if !a.alive {
+		return fmt.Errorf("bus: device %v already dead", id)
+	}
+	b.failDevice(a, reason)
+	return nil
+}
+
+// Alive reports whether a device is currently registered alive.
+func (b *Bus) Alive(id msg.DeviceID) bool {
+	a, ok := b.devices[id]
+	return ok && a.alive
+}
+
+// OwnerOf reports which device owns the (app, va) region — used by the
+// auditing tests.
+func (b *Bus) OwnerOf(app msg.AppID, va uint64) (msg.DeviceID, bool) {
+	info, ok := b.owners[ownerKey{app, va}]
+	return info.dev, ok
+}
+
+// GranteesOf lists devices holding grants on the region.
+func (b *Bus) GranteesOf(app msg.AppID, va uint64) []msg.DeviceID {
+	recs := b.grants[ownerKey{app, va}]
+	out := make([]msg.DeviceID, len(recs))
+	for i, r := range recs {
+		out[i] = r.target
+	}
+	return out
+}
+
+// summarize renders the trace detail for interesting message types.
+func summarize(m msg.Message) string {
+	switch t := m.(type) {
+	case *msg.DiscoverReq:
+		return t.Query
+	case *msg.DiscoverResp:
+		return t.Service
+	case *msg.OpenReq:
+		return t.Service
+	case *msg.OpenResp:
+		return fmt.Sprintf("%s shm=%d ok=%v", t.Service, t.SharedBytes, t.OK)
+	case *msg.AllocReq:
+		return fmt.Sprintf("app=%d va=%#x bytes=%d", t.App, t.VA, t.Bytes)
+	case *msg.AllocResp:
+		return fmt.Sprintf("app=%d va=%#x frames=%d ok=%v", t.App, t.VA, len(t.Frames), t.OK)
+	case *msg.GrantReq:
+		return fmt.Sprintf("app=%d va=%#x -> %v", t.App, t.VA, t.Target)
+	case *msg.GrantResp:
+		return fmt.Sprintf("app=%d va=%#x ok=%v %s", t.App, t.VA, t.OK, t.Reason)
+	case *msg.ConnectReq:
+		return fmt.Sprintf("%s ring=%#x", t.Service, t.RingVA)
+	case *msg.ErrorNotify:
+		return fmt.Sprintf("%s: %s", t.Resource, t.Detail)
+	case *msg.DeviceFailed:
+		return t.Device.String()
+	case *msg.Reset:
+		return t.Reason
+	}
+	return ""
+}

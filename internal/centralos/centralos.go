@@ -1,0 +1,602 @@
+// Package centralos is the comparison baseline: the same machine, but
+// with a general-purpose CPU running a kernel as the centralized control
+// plane — the Omni-X / M3X / IX configuration the paper positions itself
+// against, and the "traditional stack" beyond that.
+//
+// The CPU attaches to the same transport and devices as the decentralized
+// machine. Differences:
+//
+//   - There is no memory-controller device and the bus performs no
+//     privileged work: the kernel holds direct handles to every device
+//     IOMMU (as a kernel does, via MMIO) and programs them itself.
+//   - Applications make syscalls (messages to the CPU) for every control
+//     operation: open, mmap+grant (folded into open), connect, close.
+//     Each syscall costs a trap + dispatch and occupies a CPU core.
+//   - Service discovery is a kernel registry lookup — centralized state
+//     instead of broadcast.
+//
+// Two data-path modes are supported:
+//
+//   - Direct (Omni-X style): after setup, the app's virtqueue runs
+//     peer-to-peer; only the control plane is centralized.
+//   - Mediated (traditional stack): the kernel owns the device queue and
+//     every file I/O is a FileIOReq syscall, paying trap, kernel work,
+//     copy, and completion-interrupt costs.
+package centralos
+
+import (
+	"fmt"
+
+	"nocpu/internal/bus"
+	"nocpu/internal/interconnect"
+	"nocpu/internal/iommu"
+	"nocpu/internal/msg"
+	"nocpu/internal/physmem"
+	"nocpu/internal/sim"
+	"nocpu/internal/smartssd"
+	"nocpu/internal/trace"
+	"nocpu/internal/virtio"
+)
+
+// Config tunes the CPU and kernel cost model.
+type Config struct {
+	ID    msg.DeviceID
+	Name  string
+	Cores int
+	// SyscallCost is trap + kernel entry/exit + dispatch.
+	SyscallCost sim.Duration
+	// RegistryCost is a kernel name-table lookup.
+	RegistryCost sim.Duration
+	// MmapPerPage is kernel frame allocation + one IOMMU PTE store.
+	MmapPerPage sim.Duration
+	// InterruptCost is a device-completion interrupt (kernel-mediated
+	// I/O pays one per completion).
+	InterruptCost sim.Duration
+	// CopyBytesPerNs is kernel memcpy bandwidth for mediated I/O.
+	CopyBytesPerNs float64
+	// QueueEntries sizes the kernel's own device queues.
+	QueueEntries uint16
+	IOMMU        iommu.Config
+}
+
+// DefaultConfig models a competent kernel on a server CPU.
+var DefaultConfig = Config{
+	Cores:          4,
+	SyscallCost:    1500 * sim.Nanosecond,
+	RegistryCost:   300 * sim.Nanosecond,
+	MmapPerPage:    250 * sim.Nanosecond,
+	InterruptCost:  1000 * sim.Nanosecond,
+	CopyBytesPerNs: 8,
+	QueueEntries:   128,
+}
+
+// Stats counts kernel activity.
+type Stats struct {
+	Syscalls    uint64
+	MediatedIOs uint64
+	Interrupts  uint64
+	PagesMapped uint64
+	BytesCopied uint64
+}
+
+// CPU is the kernel device.
+type CPU struct {
+	eng  *sim.Engine
+	cfg  Config
+	tr   *trace.Tracer
+	port *bus.Port
+	dma  *interconnect.Port
+	mmu  *iommu.IOMMU
+	mem  *physmem.Memory
+
+	cores *sim.Pool
+
+	// iommus are the kernel's direct MMIO handles to device IOMMUs.
+	iommus map[msg.DeviceID]*iommu.IOMMU
+	// registry maps file names to the storage device holding them (the
+	// kernel's mount table).
+	registry map[string]msg.DeviceID
+
+	// appVA is the kernel's per-app mmap pointer.
+	appVA map[msg.AppID]uint64
+
+	pendingOpen    map[openKey]*openState
+	pendingConnect map[uint32]func(*msg.ConnectResp) // connID -> continuation
+	kernelConns    map[uint32]*kernelFile            // mediated handles
+	nextHandle     uint32
+
+	// mmaps is the kernel's per-app region table for the explicit
+	// mmap/munmap syscalls (AllocReq/FreeReq addressed to the CPU).
+	mmaps map[mmapKey]mmapRec
+
+	stats Stats
+}
+
+type openKey struct {
+	app     msg.AppID
+	service string
+}
+
+type openState struct {
+	origin   msg.DeviceID
+	service  string // the service name the app used
+	mediated bool
+	token    uint64
+}
+
+// kernelFile is the kernel's own connection to a device file (mediated
+// mode): the queue's driver half lives on the CPU.
+type kernelFile struct {
+	handle uint32
+	app    msg.AppID
+	drv    *virtio.Driver
+}
+
+// New builds the CPU and attaches it to the bus and fabric.
+func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer, cfg Config) (*CPU, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = DefaultConfig.Cores
+	}
+	if cfg.SyscallCost == 0 {
+		cfg.SyscallCost = DefaultConfig.SyscallCost
+	}
+	if cfg.RegistryCost == 0 {
+		cfg.RegistryCost = DefaultConfig.RegistryCost
+	}
+	if cfg.MmapPerPage == 0 {
+		cfg.MmapPerPage = DefaultConfig.MmapPerPage
+	}
+	if cfg.InterruptCost == 0 {
+		cfg.InterruptCost = DefaultConfig.InterruptCost
+	}
+	if cfg.CopyBytesPerNs == 0 {
+		cfg.CopyBytesPerNs = DefaultConfig.CopyBytesPerNs
+	}
+	if cfg.QueueEntries == 0 {
+		cfg.QueueEntries = DefaultConfig.QueueEntries
+	}
+	c := &CPU{
+		eng:            eng,
+		cfg:            cfg,
+		tr:             tr,
+		mem:            fab.Memory(),
+		mmu:            iommu.New(cfg.Name, fab.Memory(), cfg.IOMMU),
+		cores:          sim.NewPool(eng, cfg.Cores),
+		iommus:         make(map[msg.DeviceID]*iommu.IOMMU),
+		registry:       make(map[string]msg.DeviceID),
+		appVA:          make(map[msg.AppID]uint64),
+		pendingOpen:    make(map[openKey]*openState),
+		pendingConnect: make(map[uint32]func(*msg.ConnectResp)),
+		kernelConns:    make(map[uint32]*kernelFile),
+		mmaps:          make(map[mmapKey]mmapRec),
+	}
+	c.dma = fab.NewPort(cfg.Name, c.mmu)
+	port, err := b.Attach(cfg.ID, cfg.Name, msg.RoleAccelerator, c.mmu, c.receive)
+	if err != nil {
+		return nil, err
+	}
+	c.port = port
+	return c, nil
+}
+
+// Start boots the kernel (announces the CPU on the transport).
+func (c *CPU) Start() {
+	c.port.Send(msg.BusID, &msg.Hello{Role: msg.RoleAccelerator, Name: c.cfg.Name})
+}
+
+// Stats returns a copy of the counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// AttachDeviceIOMMU gives the kernel its MMIO handle to a device's
+// translation unit.
+func (c *CPU) AttachDeviceIOMMU(id msg.DeviceID, mmu *iommu.IOMMU) {
+	c.iommus[id] = mmu
+}
+
+// RegisterFile mounts a file into the kernel's registry.
+func (c *CPU) RegisterFile(name string, dev msg.DeviceID) {
+	c.registry[name] = dev
+}
+
+// receive handles all traffic addressed to the CPU.
+func (c *CPU) receive(env msg.Envelope) {
+	switch m := env.Msg.(type) {
+	case *msg.OpenReq:
+		c.sysOpen(env.Src, m)
+	case *msg.OpenResp:
+		c.onDeviceOpenResp(env.Src, m)
+	case *msg.ConnectReq:
+		c.sysConnect(env.Src, m)
+	case *msg.ConnectResp:
+		c.onDeviceConnectResp(env.Src, m)
+	case *msg.CloseReq:
+		c.sysClose(env.Src, m)
+	case *msg.FileIOReq:
+		c.sysFileIO(env.Src, m)
+	case *msg.AllocReq:
+		c.sysMmap(env.Src, m)
+	case *msg.FreeReq:
+		c.sysMunmap(env.Src, m)
+	case *msg.HelloAck, *msg.DeviceFailed:
+		// Kernel-level failure handling is out of scope for the baseline.
+	}
+}
+
+// mapRegion allocates frames and maps them into the given device IOMMUs
+// under the app's PASID, charging kernel time on a core. Returns the
+// number of pages or an error.
+func (c *CPU) mapRegion(app msg.AppID, va uint64, bytes uint64, mmus []*iommu.IOMMU) (int, error) {
+	pages := int((bytes + physmem.PageSize - 1) / physmem.PageSize)
+	pasid := iommu.PASID(app)
+	frames := make([]physmem.Frame, 0, pages)
+	for i := 0; i < pages; i++ {
+		f, err := c.mem.AllocFrames(1)
+		if err != nil {
+			for _, ff := range frames {
+				_ = c.mem.FreeFrames(ff, 1)
+			}
+			return 0, err
+		}
+		frames = append(frames, f)
+	}
+	for _, mmu := range mmus {
+		if !mmu.HasContext(pasid) {
+			if err := mmu.CreateContext(pasid); err != nil {
+				return 0, err
+			}
+		}
+		for i, f := range frames {
+			if err := mmu.Map(pasid, iommu.VirtAddr(va+uint64(i)*physmem.PageSize), f, iommu.PermRW); err != nil {
+				return 0, err
+			}
+		}
+	}
+	c.stats.PagesMapped += uint64(pages * len(mmus))
+	return pages, nil
+}
+
+// vaFor advances the app's mmap pointer.
+func (c *CPU) vaFor(app msg.AppID, bytes uint64) uint64 {
+	va, ok := c.appVA[app]
+	if !ok {
+		va = 0x2000_0000
+	}
+	pages := (bytes + physmem.PageSize - 1) / physmem.PageSize
+	c.appVA[app] = va + (pages+1)*physmem.PageSize
+	return va
+}
+
+// sysOpen handles the open syscall, both direct ("file:X") and mediated
+// ("mediated:X").
+func (c *CPU) sysOpen(src msg.DeviceID, m *msg.OpenReq) {
+	c.stats.Syscalls++
+	c.cores.Submit(c.cfg.SyscallCost+c.cfg.RegistryCost, func() {
+		mediated := false
+		name := m.Service
+		if n, ok := cutPrefix(name, "mediated:"); ok {
+			mediated = true
+			name = n
+		} else if n, ok := cutPrefix(name, "file:"); ok {
+			name = n
+		} else {
+			c.port.Send(src, &msg.OpenResp{Service: m.Service, App: m.App, OK: false, Reason: "unknown service class"})
+			return
+		}
+		dev, ok := c.registry[name]
+		if !ok {
+			c.port.Send(src, &msg.OpenResp{Service: m.Service, App: m.App, OK: false, Reason: "no such file in registry"})
+			return
+		}
+		c.pendingOpen[openKey{m.App, "file:" + name}] = &openState{
+			origin: src, service: m.Service, mediated: mediated, token: m.Token,
+		}
+		c.port.Send(dev, &msg.OpenReq{Service: "file:" + name, App: m.App, Token: m.Token})
+	})
+}
+
+// onDeviceOpenResp continues an open after the device answered the
+// kernel.
+func (c *CPU) onDeviceOpenResp(dev msg.DeviceID, m *msg.OpenResp) {
+	st, ok := c.pendingOpen[openKey{m.App, m.Service}]
+	if !ok {
+		return
+	}
+	delete(c.pendingOpen, openKey{m.App, m.Service})
+	if !m.OK {
+		c.port.Send(st.origin, &msg.OpenResp{Service: st.service, App: m.App, OK: false, Reason: m.Reason})
+		return
+	}
+	if st.mediated {
+		c.openMediated(dev, st, m)
+		return
+	}
+	// Direct mode: kernel performs the mmap + grant in one step, mapping
+	// the region into both the app's device and the provider.
+	cellSize := cellSizeFromQuote(m.SharedBytes, 128)
+	lay := virtio.NewLayout(0, c.cfg.QueueEntries, cellSize)
+	bytes := uint64(lay.DataVA) + uint64(lay.DataBytes())
+	va := c.vaFor(m.App, bytes)
+	appMMU, ok1 := c.iommus[st.origin]
+	devMMU, ok2 := c.iommus[dev]
+	if !ok1 || !ok2 {
+		c.port.Send(st.origin, &msg.OpenResp{Service: st.service, App: m.App, OK: false, Reason: "kernel has no IOMMU handle"})
+		return
+	}
+	pages := int((bytes + physmem.PageSize - 1) / physmem.PageSize)
+	c.cores.Submit(sim.Duration(2*pages)*c.cfg.MmapPerPage, func() {
+		if _, err := c.mapRegion(m.App, va, bytes, []*iommu.IOMMU{appMMU, devMMU}); err != nil {
+			c.port.Send(st.origin, &msg.OpenResp{Service: st.service, App: m.App, OK: false, Reason: err.Error()})
+			return
+		}
+		c.port.Send(st.origin, &msg.OpenResp{
+			Service: st.service, App: m.App, OK: true,
+			ConnID: m.ConnID, SharedBytes: m.SharedBytes, Base: va,
+		})
+	})
+}
+
+// sysConnect forwards a direct-mode connect syscall to the provider.
+func (c *CPU) sysConnect(src msg.DeviceID, m *msg.ConnectReq) {
+	c.stats.Syscalls++
+	c.cores.Submit(c.cfg.SyscallCost, func() {
+		name, ok := cutPrefix(m.Service, "file:")
+		if !ok {
+			c.port.Send(src, &msg.ConnectResp{ConnID: m.ConnID, OK: false, Reason: "unknown service class"})
+			return
+		}
+		dev, ok := c.registry[name]
+		if !ok {
+			c.port.Send(src, &msg.ConnectResp{ConnID: m.ConnID, OK: false, Reason: "no such file"})
+			return
+		}
+		c.pendingConnect[m.ConnID] = func(cr *msg.ConnectResp) {
+			fwd := *cr
+			c.port.Send(src, &fwd)
+		}
+		fwd := *m
+		c.port.Send(dev, &fwd)
+	})
+}
+
+// onDeviceConnectResp dispatches the provider's answer to whichever open
+// flow is waiting (app forward or kernel mediated setup).
+func (c *CPU) onDeviceConnectResp(dev msg.DeviceID, m *msg.ConnectResp) {
+	cont, ok := c.pendingConnect[m.ConnID]
+	if !ok {
+		return
+	}
+	delete(c.pendingConnect, m.ConnID)
+	cont(m)
+}
+
+// sysClose forwards a close syscall.
+func (c *CPU) sysClose(src msg.DeviceID, m *msg.CloseReq) {
+	c.stats.Syscalls++
+	c.cores.Submit(c.cfg.SyscallCost, func() {
+		if kf, ok := c.kernelConns[m.ConnID]; ok {
+			delete(c.kernelConns, m.ConnID)
+			_ = kf
+			c.port.Send(src, &msg.CloseResp{ConnID: m.ConnID, OK: true})
+			return
+		}
+		name, _ := cutPrefix(m.Service, "file:")
+		if dev, ok := c.registry[name]; ok {
+			fwd := *m
+			c.port.Send(dev, &fwd)
+			// Fire-and-forget: the provider's CloseResp returns to the
+			// kernel and is dropped; the app's close is acknowledged
+			// here.
+		}
+		c.port.Send(src, &msg.CloseResp{ConnID: m.ConnID, OK: true})
+	})
+}
+
+// openMediated builds the kernel's own queue to the device.
+func (c *CPU) openMediated(dev msg.DeviceID, st *openState, m *msg.OpenResp) {
+	devMMU, ok := c.iommus[dev]
+	if !ok {
+		c.port.Send(st.origin, &msg.OpenResp{Service: st.service, App: m.App, OK: false, Reason: "kernel has no IOMMU handle"})
+		return
+	}
+	cellSize := cellSizeFromQuote(m.SharedBytes, 128)
+	lay0 := virtio.NewLayout(0, c.cfg.QueueEntries, cellSize)
+	bytes := uint64(lay0.DataVA) + uint64(lay0.DataBytes())
+	va := c.vaFor(m.App, bytes)
+	pages := int((bytes + physmem.PageSize - 1) / physmem.PageSize)
+	c.cores.Submit(sim.Duration(2*pages)*c.cfg.MmapPerPage, func() {
+		if _, err := c.mapRegion(m.App, va, bytes, []*iommu.IOMMU{c.mmu, devMMU}); err != nil {
+			c.port.Send(st.origin, &msg.OpenResp{Service: st.service, App: m.App, OK: false, Reason: err.Error()})
+			return
+		}
+		lay := virtio.NewLayout(iommu.VirtAddr(va), c.cfg.QueueEntries, cellSize)
+		drv, err := virtio.NewDriver(c.dma, iommu.PASID(m.App), lay, 0)
+		if err != nil {
+			c.port.Send(st.origin, &msg.OpenResp{Service: st.service, App: m.App, OK: false, Reason: err.Error()})
+			return
+		}
+		c.nextHandle++
+		handle := c.nextHandle
+		// Connect the kernel driver to the device endpoint.
+		connDone := func(cr *msg.ConnectResp) {
+			if !cr.OK {
+				c.port.Send(st.origin, &msg.OpenResp{Service: st.service, App: m.App, OK: false, Reason: cr.Reason})
+				return
+			}
+			var bell uint64
+			if _, err := fmt.Sscanf(cr.Reason, "reqbell=%d", &bell); err != nil {
+				c.port.Send(st.origin, &msg.OpenResp{Service: st.service, App: m.App, OK: false, Reason: "no doorbell"})
+				return
+			}
+			drv.SetRequestBell(bell)
+			c.kernelConns[handle] = &kernelFile{handle: handle, app: m.App, drv: drv}
+			maxIO := cellSize - smartssd.ReqHeaderBytes
+			c.port.Send(st.origin, &msg.OpenResp{
+				Service: st.service, App: m.App, OK: true,
+				ConnID: handle, SharedBytes: uint64(maxIO),
+			})
+		}
+		c.pendingConnect[m.ConnID] = connDone
+		c.port.Send(dev, &msg.ConnectReq{
+			Service:      m.Service,
+			ConnID:       m.ConnID,
+			App:          m.App,
+			RingVA:       uint64(lay.Base),
+			RingEntries:  c.cfg.QueueEntries,
+			DataVA:       uint64(lay.DataVA),
+			DataBytes:    uint64(lay.DataBytes()),
+			RespDoorbell: uint64(drv.RespBell),
+		})
+	})
+}
+
+// sysFileIO executes a mediated I/O on behalf of the app.
+func (c *CPU) sysFileIO(src msg.DeviceID, m *msg.FileIOReq) {
+	c.stats.Syscalls++
+	c.stats.MediatedIOs++
+	kf, ok := c.kernelConns[m.Handle]
+	reject := func(status smartssd.Status) {
+		c.port.Send(src, &msg.FileIOResp{App: m.App, Handle: m.Handle, Seq: m.Seq, Status: uint8(status)})
+	}
+	if !ok || kf.app != m.App {
+		reject(smartssd.StatusBadRequest)
+		return
+	}
+	// Copy-in for writes (app buffer -> kernel page cache).
+	inCopy := sim.Duration(float64(len(m.Data)) / c.cfg.CopyBytesPerNs)
+	c.stats.BytesCopied += uint64(len(m.Data))
+	c.cores.Submit(c.cfg.SyscallCost+inCopy, func() {
+		req := smartssd.FileReq{Op: smartssd.FileOp(m.Op), Off: m.Off, Len: m.Len, Data: m.Data}
+		err := kf.drv.Submit(smartssd.EncodeFileReq(req), func(respBytes []byte, err error) {
+			if err != nil {
+				reject(smartssd.StatusIOError)
+				return
+			}
+			resp, derr := smartssd.DecodeFileResp(respBytes)
+			if derr != nil {
+				reject(smartssd.StatusIOError)
+				return
+			}
+			// Completion interrupt + copy-out (kernel -> app buffer).
+			outCopy := sim.Duration(float64(len(resp.Data)) / c.cfg.CopyBytesPerNs)
+			c.stats.BytesCopied += uint64(len(resp.Data))
+			c.stats.Interrupts++
+			c.cores.Submit(c.cfg.InterruptCost+outCopy, func() {
+				c.port.Send(src, &msg.FileIOResp{
+					App: m.App, Handle: m.Handle, Seq: m.Seq,
+					Status: uint8(resp.Status), Size: resp.Size, Data: resp.Data,
+				})
+			})
+		})
+		if err != nil {
+			reject(smartssd.StatusIOError)
+		}
+	})
+}
+
+type mmapKey struct {
+	app msg.AppID
+	va  uint64
+}
+
+type mmapRec struct {
+	dev    msg.DeviceID
+	frames []physmem.Frame
+}
+
+// sysMmap is the kernel's explicit shared-memory map syscall: allocate
+// frames and install them in the calling device's IOMMU at the requested
+// VA. Mirrors the decentralized AllocReq flow so E8 compares like for
+// like.
+func (c *CPU) sysMmap(src msg.DeviceID, m *msg.AllocReq) {
+	c.stats.Syscalls++
+	deny := func(reason string) {
+		c.port.Send(src, &msg.AllocResp{App: m.App, OK: false, Reason: reason, VA: m.VA})
+	}
+	mmu, ok := c.iommus[src]
+	if !ok {
+		deny("kernel has no IOMMU handle for caller")
+		return
+	}
+	if m.App == 0 || m.Bytes == 0 || m.VA%physmem.PageSize != 0 {
+		deny("malformed mmap")
+		return
+	}
+	if _, dup := c.mmaps[mmapKey{m.App, m.VA}]; dup {
+		deny("region exists")
+		return
+	}
+	pages := int((m.Bytes + physmem.PageSize - 1) / physmem.PageSize)
+	c.cores.Submit(c.cfg.SyscallCost+sim.Duration(pages)*c.cfg.MmapPerPage, func() {
+		pasid := iommu.PASID(m.App)
+		if !mmu.HasContext(pasid) {
+			if err := mmu.CreateContext(pasid); err != nil {
+				deny(err.Error())
+				return
+			}
+		}
+		frames := make([]physmem.Frame, 0, pages)
+		fail := func(reason string) {
+			for _, f := range frames {
+				_ = c.mem.FreeFrames(f, 1)
+			}
+			deny(reason)
+		}
+		out := make([]uint64, 0, pages)
+		for i := 0; i < pages; i++ {
+			f, err := c.mem.AllocFrames(1)
+			if err != nil {
+				fail(err.Error())
+				return
+			}
+			frames = append(frames, f)
+			if err := mmu.Map(pasid, iommu.VirtAddr(m.VA+uint64(i)*physmem.PageSize), f, iommu.PermRW); err != nil {
+				fail(err.Error())
+				return
+			}
+			out = append(out, uint64(f))
+		}
+		c.stats.PagesMapped += uint64(pages)
+		c.mmaps[mmapKey{m.App, m.VA}] = mmapRec{dev: src, frames: frames}
+		c.port.Send(src, &msg.AllocResp{App: m.App, OK: true, VA: m.VA, Frames: out, Perm: m.Perm})
+	})
+}
+
+// sysMunmap releases a region mapped by sysMmap.
+func (c *CPU) sysMunmap(src msg.DeviceID, m *msg.FreeReq) {
+	c.stats.Syscalls++
+	deny := func(reason string) {
+		c.port.Send(src, &msg.FreeResp{App: m.App, OK: false, Reason: reason, VA: m.VA})
+	}
+	rec, ok := c.mmaps[mmapKey{m.App, m.VA}]
+	if !ok || rec.dev != src {
+		deny("no such region")
+		return
+	}
+	mmu := c.iommus[src]
+	pages := len(rec.frames)
+	c.cores.Submit(c.cfg.SyscallCost+sim.Duration(pages)*c.cfg.MmapPerPage, func() {
+		pasid := iommu.PASID(m.App)
+		for i, f := range rec.frames {
+			_ = mmu.Unmap(pasid, iommu.VirtAddr(m.VA+uint64(i)*physmem.PageSize))
+			_ = c.mem.FreeFrames(f, 1)
+		}
+		delete(c.mmaps, mmapKey{m.App, m.VA})
+		c.port.Send(src, &msg.FreeResp{App: m.App, OK: true, VA: m.VA, Bytes: uint64(pages) * physmem.PageSize})
+	})
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+// cellSizeFromQuote mirrors smartnic's inversion of virtio.SharedBytes.
+func cellSizeFromQuote(quote uint64, entries uint16) int {
+	ring := uint64((virtio.RingBytes(entries) + physmem.PageSize - 1) &^ (physmem.PageSize - 1))
+	if quote <= ring {
+		return physmem.PageSize
+	}
+	return int((quote - ring) / uint64(entries))
+}

@@ -1,0 +1,313 @@
+package centralos
+
+import (
+	"fmt"
+	"testing"
+
+	"nocpu/internal/bus"
+	"nocpu/internal/device"
+	"nocpu/internal/interconnect"
+	"nocpu/internal/iommu"
+	"nocpu/internal/kvs"
+	"nocpu/internal/msg"
+	"nocpu/internal/physmem"
+	"nocpu/internal/sim"
+	"nocpu/internal/smartnic"
+	"nocpu/internal/smartssd"
+	"nocpu/internal/trace"
+)
+
+const (
+	cpuID = msg.DeviceID(1)
+	ssdID = msg.DeviceID(2)
+	nicID = msg.DeviceID(3)
+)
+
+type centralbed struct {
+	eng   *sim.Engine
+	bus   *bus.Bus
+	cpu   *CPU
+	ssd   *smartssd.SSD
+	nic   *smartnic.NIC
+	store *kvs.Store
+}
+
+func newCentralbed(t *testing.T, mode kvs.Mode) *centralbed {
+	t.Helper()
+	cb := &centralbed{eng: sim.NewEngine()}
+	tr := trace.New(0)
+	mem := physmem.MustNew(32 * 1024 * physmem.PageSize)
+	fab := interconnect.NewFabric(cb.eng, mem, interconnect.DefaultCosts)
+	// No memory controller attaches: the bus is pure transport here.
+	cb.bus = bus.New(cb.eng, bus.DefaultConfig, tr)
+
+	cpu, err := New(cb.eng, cb.bus, fab, tr, Config{ID: cpuID, Name: "cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.cpu = cpu
+	ssd, err := smartssd.New(cb.eng, cb.bus, fab, tr, smartssd.Config{
+		Device: device.Config{ID: ssdID, Name: "ssd"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.ssd = ssd
+	nic, err := smartnic.New(cb.eng, cb.bus, fab, tr, smartnic.Config{
+		Device: device.Config{ID: nicID, Name: "nic"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.nic = nic
+
+	// The kernel holds direct handles to the device IOMMUs and mounts
+	// the volume into its registry.
+	cpu.AttachDeviceIOMMU(ssdID, ssd.Device().IOMMU())
+	cpu.AttachDeviceIOMMU(nicID, nic.Device().IOMMU())
+	cpu.RegisterFile("kv.dat", ssdID)
+
+	cpu.Start()
+	ssd.Start()
+	nic.Start()
+	cb.eng.Run()
+	if !ssd.Ready() {
+		t.Fatal("ssd not ready")
+	}
+	var done bool
+	ssd.FS().Create("kv.dat", func(_ *smartssd.File, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	cb.eng.Run()
+	if !done {
+		t.Fatal("create incomplete")
+	}
+
+	cb.store = kvs.New(kvs.Config{
+		App: 10, FileName: "kv.dat", Mode: mode, Kernel: cpuID, QueueEntries: 64,
+	})
+	var bootErr error
+	booted := false
+	cb.store.OnReady = func(err error) { bootErr, booted = err, true }
+	nic.AddApp(cb.store)
+	cb.eng.Run()
+	if !booted || bootErr != nil {
+		t.Fatalf("boot (mode %d): booted=%v err=%v\ntrace:\n%s", mode, booted, bootErr, tr.String())
+	}
+	return cb
+}
+
+func (cb *centralbed) op(t *testing.T, req kvs.Request) kvs.Response {
+	t.Helper()
+	var resp kvs.Response
+	got := false
+	cb.nic.Deliver(10, kvs.EncodeRequest(req), func(b []byte) {
+		r, err := kvs.DecodeResponse(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, got = r, true
+	})
+	cb.eng.Run()
+	if !got {
+		t.Fatal("no response")
+	}
+	return resp
+}
+
+func TestCentralDirectPutGet(t *testing.T) {
+	cb := newCentralbed(t, kvs.ModeCentralDirect)
+	if r := cb.op(t, kvs.Request{Op: kvs.OpPut, Key: "k", Value: []byte("central-direct")}); r.Status != kvs.StatusOK {
+		t.Fatalf("put: %+v", r)
+	}
+	r := cb.op(t, kvs.Request{Op: kvs.OpGet, Key: "k"})
+	if r.Status != kvs.StatusOK || string(r.Value) != "central-direct" {
+		t.Fatalf("get: %+v", r)
+	}
+	st := cb.cpu.Stats()
+	if st.Syscalls < 2 {
+		t.Errorf("setup made only %d syscalls", st.Syscalls)
+	}
+	// Direct mode: data-plane ops must NOT be syscalls.
+	if st.MediatedIOs != 0 {
+		t.Errorf("direct mode performed %d mediated I/Os", st.MediatedIOs)
+	}
+	if st.PagesMapped == 0 {
+		t.Error("kernel mapped no pages")
+	}
+}
+
+func TestCentralMediatedPutGet(t *testing.T) {
+	cb := newCentralbed(t, kvs.ModeCentralMediated)
+	if r := cb.op(t, kvs.Request{Op: kvs.OpPut, Key: "k", Value: []byte("via-kernel")}); r.Status != kvs.StatusOK {
+		t.Fatalf("put: %+v", r)
+	}
+	r := cb.op(t, kvs.Request{Op: kvs.OpGet, Key: "k"})
+	if r.Status != kvs.StatusOK || string(r.Value) != "via-kernel" {
+		t.Fatalf("get: %+v", r)
+	}
+	st := cb.cpu.Stats()
+	if st.MediatedIOs < 2 {
+		t.Errorf("mediated I/Os = %d, want >= 2", st.MediatedIOs)
+	}
+	if st.BytesCopied == 0 {
+		t.Error("kernel copied nothing")
+	}
+	if st.Interrupts == 0 {
+		t.Error("no completion interrupts")
+	}
+}
+
+func TestMediatedSlowerThanDirect(t *testing.T) {
+	// The headline shape: per-op latency must be strictly higher through
+	// the kernel than peer-to-peer, by roughly the syscall+interrupt+copy
+	// overhead.
+	measure := func(mode kvs.Mode) sim.Duration {
+		cb := newCentralbed(t, mode)
+		cb.op(t, kvs.Request{Op: kvs.OpPut, Key: "k", Value: make([]byte, 1024)})
+		start := cb.eng.Now()
+		const n = 20
+		for i := 0; i < n; i++ {
+			cb.op(t, kvs.Request{Op: kvs.OpGet, Key: "k"})
+		}
+		return cb.eng.Now().Sub(start) / n
+	}
+	direct := measure(kvs.ModeCentralDirect)
+	mediated := measure(kvs.ModeCentralMediated)
+	if mediated <= direct {
+		t.Fatalf("mediated (%v) not slower than direct (%v)", mediated, direct)
+	}
+	if mediated-direct < 2*sim.Microsecond {
+		t.Errorf("mediation overhead only %v, expected >= ~2us (syscall+interrupt)", mediated-direct)
+	}
+}
+
+func TestOpenUnregisteredFileFails(t *testing.T) {
+	cb := newCentralbed(t, kvs.ModeCentralDirect)
+	st2 := kvs.New(kvs.Config{App: 11, FileName: "nope.dat", Mode: kvs.ModeCentralDirect, Kernel: cpuID})
+	var bootErr error
+	st2.OnReady = func(err error) {
+		if bootErr == nil {
+			bootErr = err
+		}
+	}
+	cb.nic.AddApp(st2)
+	cb.eng.RunFor(5 * sim.Millisecond)
+	if bootErr == nil {
+		t.Fatal("open of unregistered file succeeded")
+	}
+}
+
+func TestMediatedManyKeys(t *testing.T) {
+	cb := newCentralbed(t, kvs.ModeCentralMediated)
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("key%02d", i)
+		if r := cb.op(t, kvs.Request{Op: kvs.OpPut, Key: key, Value: []byte(key + "-value")}); r.Status != kvs.StatusOK {
+			t.Fatalf("put %d: %+v", i, r)
+		}
+	}
+	for i := 0; i < 30; i += 5 {
+		key := fmt.Sprintf("key%02d", i)
+		r := cb.op(t, kvs.Request{Op: kvs.OpGet, Key: key})
+		if r.Status != kvs.StatusOK || string(r.Value) != key+"-value" {
+			t.Fatalf("get %s: %+v", key, r)
+		}
+	}
+}
+
+func TestKernelMmapSyscall(t *testing.T) {
+	cb := newCentralbed(t, kvs.ModeCentralDirect)
+	nicDev := cb.nic.Device()
+	var alloc *msg.AllocResp
+	var free *msg.FreeResp
+	nicDev.Handle(msg.KindAllocResp, func(e msg.Envelope) { alloc = e.Msg.(*msg.AllocResp) })
+	nicDev.Handle(msg.KindFreeResp, func(e msg.Envelope) { free = e.Msg.(*msg.FreeResp) })
+
+	nicDev.Send(cpuID, &msg.AllocReq{App: 50, VA: 0x4000_0000, Bytes: 3 * physmem.PageSize})
+	cb.eng.Run()
+	if alloc == nil || !alloc.OK || len(alloc.Frames) != 3 {
+		t.Fatalf("mmap: %+v", alloc)
+	}
+	// The kernel mapped the region into the caller's IOMMU.
+	for i := 0; i < 3; i++ {
+		if _, _, ok := nicDev.IOMMU().Lookup(50, iommu.VirtAddr(0x4000_0000+i*physmem.PageSize)); !ok {
+			t.Fatalf("page %d not mapped", i)
+		}
+	}
+	// Duplicate mmap of the same region is refused.
+	alloc = nil
+	nicDev.Send(cpuID, &msg.AllocReq{App: 50, VA: 0x4000_0000, Bytes: physmem.PageSize})
+	cb.eng.Run()
+	if alloc == nil || alloc.OK {
+		t.Fatalf("duplicate mmap: %+v", alloc)
+	}
+	// Malformed requests are refused.
+	alloc = nil
+	nicDev.Send(cpuID, &msg.AllocReq{App: 50, VA: 0x4000_1001, Bytes: physmem.PageSize})
+	cb.eng.Run()
+	if alloc == nil || alloc.OK {
+		t.Fatalf("unaligned mmap: %+v", alloc)
+	}
+	// munmap removes the mapping and frees the frames.
+	nicDev.Send(cpuID, &msg.FreeReq{App: 50, VA: 0x4000_0000})
+	cb.eng.Run()
+	if free == nil || !free.OK {
+		t.Fatalf("munmap: %+v", free)
+	}
+	if _, _, ok := nicDev.IOMMU().Lookup(50, 0x4000_0000); ok {
+		t.Fatal("mapping survives munmap")
+	}
+	// Double munmap refused.
+	free = nil
+	nicDev.Send(cpuID, &msg.FreeReq{App: 50, VA: 0x4000_0000})
+	cb.eng.Run()
+	if free == nil || free.OK {
+		t.Fatalf("double munmap: %+v", free)
+	}
+}
+
+func TestKernelMmapChargesCPUTime(t *testing.T) {
+	cb := newCentralbed(t, kvs.ModeCentralDirect)
+	nicDev := cb.nic.Device()
+	done := false
+	nicDev.Handle(msg.KindAllocResp, func(e msg.Envelope) { done = true })
+	start := cb.eng.Now()
+	nicDev.Send(cpuID, &msg.AllocReq{App: 60, VA: 0x5000_0000, Bytes: 64 * physmem.PageSize})
+	cb.eng.Run()
+	if !done {
+		t.Fatal("no response")
+	}
+	// Must include at least syscall + 64 pages of mmap work.
+	minWork := DefaultConfig.SyscallCost + 64*DefaultConfig.MmapPerPage
+	if got := cb.eng.Now().Sub(start); got < minWork {
+		t.Fatalf("mmap took %v, below kernel work %v", got, minWork)
+	}
+}
+
+func TestKernelSerializesUnderLoad(t *testing.T) {
+	// Issue a burst of opens from many apps; the pool has 4 cores, so the
+	// kernel must still answer all of them (queued), and syscall count
+	// must match.
+	cb := newCentralbed(t, kvs.ModeCentralDirect)
+	const apps = 16
+	ready := 0
+	for i := 0; i < apps; i++ {
+		st := kvs.New(kvs.Config{
+			App: msg.AppID(100 + i), FileName: "kv.dat",
+			Mode: kvs.ModeCentralDirect, Kernel: cpuID, QueueEntries: 16,
+		})
+		st.OnReady = func(err error) {
+			if err == nil {
+				ready++
+			}
+		}
+		cb.nic.AddApp(st)
+	}
+	cb.eng.Run()
+	if ready != apps {
+		t.Fatalf("ready = %d of %d", ready, apps)
+	}
+}

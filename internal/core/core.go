@@ -1,0 +1,424 @@
+// Package core assembles complete emulated machines — the CPU-less
+// system of "The Last CPU" and its centralized-CPU baseline — from the
+// substrate packages, and is the library's primary entry point.
+//
+// A Decentralized system contains: physical memory, the data-plane
+// fabric, the system-management bus, a memory-controller device, one or
+// more smart SSDs and smart NICs. A Centralized system swaps the memory
+// controller for a CPU running a kernel (centralos) and demotes the bus
+// to pure transport.
+//
+// Typical use:
+//
+//	sys, _ := core.New(core.Options{Flavor: core.Decentralized})
+//	sys.Boot()
+//	sys.CreateFile("kv.dat", nil)
+//	store := sys.NewKVS(core.KVSOptions{App: 1, File: "kv.dat"})
+//	sys.WaitReady(store)
+//	... drive load with netsim, inspect stats ...
+package core
+
+import (
+	"fmt"
+
+	"nocpu/internal/accel"
+	"nocpu/internal/bus"
+	"nocpu/internal/centralos"
+	"nocpu/internal/device"
+	"nocpu/internal/interconnect"
+	"nocpu/internal/kvs"
+	"nocpu/internal/memctrl"
+	"nocpu/internal/msg"
+	"nocpu/internal/physmem"
+	"nocpu/internal/sim"
+	"nocpu/internal/smartnic"
+	"nocpu/internal/smartssd"
+	"nocpu/internal/trace"
+)
+
+// Flavor selects the machine architecture.
+type Flavor uint8
+
+// Machine flavors.
+const (
+	// Decentralized is the paper's CPU-less machine.
+	Decentralized Flavor = iota
+	// Centralized is the baseline with a CPU-resident kernel control
+	// plane.
+	Centralized
+)
+
+func (f Flavor) String() string {
+	if f == Centralized {
+		return "centralized"
+	}
+	return "decentralized"
+}
+
+// Well-known device addresses.
+const (
+	ControlID = msg.DeviceID(1) // memory controller or CPU
+	FirstSSD  = msg.DeviceID(2)
+)
+
+// Options configures a System. Zero values give a sensible one-SSD,
+// one-NIC machine.
+type Options struct {
+	Flavor Flavor
+	Seed   uint64
+	// MemoryBytes sizes physical memory (default 128 MiB).
+	MemoryBytes uint64
+	// Bus is the control-plane timing (DefaultConfig if zero).
+	Bus bus.Config
+	// Costs is the data-plane timing (DefaultCosts if zero).
+	Costs interconnect.Costs
+	// CPU configures the centralized kernel (Centralized only).
+	CPU centralos.Config
+	// SSD configures the (first) smart SSD.
+	SSD smartssd.Config
+	// NIC configures the (first) smart NIC.
+	NIC smartnic.Config
+	// Watchdog enables the bus watchdog and device heartbeats at
+	// watchdog/4.
+	Watchdog sim.Duration
+	// TraceLimit caps the tracer (0 = unlimited).
+	TraceLimit int
+	// NoTrace disables tracing entirely (benchmarks).
+	NoTrace bool
+	// ExtraSSDs and ExtraNICs add more devices at construction.
+	ExtraSSDs int
+	ExtraNICs int
+	// WithAccel adds a compute accelerator device ("accel").
+	WithAccel bool
+	// Accel configures it.
+	Accel accel.Config
+}
+
+// System is an assembled machine.
+type System struct {
+	Opts   Options
+	Eng    *sim.Engine
+	Rand   *sim.Rand
+	Tracer *trace.Tracer
+	Mem    *physmem.Memory
+	Fabric *interconnect.Fabric
+	Bus    *bus.Bus
+
+	Memctrl *memctrl.Controller // Decentralized only
+	CPU     *centralos.CPU      // Centralized only
+	SSDs    []*smartssd.SSD
+	NICs    []*smartnic.NIC
+	Accel   *accel.Accel // optional (Options.WithAccel)
+
+	nextID msg.DeviceID
+}
+
+// SSD returns the first SSD.
+func (s *System) SSD() *smartssd.SSD { return s.SSDs[0] }
+
+// NIC returns the first NIC.
+func (s *System) NIC() *smartnic.NIC { return s.NICs[0] }
+
+// New builds (but does not boot) a machine.
+func New(opts Options) (*System, error) {
+	if opts.MemoryBytes == 0 {
+		opts.MemoryBytes = 128 << 20
+	}
+	if opts.Bus.HopLatency == 0 {
+		wd := opts.Bus.WatchdogTimeout
+		opts.Bus = bus.DefaultConfig
+		opts.Bus.WatchdogTimeout = wd
+	}
+	if opts.Watchdog > 0 {
+		opts.Bus.WatchdogTimeout = opts.Watchdog
+	}
+	if opts.Costs.LinkLatency == 0 {
+		opts.Costs = interconnect.DefaultCosts
+	}
+	s := &System{
+		Opts: opts,
+		Eng:  sim.NewEngine(),
+		Rand: sim.NewRand(opts.Seed ^ 0x6e6f637075), // "nocpu"
+	}
+	if !opts.NoTrace {
+		s.Tracer = trace.New(opts.TraceLimit)
+	}
+	var err error
+	s.Mem, err = physmem.New(opts.MemoryBytes)
+	if err != nil {
+		return nil, err
+	}
+	s.Fabric = interconnect.NewFabric(s.Eng, s.Mem, opts.Costs)
+	s.Bus = bus.New(s.Eng, opts.Bus, s.Tracer)
+	s.nextID = ControlID
+
+	hb := sim.Duration(0)
+	if opts.Watchdog > 0 {
+		hb = opts.Watchdog / 4
+	}
+
+	switch opts.Flavor {
+	case Decentralized:
+		mcCfg := memctrl.Config{Device: device.Config{
+			ID: s.claimID(), Name: "memctrl", HeartbeatEvery: hb,
+			SelfTest: 1 * sim.Microsecond,
+		}}
+		s.Memctrl, err = memctrl.New(s.Eng, s.Bus, s.Fabric, s.Tracer, mcCfg)
+		if err != nil {
+			return nil, err
+		}
+	case Centralized:
+		cpuCfg := opts.CPU
+		cpuCfg.ID = s.claimID()
+		if cpuCfg.Name == "" {
+			cpuCfg.Name = "cpu"
+		}
+		s.CPU, err = centralos.New(s.Eng, s.Bus, s.Fabric, s.Tracer, cpuCfg)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown flavor %d", opts.Flavor)
+	}
+
+	for i := 0; i <= opts.ExtraSSDs; i++ {
+		name := "ssd"
+		if i > 0 {
+			name = fmt.Sprintf("ssd%d", i)
+		}
+		if _, err := s.AddSSD(name, opts.SSD); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i <= opts.ExtraNICs; i++ {
+		name := "nic"
+		if i > 0 {
+			name = fmt.Sprintf("nic%d", i)
+		}
+		if _, err := s.AddNIC(name, opts.NIC); err != nil {
+			return nil, err
+		}
+	}
+	if opts.WithAccel {
+		acfg := opts.Accel
+		acfg.Device.ID = s.claimID()
+		if acfg.Device.Name == "" {
+			acfg.Device.Name = "accel"
+		}
+		if acfg.Device.HeartbeatEvery == 0 {
+			acfg.Device.HeartbeatEvery = s.heartbeat()
+		}
+		if acfg.Device.SelfTest == 0 {
+			acfg.Device.SelfTest = 5 * sim.Microsecond
+		}
+		if acfg.Device.ResetDelay == 0 {
+			acfg.Device.ResetDelay = 100 * sim.Microsecond
+		}
+		a, err := accel.New(s.Eng, s.Bus, s.Fabric, s.Tracer, acfg)
+		if err != nil {
+			return nil, err
+		}
+		if s.CPU != nil {
+			s.CPU.AttachDeviceIOMMU(acfg.Device.ID, a.Device().IOMMU())
+		}
+		s.Accel = a
+	}
+	return s, nil
+}
+
+// MustNew is New for static configuration.
+func MustNew(opts Options) *System {
+	s, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *System) claimID() msg.DeviceID {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+func (s *System) heartbeat() sim.Duration {
+	if s.Opts.Watchdog > 0 {
+		return s.Opts.Watchdog / 4
+	}
+	return 0
+}
+
+// AddSSD attaches another smart SSD (before Boot).
+func (s *System) AddSSD(name string, cfg smartssd.Config) (*smartssd.SSD, error) {
+	cfg.Device.ID = s.claimID()
+	cfg.Device.Name = name
+	if cfg.Device.HeartbeatEvery == 0 {
+		cfg.Device.HeartbeatEvery = s.heartbeat()
+	}
+	if cfg.Device.SelfTest == 0 {
+		cfg.Device.SelfTest = 5 * sim.Microsecond
+	}
+	if cfg.Device.ResetDelay == 0 {
+		cfg.Device.ResetDelay = 200 * sim.Microsecond
+	}
+	ssd, err := smartssd.New(s.Eng, s.Bus, s.Fabric, s.Tracer, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.CPU != nil {
+		s.CPU.AttachDeviceIOMMU(cfg.Device.ID, ssd.Device().IOMMU())
+	}
+	s.SSDs = append(s.SSDs, ssd)
+	return ssd, nil
+}
+
+// AddNIC attaches another smart NIC (before Boot).
+func (s *System) AddNIC(name string, cfg smartnic.Config) (*smartnic.NIC, error) {
+	cfg.Device.ID = s.claimID()
+	cfg.Device.Name = name
+	if cfg.Device.HeartbeatEvery == 0 {
+		cfg.Device.HeartbeatEvery = s.heartbeat()
+	}
+	if cfg.Device.SelfTest == 0 {
+		cfg.Device.SelfTest = 5 * sim.Microsecond
+	}
+	if cfg.Device.ResetDelay == 0 {
+		cfg.Device.ResetDelay = 100 * sim.Microsecond
+	}
+	nic, err := smartnic.New(s.Eng, s.Bus, s.Fabric, s.Tracer, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.CPU != nil {
+		s.CPU.AttachDeviceIOMMU(cfg.Device.ID, nic.Device().IOMMU())
+	}
+	s.NICs = append(s.NICs, nic)
+	return nic, nil
+}
+
+// Boot powers every device on and runs the simulation until all SSD
+// volumes are mounted.
+func (s *System) Boot() error {
+	if s.Memctrl != nil {
+		s.Memctrl.Start()
+	}
+	if s.CPU != nil {
+		s.CPU.Start()
+	}
+	if s.Accel != nil {
+		s.Accel.Start()
+	}
+	for _, d := range s.SSDs {
+		d.Start()
+	}
+	for _, n := range s.NICs {
+		n.Start()
+	}
+	deadline := s.Eng.Now().Add(sim.Second)
+	for s.Eng.Now() < deadline {
+		ready := true
+		for _, d := range s.SSDs {
+			if !d.Ready() {
+				ready = false
+			}
+		}
+		if ready {
+			return nil
+		}
+		s.advance(100 * sim.Microsecond)
+	}
+	return fmt.Errorf("core: boot timed out; SSD volume never became ready")
+}
+
+// advance progresses virtual time even when recurring events (heartbeats)
+// keep the queue non-empty.
+func (s *System) advance(d sim.Duration) {
+	s.Eng.RunFor(d)
+}
+
+// Settle runs the simulation until it quiesces, or — when heartbeats/
+// watchdogs keep the queue alive forever — for the given bound.
+func (s *System) Settle(bound sim.Duration) {
+	if s.Opts.Watchdog == 0 {
+		s.Eng.Run()
+		return
+	}
+	s.Eng.RunFor(bound)
+}
+
+// CreateFile synchronously creates and fills a file on the first SSD
+// (pre-Boot setup for workloads).
+func (s *System) CreateFile(name string, contents []byte) error {
+	var ferr error
+	done := false
+	s.SSD().FS().Create(name, func(f *smartssd.File, err error) {
+		if err != nil {
+			ferr, done = err, true
+			return
+		}
+		if len(contents) == 0 {
+			done = true
+			return
+		}
+		f.WriteAt(0, contents, func(err error) { ferr, done = err, true })
+	})
+	deadline := s.Eng.Now().Add(sim.Second)
+	for !done && s.Eng.Now() < deadline {
+		s.advance(100 * sim.Microsecond)
+	}
+	if !done {
+		return fmt.Errorf("core: CreateFile(%q) did not complete", name)
+	}
+	return ferr
+}
+
+// KVSOptions configures a KVS instance on a System.
+type KVSOptions struct {
+	App  msg.AppID
+	File string
+	// Token authenticates the file open.
+	Token uint64
+	// Mediated selects the kernel-mediated data path (Centralized only).
+	Mediated bool
+	// QueueEntries sizes the virtqueue (default 64).
+	QueueEntries uint16
+	// NIC selects which NIC hosts the app (default the first).
+	NIC int
+}
+
+// NewKVS builds a KVS store wired for this system's flavor and loads it
+// onto the NIC. Wait for readiness with WaitReady.
+func (s *System) NewKVS(o KVSOptions) *kvs.Store {
+	cfg := kvs.Config{
+		App:          o.App,
+		FileName:     o.File,
+		Token:        o.Token,
+		QueueEntries: o.QueueEntries,
+	}
+	switch {
+	case s.CPU != nil && o.Mediated:
+		cfg.Mode = kvs.ModeCentralMediated
+		cfg.Kernel = ControlID
+	case s.CPU != nil:
+		cfg.Mode = kvs.ModeCentralDirect
+		cfg.Kernel = ControlID
+	default:
+		cfg.Mode = kvs.ModeDecentralized
+		cfg.Memctrl = ControlID
+	}
+	store := kvs.New(cfg)
+	s.NICs[o.NIC].AddApp(store)
+	return store
+}
+
+// WaitReady advances the simulation until the store is serving.
+func (s *System) WaitReady(store *kvs.Store) error {
+	deadline := s.Eng.Now().Add(sim.Second)
+	for !store.Ready() && s.Eng.Now() < deadline {
+		s.advance(100 * sim.Microsecond)
+	}
+	if !store.Ready() {
+		return fmt.Errorf("core: KVS app %d never became ready", store.AppID())
+	}
+	return nil
+}

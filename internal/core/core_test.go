@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"nocpu/internal/kvs"
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+	"nocpu/internal/smartnic"
+	"nocpu/internal/smartssd"
+)
+
+func bootSystem(t *testing.T, opts Options) *System {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func kvsOp(t *testing.T, s *System, store *kvs.Store, req kvs.Request) kvs.Response {
+	t.Helper()
+	var resp kvs.Response
+	got := false
+	s.NIC().Deliver(store.AppID(), kvs.EncodeRequest(req), func(b []byte) {
+		r, err := kvs.DecodeResponse(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, got = r, true
+	})
+	deadline := s.Eng.Now().Add(sim.Second)
+	for !got && s.Eng.Now() < deadline {
+		s.Eng.RunFor(50 * sim.Microsecond)
+	}
+	if !got {
+		t.Fatal("op did not complete")
+	}
+	return resp
+}
+
+func TestDecentralizedEndToEnd(t *testing.T) {
+	s := bootSystem(t, Options{Flavor: Decentralized})
+	if s.Memctrl == nil || s.CPU != nil {
+		t.Fatal("wrong component set for decentralized flavor")
+	}
+	if err := s.CreateFile("kv.dat", nil); err != nil {
+		t.Fatal(err)
+	}
+	store := s.NewKVS(KVSOptions{App: 1, File: "kv.dat"})
+	if err := s.WaitReady(store); err != nil {
+		t.Fatal(err)
+	}
+	if r := kvsOp(t, s, store, kvs.Request{Op: kvs.OpPut, Key: "k", Value: []byte("v")}); r.Status != kvs.StatusOK {
+		t.Fatalf("put: %+v", r)
+	}
+	if r := kvsOp(t, s, store, kvs.Request{Op: kvs.OpGet, Key: "k"}); string(r.Value) != "v" {
+		t.Fatalf("get: %+v", r)
+	}
+}
+
+func TestCentralizedEndToEnd(t *testing.T) {
+	s := bootSystem(t, Options{Flavor: Centralized})
+	if s.CPU == nil || s.Memctrl != nil {
+		t.Fatal("wrong component set for centralized flavor")
+	}
+	if err := s.CreateFile("kv.dat", nil); err != nil {
+		t.Fatal(err)
+	}
+	s.CPU.RegisterFile("kv.dat", FirstSSD)
+	for _, mediated := range []bool{false, true} {
+		app := KVSOptions{App: 1, File: "kv.dat", Mediated: mediated}
+		if mediated {
+			app.App = 2
+		}
+		store := s.NewKVS(app)
+		if err := s.WaitReady(store); err != nil {
+			t.Fatalf("mediated=%v: %v", mediated, err)
+		}
+		key := "k-direct"
+		if mediated {
+			key = "k-mediated"
+		}
+		if r := kvsOp(t, s, store, kvs.Request{Op: kvs.OpPut, Key: key, Value: []byte("x")}); r.Status != kvs.StatusOK {
+			t.Fatalf("mediated=%v put: %+v", mediated, r)
+		}
+		if r := kvsOp(t, s, store, kvs.Request{Op: kvs.OpGet, Key: key}); string(r.Value) != "x" {
+			t.Fatalf("mediated=%v get: %+v", mediated, r)
+		}
+	}
+}
+
+func TestWatchdogRecoveryViaCore(t *testing.T) {
+	s := bootSystem(t, Options{Flavor: Decentralized, Watchdog: 400 * sim.Microsecond})
+	if err := s.CreateFile("kv.dat", nil); err != nil {
+		t.Fatal(err)
+	}
+	store := s.NewKVS(KVSOptions{App: 1, File: "kv.dat"})
+	if err := s.WaitReady(store); err != nil {
+		t.Fatal(err)
+	}
+	kvsOp(t, s, store, kvs.Request{Op: kvs.OpPut, Key: "durable", Value: []byte("yes")})
+	s.SSD().Kill()
+	s.Settle(50 * sim.Millisecond)
+	if !store.Ready() {
+		t.Fatal("store not recovered")
+	}
+	if r := kvsOp(t, s, store, kvs.Request{Op: kvs.OpGet, Key: "durable"}); string(r.Value) != "yes" {
+		t.Fatalf("post-recovery get: %+v", r)
+	}
+}
+
+func TestMultipleDevices(t *testing.T) {
+	s := bootSystem(t, Options{Flavor: Decentralized, ExtraSSDs: 2, ExtraNICs: 1})
+	if len(s.SSDs) != 3 || len(s.NICs) != 2 {
+		t.Fatalf("devices: %d ssds, %d nics", len(s.SSDs), len(s.NICs))
+	}
+	// File on the third SSD is discoverable from the second NIC.
+	var done bool
+	s.SSDs[2].FS().Create("far.dat", func(f *smartssd.File, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	s.Eng.Run()
+	if !done {
+		t.Fatal("create incomplete")
+	}
+	store := kvs.New(kvs.Config{App: 9, FileName: "far.dat", Memctrl: ControlID})
+	s.NICs[1].AddApp(store)
+	if err := s.WaitReady(store); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootFailsWithTinyMemory(t *testing.T) {
+	// A machine whose memory cannot hold even the page tables must fail
+	// to boot cleanly rather than hang.
+	s, err := New(Options{Flavor: Decentralized, MemoryBytes: 4 * 4096})
+	if err != nil {
+		return // construction failure is also acceptable
+	}
+	_ = s.Boot() // must return (either error or ok), not hang
+}
+
+func TestAccelViaCore(t *testing.T) {
+	s := bootSystem(t, Options{Flavor: Decentralized, WithAccel: true})
+	if s.Accel == nil {
+		t.Fatal("no accelerator")
+	}
+	// The accelerator answers discovery like any self-managing device.
+	type probe struct {
+		done, fail bool
+	}
+	p := &probe{}
+	app := &probeApp{onDone: func(fail bool) { p.done, p.fail = true, fail }}
+	s.NIC().AddApp(app)
+	deadline := s.Eng.Now().Add(sim.Second)
+	for !p.done && s.Eng.Now() < deadline {
+		s.Eng.RunFor(50 * sim.Microsecond)
+	}
+	if !p.done || p.fail {
+		t.Fatalf("discovery of xform:crc32 failed (done=%v)", p.done)
+	}
+}
+
+// probeApp discovers the accelerator's crc32 service.
+type probeApp struct {
+	onDone func(fail bool)
+}
+
+func (a *probeApp) AppID() msg.AppID { return 42 }
+func (a *probeApp) Boot(rt *smartnic.Runtime) {
+	rt.Discover("xform:crc32", func(_ msg.DeviceID, _ string, err error) {
+		a.onDone(err != nil)
+	})
+}
+func (a *probeApp) ServeNetwork(p []byte, reply func([]byte)) { reply(p) }
+func (a *probeApp) PeerFailed(msg.DeviceID)                   {}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() sim.Time {
+		s := bootSystem(t, Options{Flavor: Decentralized, Seed: 42})
+		if err := s.CreateFile("kv.dat", nil); err != nil {
+			t.Fatal(err)
+		}
+		store := s.NewKVS(KVSOptions{App: 1, File: "kv.dat"})
+		if err := s.WaitReady(store); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			kvsOp(t, s, store, kvs.Request{Op: kvs.OpPut, Key: "k", Value: []byte{byte(i)}})
+		}
+		return s.Eng.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different end times: %v vs %v", a, b)
+	}
+}

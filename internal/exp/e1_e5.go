@@ -1,0 +1,395 @@
+package exp
+
+import (
+	"fmt"
+
+	"nocpu/internal/core"
+	"nocpu/internal/kvs"
+	"nocpu/internal/metrics"
+	"nocpu/internal/msg"
+	"nocpu/internal/netsim"
+	"nocpu/internal/sim"
+	"nocpu/internal/smartnic"
+	"nocpu/internal/trace"
+)
+
+// measureInit boots a machine of the given kind and returns the time from
+// application load to KVS readiness (the Figure-2 sequence end to end,
+// including index recovery of an empty file).
+func measureInit(kind machineKind, tweak func(*core.Options)) (sim.Duration, *core.System) {
+	opts := core.Options{Flavor: kind.flavor(), Seed: 11}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	sys := core.MustNew(opts)
+	if err := sys.Boot(); err != nil {
+		panic(err)
+	}
+	if err := sys.CreateFile("kv.dat", nil); err != nil {
+		panic(err)
+	}
+	if sys.CPU != nil {
+		sys.CPU.RegisterFile("kv.dat", core.FirstSSD)
+	}
+	var readyAt sim.Time = -1
+	cfg := kvs.Config{App: 1, FileName: "kv.dat", QueueEntries: 128}
+	switch kind {
+	case kindCentralDirect:
+		cfg.Mode, cfg.Kernel = kvs.ModeCentralDirect, core.ControlID
+	case kindCentralMediated:
+		cfg.Mode, cfg.Kernel = kvs.ModeCentralMediated, core.ControlID
+	default:
+		cfg.Memctrl = core.ControlID
+	}
+	store := kvs.New(cfg)
+	store.OnReady = func(err error) {
+		if err == nil && readyAt < 0 {
+			readyAt = sys.Eng.Now()
+		}
+	}
+	start := sys.Eng.Now()
+	sys.NIC().AddApp(store)
+	deadline := start.Add(sim.Second)
+	for readyAt < 0 && sys.Eng.Now() < deadline {
+		sys.Eng.RunFor(10 * sim.Microsecond)
+	}
+	if readyAt < 0 {
+		panic("exp: init never completed")
+	}
+	return readyAt.Sub(start), sys
+}
+
+// figure2Steps maps trace kinds to the paper's Figure-2 step numbers.
+var figure2Steps = []struct {
+	kind string
+	step string
+}{
+	{"discover.req", "1 NIC->bus broadcast: who owns the file?"},
+	{"discover.resp", "2 SSD: I offer a service for that file"},
+	{"open.req", "3 NIC->SSD: open (authorization token)"},
+	{"open.resp", "4 SSD->NIC: connection details + shm size"},
+	{"alloc.req", "5 NIC->memctrl: allocate shared memory"},
+	{"alloc.resp", "6 bus programs NIC IOMMU, forwards response"},
+	{"grant.req", "7a NIC->bus: grant region to SSD"},
+	{"auth.req", "7a bus->memctrl: authorized?"},
+	{"auth.resp", "7a memctrl->bus: yes, frames attached"},
+	{"grant.resp", "7a bus programmed SSD IOMMU"},
+	{"connect.req", "7b NIC programs VIRTIO queue in SSD"},
+	{"connect.resp", "7b SSD: queue live"},
+}
+
+// E1InitSequence reproduces Figure 2: the exact message sequence of KVS
+// initialization on the CPU-less machine, its per-step latency, and the
+// total against the centralized baselines.
+func E1InitSequence() *Result {
+	res := &Result{ID: "E1", Title: "Figure-2 initialization sequence and latency"}
+
+	_, sys := measureInit(kindDecentralized, nil)
+	seq := metrics.NewTable("Figure-2 message sequence (decentralized)",
+		"paper step", "message", "at", "delta")
+	var events []trace.Event
+	for _, want := range figure2Steps {
+		for _, e := range sys.Tracer.Events() {
+			if e.Kind == want.kind {
+				events = append(events, e)
+				break
+			}
+		}
+	}
+	prev := sim.Time(-1)
+	for i, e := range events {
+		delta := sim.Duration(0)
+		if prev >= 0 {
+			delta = e.At.Sub(prev)
+		}
+		prev = e.At
+		seq.AddRow(figure2Steps[i].step, e.Kind, e.At, delta)
+	}
+	res.Tables = append(res.Tables, seq)
+
+	cmp := metrics.NewTable("application-initialization latency by machine",
+		"machine", "init latency", "vs paper")
+	base := sim.Duration(0)
+	for _, kind := range []machineKind{kindDecentralized, kindCentralDirect, kindCentralMediated} {
+		d, _ := measureInit(kind, nil)
+		if kind == kindDecentralized {
+			base = d
+		}
+		cmp.AddRow(kind.label(), d, fmt.Sprintf("%.2fx", float64(d)/float64(base)))
+	}
+	res.Tables = append(res.Tables, cmp)
+	res.Notes = append(res.Notes,
+		"single-app init is control-message-bound on every machine; the decentralized win appears under concurrency (E3) and isolation (E4)")
+	return res
+}
+
+// E2Dataplane sweeps offered load on the KVS get path for the three
+// machines. The paper's claim: once offloaded, the data plane needs no
+// CPU — so P2P (decentralized or centralized-control) must match, and
+// the kernel-mediated stack must saturate earlier with higher latency.
+func E2Dataplane() *Result {
+	res := &Result{ID: "E2", Title: "KVS data plane: throughput/latency vs offered load"}
+	const keys = 256
+	rates := []float64{10e3, 25e3, 50e3, 100e3, 150e3}
+	tb := metrics.NewTable("open-loop gets (512B values), 30ms windows",
+		"machine", "offered/s", "achieved/s", "p50", "p99", "errors")
+	for _, kind := range []machineKind{kindDecentralized, kindCentralDirect, kindCentralMediated} {
+		for _, rate := range rates {
+			rig := newKVSRig(kind, 21, nil, nil)
+			rig.preload(keys, 512)
+			ol := &netsim.OpenLoop{
+				Eng: rig.sys.Eng, Rand: rig.sys.Rand.Fork(),
+				Rate: rate, Duration: 30 * sim.Millisecond,
+				Gen: func(r *sim.Rand, seq uint64) []byte {
+					return kvs.EncodeRequest(kvs.Request{Op: kvs.OpGet, Key: keyName(r.Intn(keys))})
+				},
+				IsError: kvsIsError,
+				Target:  rig.target(),
+			}
+			done := false
+			ol.Run(func() { done = true })
+			rig.drain(&done)
+			st := ol.Stats()
+			tb.AddRow(kind.label(), fmt.Sprintf("%.0f", rate),
+				fmt.Sprintf("%.0f", st.Throughput()), st.Latency.P50(), st.Latency.P99(), st.Errors)
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Notes = append(res.Notes,
+		"P2P rows (decentralized and centralized-control) should match: the CPU is not on the data path",
+		"the kernel-mediated stack pays syscall+interrupt+copy per op and its tail inflates first")
+	return res
+}
+
+// E3SetupScalability launches N applications concurrently and measures
+// the makespan until all are serving — the §1 claim that decentralized
+// control scales.
+func E3SetupScalability() *Result {
+	res := &Result{ID: "E3", Title: "Concurrent application-setup scalability"}
+	tb := metrics.NewTable("N simultaneous KVS app initializations (one NIC, one SSD)",
+		"machine", "apps", "makespan", "avg/app")
+	for _, kind := range []machineKind{kindDecentralized, kindCentralDirect} {
+		for _, n := range []int{1, 4, 16, 64} {
+			opts := core.Options{Flavor: kind.flavor(), Seed: 31, NoTrace: true}
+			sys := core.MustNew(opts)
+			if err := sys.Boot(); err != nil {
+				panic(err)
+			}
+			if err := sys.CreateFile("kv.dat", nil); err != nil {
+				panic(err)
+			}
+			if sys.CPU != nil {
+				sys.CPU.RegisterFile("kv.dat", core.FirstSSD)
+			}
+			ready := 0
+			stores := make([]*kvs.Store, n)
+			for i := 0; i < n; i++ {
+				cfg := kvs.Config{App: appID(i + 1), FileName: "kv.dat", QueueEntries: 32}
+				if kind == kindDecentralized {
+					cfg.Memctrl = core.ControlID
+				} else {
+					cfg.Mode, cfg.Kernel = kvs.ModeCentralDirect, core.ControlID
+				}
+				stores[i] = kvs.New(cfg)
+				stores[i].OnReady = func(err error) {
+					if err == nil {
+						ready++
+					}
+				}
+			}
+			start := sys.Eng.Now()
+			for _, st := range stores {
+				sys.NIC().AddApp(st)
+			}
+			deadline := start.Add(10 * sim.Second)
+			for ready < n && sys.Eng.Now() < deadline {
+				sys.Eng.RunFor(50 * sim.Microsecond)
+			}
+			if ready < n {
+				panic(fmt.Sprintf("exp: only %d/%d apps ready", ready, n))
+			}
+			makespan := sys.Eng.Now().Sub(start)
+			tb.AddRow(kind.label(), n, makespan, makespan/sim.Duration(n))
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Notes = append(res.Notes,
+		"decentralized setup pipelines across bus, memctrl and per-device IOMMU engines; the kernel serializes on its core pool")
+	return res
+}
+
+// noisyApp hammers the control plane with alloc/free pairs — the noisy
+// neighbor of E4 and the load generator of E8.
+type noisyApp struct {
+	id    msg.AppID
+	bytes uint64
+	rt    *smartnic.Runtime
+	stop  bool
+	pairs uint64
+	errs  uint64
+}
+
+func (a *noisyApp) AppID() msg.AppID { return a.id }
+func (a *noisyApp) Boot(rt *smartnic.Runtime) {
+	a.rt = rt
+	a.loop()
+}
+func (a *noisyApp) ServeNetwork(p []byte, reply func([]byte)) { reply(p) }
+func (a *noisyApp) PeerFailed(msg.DeviceID)                   {}
+
+func (a *noisyApp) loop() {
+	if a.stop {
+		return
+	}
+	a.rt.AllocShared(core.ControlID, a.bytes, func(va uint64, err error) {
+		if err != nil {
+			a.errs++
+			return
+		}
+		a.rt.Free(core.ControlID, va, a.bytes, func(err error) {
+			if err != nil {
+				a.errs++
+				return
+			}
+			a.pairs++
+			a.loop()
+		})
+	})
+}
+
+// E4Isolation measures a victim KVS's tail latency while co-located
+// tenants hammer the control plane — the §1 claim that decentralized
+// control "can improve performance isolation".
+func E4Isolation() *Result {
+	res := &Result{ID: "E4", Title: "Performance isolation under control-plane noise"}
+	tb := metrics.NewTable("victim get p99 with N noisy control-plane tenants (256 KiB alloc/free loops)",
+		"machine", "noisy tenants", "victim p50", "victim p99", "noise ops/s")
+
+	for _, kind := range []machineKind{kindDecentralized, kindCentralMediated} {
+		for _, tenants := range []int{0, 4, 16} {
+			rig := newKVSRig(kind, 41, func(o *core.Options) { o.ExtraNICs = 1 }, nil)
+			rig.preload(128, 512)
+			noisy := make([]*noisyApp, tenants)
+			for i := range noisy {
+				noisy[i] = &noisyApp{id: appID(100 + i), bytes: 256 << 10}
+				rig.sys.NICs[1].AddApp(noisy[i])
+			}
+			st := rig.getLoad(8, 400, 128)
+			var pairs uint64
+			for _, a := range noisy {
+				a.stop = true
+				pairs += a.pairs
+			}
+			rate := 0.0
+			if st.Span > 0 {
+				rate = float64(2*pairs) / (float64(st.Span) / float64(sim.Second))
+			}
+			tb.AddRow(kind.label(), tenants, st.Latency.P50(), st.Latency.P99(), fmt.Sprintf("%.0f", rate))
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Notes = append(res.Notes,
+		"decentralized: the noise lands on bus+memctrl, which are not on the victim's data path",
+		"kernel-mediated: the victim's every get crosses the same CPU the noise is saturating")
+	return res
+}
+
+// E5FaultRecovery kills the SSD mid-run and decomposes the recovery
+// timeline (§4 error handling), as a function of log size.
+func E5FaultRecovery() *Result {
+	res := &Result{ID: "E5", Title: "Device failure detection and recovery"}
+	tb := metrics.NewTable("SSD hard failure: watchdog detection -> reset -> remount -> index rebuild",
+		"log records", "snapshot", "detect", "reset+remount", "reconnect+scan", "total outage")
+	for _, cse := range []struct {
+		records  int
+		snapshot bool
+	}{
+		{100, false}, {1000, false}, {4000, false}, {4000, true},
+	} {
+		records := cse.records
+		sys := core.MustNew(core.Options{
+			Flavor: core.Decentralized, Seed: 51,
+			Watchdog: 500 * sim.Microsecond,
+		})
+		if err := sys.Boot(); err != nil {
+			panic(err)
+		}
+		if err := sys.CreateFile("kv.dat", nil); err != nil {
+			panic(err)
+		}
+		cfg := kvs.Config{App: 1, FileName: "kv.dat", Memctrl: core.ControlID, QueueEntries: 128}
+		if cse.snapshot {
+			cfg.SnapshotFile = "kv.snap"
+		}
+		store := kvs.New(cfg)
+		ready := false
+		store.OnReady = func(err error) {
+			if err == nil {
+				ready = true
+			}
+		}
+		sys.NIC().AddApp(store)
+		for !ready {
+			sys.Eng.RunFor(100 * sim.Microsecond)
+		}
+		// Load the log.
+		cl := &netsim.ClosedLoop{
+			Eng: sys.Eng, Rand: sys.Rand.Fork(), Workers: 8, PerWorker: records / 8,
+			Gen: func(r *sim.Rand, seq uint64) []byte {
+				return kvs.EncodeRequest(kvs.Request{Op: kvs.OpPut, Key: keyName(int(seq)), Value: make([]byte, 256)})
+			},
+			Target: func(p []byte, reply func([]byte)) { sys.NIC().Deliver(1, p, reply) },
+		}
+		done := false
+		cl.Run(func() { done = true })
+		for !done {
+			sys.Eng.RunFor(sim.Millisecond)
+		}
+		if cse.snapshot {
+			snapped := false
+			store.Snapshot(func(err error) {
+				if err != nil {
+					panic(err)
+				}
+				snapped = true
+			})
+			for !snapped {
+				sys.Eng.RunFor(sim.Millisecond)
+			}
+		}
+
+		killedAt := sys.Eng.Now()
+		sys.SSD().Kill()
+		var detectAt, remountAt, readyAt sim.Time
+		deadline := killedAt.Add(5 * sim.Second)
+		for readyAt == 0 && sys.Eng.Now() < deadline {
+			sys.Eng.RunFor(10 * sim.Microsecond)
+			if detectAt == 0 && !sys.Bus.Alive(core.FirstSSD) {
+				detectAt = sys.Eng.Now()
+			}
+			if remountAt == 0 && detectAt != 0 && sys.SSD().Ready() {
+				remountAt = sys.Eng.Now()
+			}
+			if remountAt != 0 && store.Ready() {
+				readyAt = sys.Eng.Now()
+			}
+		}
+		if readyAt == 0 {
+			panic("exp: recovery incomplete")
+		}
+		snapLabel := "no"
+		if cse.snapshot {
+			snapLabel = "yes"
+		}
+		tb.AddRow(records, snapLabel,
+			detectAt.Sub(killedAt),
+			remountAt.Sub(detectAt),
+			readyAt.Sub(remountAt),
+			readyAt.Sub(killedAt))
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Notes = append(res.Notes,
+		"detection is bounded by the watchdog timeout (500us here); scan time grows linearly with the log",
+		"data durability: every record written before the failure is served after recovery (asserted in kvs tests)")
+	return res
+}

@@ -1,0 +1,147 @@
+package interconnect
+
+import (
+	"errors"
+	"testing"
+
+	"nocpu/internal/iommu"
+	"nocpu/internal/physmem"
+)
+
+// Fault-handler plumbing: not-present faults are offered to the handler,
+// retries are bounded, and non-resolvable faults bypass it.
+
+func TestFaultHandlerResolvesAndRetries(t *testing.T) {
+	r := newRig(t, DefaultCosts)
+	if err := r.mmu.CreateContext(1); err != nil {
+		t.Fatal(err)
+	}
+	handled := 0
+	r.port.SetFaultHandler(func(f *iommu.Fault, retry func(), fail func(error)) {
+		handled++
+		// Resolve by mapping the faulting page, then retry.
+		fr, err := r.mem.AllocFrames(1)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := r.mmu.Map(1, f.Addr.Page(), fr, iommu.PermRW); err != nil {
+			fail(err)
+			return
+		}
+		retry()
+	})
+	var werr error
+	done := false
+	r.port.Write(1, 0x5000+17, []byte("demand"), func(err error) { werr, done = err, true })
+	r.eng.Run()
+	if !done || werr != nil {
+		t.Fatalf("done=%v err=%v", done, werr)
+	}
+	if handled != 1 {
+		t.Fatalf("handler invoked %d times", handled)
+	}
+	// The data landed.
+	var got []byte
+	r.port.Read(1, 0x5000+17, 6, func(b []byte, err error) { got = b })
+	r.eng.Run()
+	if string(got) != "demand" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFaultHandlerRetryBound(t *testing.T) {
+	r := newRig(t, DefaultCosts)
+	if err := r.mmu.CreateContext(1); err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	// A broken handler that "resolves" without mapping anything: the
+	// retry faults again; the port must give up after maxFaultRetries.
+	r.port.SetFaultHandler(func(f *iommu.Fault, retry func(), fail func(error)) {
+		attempts++
+		retry()
+	})
+	var werr error
+	r.port.Write(1, 0x5000, []byte{1}, func(err error) { werr = err })
+	r.eng.Run()
+	if werr == nil {
+		t.Fatal("livelocked handler not cut off")
+	}
+	if attempts != maxFaultRetries {
+		t.Fatalf("handler ran %d times, want %d", attempts, maxFaultRetries)
+	}
+}
+
+func TestFaultHandlerNotOfferedPermissionFaults(t *testing.T) {
+	r := newRig(t, DefaultCosts)
+	r.mapPage(t, 1, 0x1000, iommu.AccessRead)
+	called := false
+	r.port.SetFaultHandler(func(f *iommu.Fault, retry func(), fail func(error)) {
+		called = true
+		fail(f)
+	})
+	var werr error
+	r.port.Write(1, 0x1000, []byte{1}, func(err error) { werr = err })
+	r.eng.Run()
+	var fault *iommu.Fault
+	if !errors.As(werr, &fault) || fault.Reason != iommu.FaultPermission {
+		t.Fatalf("err = %v", werr)
+	}
+	if called {
+		t.Fatal("permission fault offered to demand handler")
+	}
+}
+
+func TestFaultHandlerFailPath(t *testing.T) {
+	r := newRig(t, DefaultCosts)
+	if err := r.mmu.CreateContext(1); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("policy says no")
+	r.port.SetFaultHandler(func(f *iommu.Fault, retry func(), fail func(error)) {
+		fail(sentinel)
+	})
+	var rerr error
+	r.port.Read(1, 0x9000, 4, func(b []byte, err error) { rerr = err })
+	r.eng.Run()
+	if !errors.Is(rerr, sentinel) {
+		t.Fatalf("err = %v", rerr)
+	}
+}
+
+func TestFaultHandlerReadPartialRange(t *testing.T) {
+	// A read spanning a mapped and an unmapped page: the handler fills
+	// the hole and the whole read completes.
+	r := newRig(t, DefaultCosts)
+	f1 := r.mapPage(t, 1, 0x1000, iommu.PermRW)
+	_ = f1
+	r.port.SetFaultHandler(func(f *iommu.Fault, retry func(), fail func(error)) {
+		fr, err := r.mem.AllocFrames(1)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := r.mmu.Map(1, f.Addr.Page(), fr, iommu.PermRW); err != nil {
+			fail(err)
+			return
+		}
+		retry()
+	})
+	payload := make([]byte, physmem.PageSize+100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var werr error
+	r.port.Write(1, 0x1000+physmem.PageSize-50, payload[:100], func(err error) { werr = err })
+	r.eng.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	var got []byte
+	r.port.Read(1, 0x1000+physmem.PageSize-50, 100, func(b []byte, err error) { got = b; werr = err })
+	r.eng.Run()
+	if werr != nil || len(got) != 100 || got[0] != 0 || got[99] != 99 {
+		t.Fatalf("cross-page demand read: err=%v len=%d", werr, len(got))
+	}
+}

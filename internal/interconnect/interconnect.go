@@ -1,0 +1,330 @@
+// Package interconnect models the machine's data plane: the memory
+// interconnect over which devices DMA to shared physical memory and ring
+// each other's doorbells.
+//
+// §2.3 of "The Last CPU" requires the data plane (high-throughput memory
+// access) to be separate from the control plane (the message-decoding
+// system-management bus). This package is the data plane: it knows nothing
+// about discovery, services or policy. Every DMA is translated through the
+// issuing device's IOMMU, so isolation is enforced on the data path
+// itself, not by convention.
+//
+// Notifications are modeled as the paper describes: "a memory write to a
+// special address", like PCI MSI or an RDMA doorbell.
+package interconnect
+
+import (
+	"fmt"
+
+	"nocpu/internal/iommu"
+	"nocpu/internal/physmem"
+	"nocpu/internal/sim"
+)
+
+// Costs hold the timing model for the data plane. Values are loosely
+// calibrated to a PCIe-4.0-class fabric and DDR4 memory; the experiment
+// harness sweeps the interesting ones.
+type Costs struct {
+	// LinkLatency is the one-way propagation latency of a DMA or doorbell.
+	LinkLatency sim.Duration
+	// BytesPerNs is link bandwidth (16 = 16 GB/s).
+	BytesPerNs float64
+	// TLBLookup is charged per translated page on a TLB hit.
+	TLBLookup sim.Duration
+	// WalkRead is charged per page-table read on a TLB miss.
+	WalkRead sim.Duration
+	// DoorbellLatency is the delivery latency of a doorbell write.
+	DoorbellLatency sim.Duration
+}
+
+// DefaultCosts is the baseline calibration used by the experiments.
+var DefaultCosts = Costs{
+	LinkLatency:     500 * sim.Nanosecond,
+	BytesPerNs:      16,
+	TLBLookup:       2 * sim.Nanosecond,
+	WalkRead:        80 * sim.Nanosecond,
+	DoorbellLatency: 400 * sim.Nanosecond,
+}
+
+// DoorbellAddr identifies a doorbell register. The paper's model is a
+// write to a special physical address; we give each device a register
+// block keyed by these addresses.
+type DoorbellAddr uint64
+
+// DoorbellHandler receives the written value at delivery time.
+type DoorbellHandler func(value uint64)
+
+// Fabric is the shared interconnect: one serialization domain per
+// attached device port plus the doorbell address space.
+type Fabric struct {
+	eng   *sim.Engine
+	mem   *physmem.Memory
+	costs Costs
+	bells map[DoorbellAddr]DoorbellHandler
+	// nextBell hands out unique doorbell register addresses; the address
+	// space is flat and never reused within a run.
+	nextBell DoorbellAddr
+	stats    FabricStats
+}
+
+// FabricStats counts data-plane traffic.
+type FabricStats struct {
+	DMAs          uint64
+	BytesMoved    uint64
+	Doorbells     uint64
+	Faults        uint64
+	TotalDMATime  sim.Duration
+	TotalWaitTime sim.Duration
+}
+
+// NewFabric creates a fabric over mem with the given timing model.
+func NewFabric(eng *sim.Engine, mem *physmem.Memory, costs Costs) *Fabric {
+	if costs.BytesPerNs <= 0 {
+		costs.BytesPerNs = DefaultCosts.BytesPerNs
+	}
+	return &Fabric{eng: eng, mem: mem, costs: costs, bells: make(map[DoorbellAddr]DoorbellHandler)}
+}
+
+// Memory exposes the backing physical memory. Only privileged components
+// (the system bus, the memory controller) may use it directly; devices go
+// through a Port.
+func (f *Fabric) Memory() *physmem.Memory { return f.mem }
+
+// Costs returns the timing model.
+func (f *Fabric) Costs() Costs { return f.costs }
+
+// Engine returns the simulation engine driving the fabric.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Stats returns a copy of the traffic counters.
+func (f *Fabric) Stats() FabricStats { return f.stats }
+
+// RegisterDoorbell binds a handler to a doorbell address. Registering an
+// address twice is a wiring bug and panics.
+func (f *Fabric) RegisterDoorbell(addr DoorbellAddr, h DoorbellHandler) {
+	if _, dup := f.bells[addr]; dup {
+		panic(fmt.Sprintf("interconnect: doorbell %#x registered twice", uint64(addr)))
+	}
+	f.bells[addr] = h
+}
+
+// AllocDoorbell reserves a fresh doorbell address and binds the handler.
+// Devices allocate doorbells for their queue endpoints and advertise the
+// addresses in ConnectReq messages.
+func (f *Fabric) AllocDoorbell(h DoorbellHandler) DoorbellAddr {
+	f.nextBell++
+	addr := f.nextBell
+	f.RegisterDoorbell(addr, h)
+	return addr
+}
+
+// UnregisterDoorbell removes a doorbell binding (device teardown).
+func (f *Fabric) UnregisterDoorbell(addr DoorbellAddr) { delete(f.bells, addr) }
+
+// Ring posts a doorbell write. Delivery happens after the doorbell
+// latency; an unregistered doorbell is silently dropped (the write lands
+// in a dead register), matching hardware behaviour.
+func (f *Fabric) Ring(addr DoorbellAddr, value uint64) {
+	f.stats.Doorbells++
+	f.eng.After(f.costs.DoorbellLatency, func() {
+		if h, ok := f.bells[addr]; ok {
+			h(value)
+		}
+	})
+}
+
+// FaultHandler receives a translation fault delivered to the device (§4:
+// "the IOMMU would deliver any faults to its attached device"). The
+// handler must eventually call exactly one of retry (after resolving the
+// fault, e.g. demand-allocating the page) or fail (to surface the error
+// to the operation's callback).
+type FaultHandler func(f *iommu.Fault, retry func(), fail func(error))
+
+// Port is one device's attachment to the fabric: a DMA engine bound to
+// that device's IOMMU. All transfers are expressed in device-virtual
+// addresses within a PASID; the port translates page by page.
+type Port struct {
+	fab  *Fabric
+	mmu  *iommu.IOMMU
+	name string
+	busy *sim.Server // serializes this device's DMA engine
+	// faultHandler, when set, gets a chance to resolve not-present
+	// faults (demand paging) before the operation fails.
+	faultHandler FaultHandler
+}
+
+// maxFaultRetries bounds demand-paging retries per operation: a handler
+// that "resolves" without actually mapping cannot livelock the port.
+const maxFaultRetries = 4
+
+// SetFaultHandler installs the device's page-fault policy. Only
+// not-present faults are offered to it; permission and addressing faults
+// always fail the operation (they indicate bugs or revocations, not
+// demand-paging opportunities).
+func (p *Port) SetFaultHandler(h FaultHandler) { p.faultHandler = h }
+
+// NewPort attaches a device (with its IOMMU) to the fabric.
+func (f *Fabric) NewPort(name string, mmu *iommu.IOMMU) *Port {
+	return &Port{fab: f, mmu: mmu, name: name, busy: sim.NewServer(f.eng)}
+}
+
+// IOMMU returns the port's translation unit (the bus programs it).
+func (p *Port) IOMMU() *iommu.IOMMU { return p.mmu }
+
+// Fabric returns the fabric this port attaches to (for doorbell access).
+func (p *Port) Fabric() *Fabric { return p.fab }
+
+// transferTime computes the service time of an n-byte transfer that
+// performed walkReads page-table reads and touched pages pages.
+func (p *Port) transferTime(n, pages, walkReads int) sim.Duration {
+	c := p.fab.costs
+	d := c.LinkLatency
+	d += sim.Duration(float64(n) / c.BytesPerNs)
+	d += sim.Duration(pages) * c.TLBLookup
+	d += sim.Duration(walkReads) * c.WalkRead
+	return d
+}
+
+// translateRange resolves [va, va+n) page by page, returning the physical
+// extents and the total number of walk reads.
+func (p *Port) translateRange(pasid iommu.PASID, va iommu.VirtAddr, n int, access iommu.Access) ([]extent, int, error) {
+	var exts []extent
+	walks := 0
+	remaining := n
+	cur := va
+	for remaining > 0 {
+		pa, reads, err := p.mmu.Translate(pasid, cur, access)
+		walks += reads
+		if err != nil {
+			return nil, walks, err
+		}
+		pageEnd := (uint64(cur) &^ (physmem.PageSize - 1)) + physmem.PageSize
+		chunk := int(pageEnd - uint64(cur))
+		if chunk > remaining {
+			chunk = remaining
+		}
+		exts = append(exts, extent{pa: pa, n: chunk})
+		cur += iommu.VirtAddr(chunk)
+		remaining -= chunk
+	}
+	return exts, walks, nil
+}
+
+type extent struct {
+	pa physmem.Addr
+	n  int
+}
+
+// dispatchFault routes a translation error either to the device's fault
+// handler (not-present faults, retries remaining) or to fail. Fault
+// delivery costs a link latency either way.
+func (p *Port) dispatchFault(err error, attempts int, retry func(), fail func(error)) {
+	p.fab.stats.Faults++
+	f, isFault := err.(*iommu.Fault)
+	p.fab.eng.After(p.fab.costs.LinkLatency, func() {
+		// Not-present and bad-PASID faults are demand-resolvable (the
+		// first touch of a fresh address space has no context yet);
+		// permission and range faults are not.
+		resolvable := isFault && (f.Reason == iommu.FaultNotPresent || f.Reason == iommu.FaultBadPASID)
+		if resolvable && p.faultHandler != nil && attempts < maxFaultRetries {
+			p.faultHandler(f, retry, fail)
+			return
+		}
+		fail(err)
+	})
+}
+
+// Read DMAs n bytes from (pasid, va) into a fresh buffer and delivers it
+// to done. Translation faults are delivered through done's error; per §4
+// the device must handle them itself — a registered FaultHandler may
+// resolve not-present faults (demand paging) and retry transparently.
+func (p *Port) Read(pasid iommu.PASID, va iommu.VirtAddr, n int, done func([]byte, error)) {
+	p.read(pasid, va, n, done, 0)
+}
+
+func (p *Port) read(pasid iommu.PASID, va iommu.VirtAddr, n int, done func([]byte, error), attempts int) {
+	if n < 0 {
+		panic("interconnect: negative DMA length")
+	}
+	exts, walks, err := p.translateRange(pasid, va, n, iommu.AccessRead)
+	if err != nil {
+		p.dispatchFault(err, attempts,
+			func() { p.read(pasid, va, n, done, attempts+1) },
+			func(err error) { done(nil, err) })
+		return
+	}
+	wait := p.busy.Delay()
+	service := p.transferTime(n, len(exts), walks)
+	p.fab.stats.DMAs++
+	p.fab.stats.BytesMoved += uint64(n)
+	p.fab.stats.TotalDMATime += service
+	p.fab.stats.TotalWaitTime += wait
+	p.busy.Submit(service, func() {
+		buf := make([]byte, 0, n)
+		for _, e := range exts {
+			b, err := p.fab.mem.Read(e.pa, e.n)
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			buf = append(buf, b...)
+		}
+		done(buf, nil)
+	})
+}
+
+// Write DMAs data to (pasid, va) and calls done when the write is visible
+// in memory. Not-present faults may be resolved by the FaultHandler as in
+// Read.
+func (p *Port) Write(pasid iommu.PASID, va iommu.VirtAddr, data []byte, done func(error)) {
+	p.write(pasid, va, data, done, 0)
+}
+
+func (p *Port) write(pasid iommu.PASID, va iommu.VirtAddr, data []byte, done func(error), attempts int) {
+	exts, walks, err := p.translateRange(pasid, va, len(data), iommu.AccessWrite)
+	if err != nil {
+		p.dispatchFault(err, attempts,
+			func() { p.write(pasid, va, data, done, attempts+1) },
+			done)
+		return
+	}
+	wait := p.busy.Delay()
+	service := p.transferTime(len(data), len(exts), walks)
+	p.fab.stats.DMAs++
+	p.fab.stats.BytesMoved += uint64(len(data))
+	p.fab.stats.TotalDMATime += service
+	p.fab.stats.TotalWaitTime += wait
+	// Capture the payload now: the caller may reuse its buffer.
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	p.busy.Submit(service, func() {
+		off := 0
+		for _, e := range exts {
+			if err := p.fab.mem.Write(e.pa, payload[off:off+e.n]); err != nil {
+				done(err)
+				return
+			}
+			off += e.n
+		}
+		done(nil)
+	})
+}
+
+// ReadU16 is a convenience single-field DMA read (ring indices).
+func (p *Port) ReadU16(pasid iommu.PASID, va iommu.VirtAddr, done func(uint16, error)) {
+	p.Read(pasid, va, 2, func(b []byte, err error) {
+		if err != nil {
+			done(0, err)
+			return
+		}
+		done(uint16(b[0])|uint16(b[1])<<8, nil)
+	})
+}
+
+// WriteU16 is a convenience single-field DMA write.
+func (p *Port) WriteU16(pasid iommu.PASID, va iommu.VirtAddr, v uint16, done func(error)) {
+	p.Write(pasid, va, []byte{byte(v), byte(v >> 8)}, done)
+}
+
+// Name returns the port's device name (for diagnostics).
+func (p *Port) Name() string { return p.name }

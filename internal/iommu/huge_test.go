@@ -1,0 +1,204 @@
+package iommu
+
+import (
+	"errors"
+	"testing"
+
+	"nocpu/internal/physmem"
+)
+
+// hugeRig allocates a memory large enough for huge-page runs.
+func hugeRig(t *testing.T) (*IOMMU, *physmem.Memory) {
+	t.Helper()
+	mem := physmem.MustNew(4 * HugePageSize) // 8 MiB
+	return New("huge", mem, DefaultConfig), mem
+}
+
+func allocHugeRun(t *testing.T, mem *physmem.Memory) physmem.Frame {
+	t.Helper()
+	f, err := mem.AllocFrames(HugeFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(f)%uint64(HugeFrames) != 0 {
+		t.Fatalf("buddy returned unaligned huge run: frame %d", f)
+	}
+	return f
+}
+
+func TestHugeMapTranslate(t *testing.T) {
+	u, mem := hugeRig(t)
+	if err := u.CreateContext(1); err != nil {
+		t.Fatal(err)
+	}
+	run := allocHugeRun(t, mem)
+	va := VirtAddr(HugePageSize) // 2 MiB, aligned
+	if err := u.MapHuge(1, va, run, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	// Translation anywhere in the 2 MiB window works, with a 3-read walk
+	// (one level shorter than 4K).
+	off := uint64(1234567) % HugePageSize
+	pa, reads, err := u.Translate(1, va+VirtAddr(off), AccessRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != physmem.Addr(uint64(run.Addr())+off) {
+		t.Fatalf("pa = %#x", pa)
+	}
+	if reads != 3 {
+		t.Fatalf("huge cold walk did %d reads, want 3", reads)
+	}
+	// Second access to a DIFFERENT 4K page within the huge page: TLB hit.
+	_, reads, err = u.Translate(1, va+VirtAddr(5*physmem.PageSize), AccessWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads != 0 {
+		t.Fatalf("huge TLB missed within its window (%d reads)", reads)
+	}
+	// Lookup agrees.
+	fr, perm, ok := u.Lookup(1, va+VirtAddr(HugePageSize/2))
+	if !ok || fr != run || perm != PermRW {
+		t.Fatalf("Lookup = %v %v %v", fr, perm, ok)
+	}
+}
+
+func TestHugeMapValidation(t *testing.T) {
+	u, mem := hugeRig(t)
+	_ = u.CreateContext(1)
+	run := allocHugeRun(t, mem)
+	if err := u.MapHuge(1, VirtAddr(4096), run, PermRW); err == nil {
+		t.Error("unaligned huge va accepted")
+	}
+	if err := u.MapHuge(1, 0, run+1, PermRW); err == nil {
+		t.Error("unaligned huge frame accepted")
+	}
+	if err := u.MapHuge(2, 0, run, PermRW); err == nil {
+		t.Error("unknown pasid accepted")
+	}
+	if err := u.MapHuge(1, 0, run, 0); err == nil {
+		t.Error("empty perms accepted")
+	}
+	if err := u.MapHuge(1, 0, run, AccessRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.MapHuge(1, 0, run, AccessRead); err == nil {
+		t.Error("double huge map accepted")
+	}
+}
+
+func TestHugeAnd4KConflicts(t *testing.T) {
+	u, mem := hugeRig(t)
+	_ = u.CreateContext(1)
+	run := allocHugeRun(t, mem)
+	f4k, _ := mem.AllocFrames(1)
+
+	// 4K mapping inside a range, then huge map over it: refused (a table
+	// occupies the level-2 slot).
+	if err := u.Map(1, VirtAddr(HugePageSize+4096), f4k, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.MapHuge(1, VirtAddr(HugePageSize), run, PermRW); err == nil {
+		t.Error("huge map over 4K table accepted")
+	}
+	// Huge mapping, then 4K map inside it: refused.
+	if err := u.MapHuge(1, 0, run, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Map(1, VirtAddr(8*physmem.PageSize), f4k, PermRW); err == nil {
+		t.Error("4K map under huge mapping accepted")
+	}
+}
+
+func TestHugeUnmap(t *testing.T) {
+	u, mem := hugeRig(t)
+	_ = u.CreateContext(1)
+	run := allocHugeRun(t, mem)
+	if err := u.MapHuge(1, 0, run, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Translate(1, 100, AccessRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.UnmapHuge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var fault *Fault
+	if _, _, err := u.Translate(1, 100, AccessRead); !errors.As(err, &fault) {
+		t.Fatalf("stale huge TLB after unmap: %v", err)
+	}
+	if err := u.UnmapHuge(1, 0); err == nil {
+		t.Error("double huge unmap accepted")
+	}
+	// Unmapping a 4K page as huge is refused.
+	f4k, _ := mem.AllocFrames(1)
+	_ = u.Map(1, VirtAddr(HugePageSize), f4k, PermRW)
+	if err := u.UnmapHuge(1, VirtAddr(HugePageSize)); err == nil {
+		t.Error("huge unmap of 4K table accepted")
+	}
+}
+
+func TestHugePermissionFaults(t *testing.T) {
+	u, mem := hugeRig(t)
+	_ = u.CreateContext(1)
+	run := allocHugeRun(t, mem)
+	if err := u.MapHuge(1, 0, run, AccessRead); err != nil {
+		t.Fatal(err)
+	}
+	var fault *Fault
+	if _, _, err := u.Translate(1, 50, AccessWrite); !errors.As(err, &fault) || fault.Reason != FaultPermission {
+		t.Fatalf("write to RO huge page: %v", err)
+	}
+	// Also on the cached path.
+	if _, _, err := u.Translate(1, 60, AccessRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Translate(1, 70, AccessWrite); !errors.As(err, &fault) || fault.Reason != FaultPermission {
+		t.Fatalf("cached write to RO huge page: %v", err)
+	}
+}
+
+func TestHugeReachVsSmallTLB(t *testing.T) {
+	// A tiny TLB thrashes on 4K mappings of a large region but holds a
+	// single huge entry comfortably.
+	mem := physmem.MustNew(8 * HugePageSize)
+	small := Config{TLBSets: 4, TLBWays: 1}
+
+	u4k := New("u4k", mem, small)
+	_ = u4k.CreateContext(1)
+	for i := 0; i < HugeFrames; i++ {
+		f, err := mem.AllocFrames(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u4k.Map(1, VirtAddr(i*physmem.PageSize), f, PermRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	uh := New("uh", mem, small)
+	_ = uh.CreateContext(1)
+	run := allocHugeRun(t, mem)
+	if err := uh.MapHuge(1, 0, run, PermRW); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sweep 128 scattered pages twice.
+	sweep := func(u *IOMMU) uint64 {
+		before := u.Stats().WalkReads
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < 128; i++ {
+				va := VirtAddr((i * 7 % HugeFrames) * physmem.PageSize)
+				if _, _, err := u.Translate(1, va, AccessRead); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return u.Stats().WalkReads - before
+	}
+	w4k := sweep(u4k)
+	wh := sweep(uh)
+	if wh >= w4k/10 {
+		t.Fatalf("huge reach ineffective: huge walks %d vs 4K walks %d", wh, w4k)
+	}
+}

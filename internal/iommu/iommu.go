@@ -1,0 +1,572 @@
+// Package iommu implements the per-device I/O memory management unit of
+// the CPU-less machine.
+//
+// As §2.2 of "The Last CPU" prescribes, address translation is the
+// cornerstone of isolation: every device access to physical memory is
+// translated through that device's IOMMU, and the page tables are
+// programmed only by the privileged system bus (never by the device
+// itself, and never by another device's resource controller directly).
+//
+// The implementation is deliberately literal: page tables are real 4-level
+// radix trees whose entries live in simulated physical memory, so a
+// translation miss performs actual table-walk reads, and the walk cost the
+// DMA engine charges corresponds to real accesses. A set-associative TLB
+// in front of the walker makes the E6 ablation (TLB size/associativity vs
+// throughput) meaningful.
+package iommu
+
+import (
+	"fmt"
+
+	"nocpu/internal/physmem"
+)
+
+// PASID identifies a process (application) address space on a device, as
+// in PCIe PASID. PASID 0 is reserved/invalid.
+type PASID uint32
+
+// Access is the kind of memory access being translated.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = 1 << iota
+	AccessWrite
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessRead | AccessWrite:
+		return "read|write"
+	}
+	return fmt.Sprintf("access(%d)", uint8(a))
+}
+
+// Perm is the permission set attached to a mapping.
+type Perm = Access
+
+// PermRW is the common read+write permission.
+const PermRW = AccessRead | AccessWrite
+
+// VirtAddr is a device-virtual address within a PASID address space.
+type VirtAddr uint64
+
+// Page returns the 4 KiB-aligned base of the address.
+func (v VirtAddr) Page() VirtAddr { return v &^ (physmem.PageSize - 1) }
+
+// Virtual address geometry: 4 levels x 9 bits + 12-bit offset = 48 bits.
+const (
+	levels      = 4
+	bitsPerLvl  = 9
+	entriesPerT = 1 << bitsPerLvl
+	vaBits      = levels*bitsPerLvl + physmem.PageShift
+	// MaxVirtAddr is the exclusive upper bound of translatable addresses.
+	MaxVirtAddr = VirtAddr(1) << vaBits
+)
+
+// PTE bit layout.
+const (
+	pteValid = 1 << 0
+	pteRead  = 1 << 1
+	pteWrite = 1 << 2
+	pteHuge  = 1 << 3 // level-2 leaf covering HugePageSize
+	pteAddrM = ^uint64(physmem.PageSize-1) & ((1 << 52) - 1)
+)
+
+// HugePageSize is the large-page granule: one level-2 leaf spans 512 base
+// pages (2 MiB), like x86 PMD mappings.
+const HugePageSize = uint64(1) << (physmem.PageShift + bitsPerLvl)
+
+// HugeFrames is the number of contiguous base frames backing a huge page.
+const HugeFrames = int(HugePageSize / physmem.PageSize)
+
+// HugePage returns the HugePageSize-aligned base of the address.
+func (v VirtAddr) HugePage() VirtAddr { return v &^ VirtAddr(HugePageSize-1) }
+
+// FaultReason says why a translation failed.
+type FaultReason uint8
+
+// Fault reasons.
+const (
+	FaultNotPresent FaultReason = iota + 1
+	FaultPermission
+	FaultBadPASID
+	FaultOutOfRange
+)
+
+func (r FaultReason) String() string {
+	switch r {
+	case FaultNotPresent:
+		return "not-present"
+	case FaultPermission:
+		return "permission"
+	case FaultBadPASID:
+		return "bad-pasid"
+	case FaultOutOfRange:
+		return "out-of-range"
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Fault describes a failed translation. Per §4 of the paper, the IOMMU
+// delivers faults to its attached device, which must handle them itself.
+type Fault struct {
+	PASID  PASID
+	Addr   VirtAddr
+	Access Access
+	Reason FaultReason
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("iommu fault: %s of va %#x pasid %d: %s", f.Access, uint64(f.Addr), f.PASID, f.Reason)
+}
+
+// Stats counts translation activity for the experiment harness.
+type Stats struct {
+	Translations uint64
+	TLBHits      uint64
+	TLBMisses    uint64
+	WalkReads    uint64 // physical memory reads performed by table walks
+	Faults       uint64
+}
+
+// IOMMU is one device's translation unit.
+type IOMMU struct {
+	mem  *physmem.Memory
+	tlb  *tlb
+	ctx  map[PASID]physmem.Addr // PASID -> root table base
+	st   Stats
+	name string
+	// pageTableFrames tracks frames backing the radix trees per PASID so
+	// DestroyContext can return them.
+	tableFrames map[PASID][]physmem.Frame
+}
+
+// Config sets the TLB geometry. The zero value selects DefaultConfig;
+// use Disabled (negative sets) for the no-TLB ablation.
+type Config struct {
+	TLBSets int // number of sets; < 0 disables the TLB, 0 means default
+	TLBWays int // associativity
+}
+
+// DefaultConfig is a 64-set, 4-way TLB (256 entries), typical of device
+// ATCs.
+var DefaultConfig = Config{TLBSets: 64, TLBWays: 4}
+
+// Disabled turns the TLB off entirely (every translation walks).
+var Disabled = Config{TLBSets: -1}
+
+// New returns an IOMMU backed by mem. name is used in error text.
+func New(name string, mem *physmem.Memory, cfg Config) *IOMMU {
+	if cfg.TLBSets == 0 && cfg.TLBWays == 0 {
+		cfg = DefaultConfig
+	}
+	return &IOMMU{
+		mem:         mem,
+		tlb:         newTLB(cfg.TLBSets, cfg.TLBWays),
+		ctx:         make(map[PASID]physmem.Addr),
+		tableFrames: make(map[PASID][]physmem.Frame),
+		name:        name,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (u *IOMMU) Stats() Stats { return u.st }
+
+// Contexts returns the number of live PASID contexts.
+func (u *IOMMU) Contexts() int { return len(u.ctx) }
+
+// HasContext reports whether the PASID has an address space.
+func (u *IOMMU) HasContext(p PASID) bool {
+	_, ok := u.ctx[p]
+	return ok
+}
+
+// CreateContext allocates a fresh, empty address space for the PASID.
+func (u *IOMMU) CreateContext(p PASID) error {
+	if p == 0 {
+		return fmt.Errorf("iommu %s: PASID 0 is reserved", u.name)
+	}
+	if _, ok := u.ctx[p]; ok {
+		return fmt.Errorf("iommu %s: PASID %d already exists", u.name, p)
+	}
+	root, err := u.allocTable(p)
+	if err != nil {
+		return err
+	}
+	u.ctx[p] = root
+	return nil
+}
+
+// DestroyContext tears down the PASID's address space, freeing its page
+// table frames and flushing its TLB entries.
+func (u *IOMMU) DestroyContext(p PASID) error {
+	if _, ok := u.ctx[p]; !ok {
+		return fmt.Errorf("iommu %s: destroy of unknown PASID %d", u.name, p)
+	}
+	delete(u.ctx, p)
+	for _, f := range u.tableFrames[p] {
+		if err := u.mem.FreeFrames(f, 1); err != nil {
+			return fmt.Errorf("iommu %s: freeing table frame: %w", u.name, err)
+		}
+	}
+	delete(u.tableFrames, p)
+	u.tlb.flushPASID(p)
+	return nil
+}
+
+func (u *IOMMU) allocTable(p PASID) (physmem.Addr, error) {
+	f, err := u.mem.AllocFrames(1)
+	if err != nil {
+		return 0, fmt.Errorf("iommu %s: allocating page table: %w", u.name, err)
+	}
+	u.tableFrames[p] = append(u.tableFrames[p], f)
+	return f.Addr(), nil
+}
+
+func checkVA(va VirtAddr) error {
+	if va >= MaxVirtAddr {
+		return &Fault{Addr: va, Reason: FaultOutOfRange}
+	}
+	return nil
+}
+
+func idx(va VirtAddr, level int) uint64 {
+	shift := physmem.PageShift + bitsPerLvl*(levels-1-level)
+	return (uint64(va) >> shift) & (entriesPerT - 1)
+}
+
+// Map installs a translation va -> frame with the given permissions. va
+// must be page-aligned. Intermediate tables are allocated on demand.
+// Remapping an already-present page is rejected: the bus must unmap first,
+// which keeps grant auditing simple.
+func (u *IOMMU) Map(p PASID, va VirtAddr, frame physmem.Frame, perm Perm) error {
+	root, ok := u.ctx[p]
+	if !ok {
+		return fmt.Errorf("iommu %s: map on unknown PASID %d", u.name, p)
+	}
+	if va%physmem.PageSize != 0 {
+		return fmt.Errorf("iommu %s: map of unaligned va %#x", u.name, uint64(va))
+	}
+	if err := checkVA(va); err != nil {
+		return err
+	}
+	if perm&PermRW == 0 {
+		return fmt.Errorf("iommu %s: map with empty permissions", u.name)
+	}
+	tbl := root
+	for lvl := 0; lvl < levels-1; lvl++ {
+		slot := physmem.Addr(uint64(tbl) + idx(va, lvl)*8)
+		pte, err := u.mem.ReadU64(slot)
+		if err != nil {
+			return err
+		}
+		if pte&pteValid != 0 && pte&pteHuge != 0 {
+			return fmt.Errorf("iommu %s: va %#x pasid %d covered by a huge mapping", u.name, uint64(va), p)
+		}
+		if pte&pteValid == 0 {
+			next, err := u.allocTable(p)
+			if err != nil {
+				return err
+			}
+			pte = uint64(next)&pteAddrM | pteValid
+			if err := u.mem.WriteU64(slot, pte); err != nil {
+				return err
+			}
+		}
+		tbl = physmem.Addr(pte & pteAddrM)
+	}
+	slot := physmem.Addr(uint64(tbl) + idx(va, levels-1)*8)
+	pte, err := u.mem.ReadU64(slot)
+	if err != nil {
+		return err
+	}
+	if pte&pteValid != 0 {
+		return fmt.Errorf("iommu %s: va %#x pasid %d already mapped", u.name, uint64(va), p)
+	}
+	pte = uint64(frame.Addr())&pteAddrM | pteValid
+	if perm&AccessRead != 0 {
+		pte |= pteRead
+	}
+	if perm&AccessWrite != 0 {
+		pte |= pteWrite
+	}
+	return u.mem.WriteU64(slot, pte)
+}
+
+// MapHuge installs one HugePageSize translation at a level-2 leaf. va
+// must be HugePageSize-aligned and frame must start a naturally aligned
+// run of HugeFrames contiguous frames (the buddy allocator's
+// power-of-two blocks satisfy this).
+func (u *IOMMU) MapHuge(p PASID, va VirtAddr, frame physmem.Frame, perm Perm) error {
+	root, ok := u.ctx[p]
+	if !ok {
+		return fmt.Errorf("iommu %s: map on unknown PASID %d", u.name, p)
+	}
+	if uint64(va)%HugePageSize != 0 {
+		return fmt.Errorf("iommu %s: huge map of unaligned va %#x", u.name, uint64(va))
+	}
+	if uint64(frame)%uint64(HugeFrames) != 0 {
+		return fmt.Errorf("iommu %s: huge map of unaligned frame %d", u.name, frame)
+	}
+	if err := checkVA(va); err != nil {
+		return err
+	}
+	if perm&PermRW == 0 {
+		return fmt.Errorf("iommu %s: map with empty permissions", u.name)
+	}
+	tbl := root
+	for lvl := 0; lvl < levels-2; lvl++ {
+		slot := physmem.Addr(uint64(tbl) + idx(va, lvl)*8)
+		pte, err := u.mem.ReadU64(slot)
+		if err != nil {
+			return err
+		}
+		if pte&pteValid != 0 && pte&pteHuge != 0 {
+			return fmt.Errorf("iommu %s: va %#x pasid %d covered by a huge mapping", u.name, uint64(va), p)
+		}
+		if pte&pteValid == 0 {
+			next, err := u.allocTable(p)
+			if err != nil {
+				return err
+			}
+			pte = uint64(next)&pteAddrM | pteValid
+			if err := u.mem.WriteU64(slot, pte); err != nil {
+				return err
+			}
+		}
+		tbl = physmem.Addr(pte & pteAddrM)
+	}
+	slot := physmem.Addr(uint64(tbl) + idx(va, levels-2)*8)
+	pte, err := u.mem.ReadU64(slot)
+	if err != nil {
+		return err
+	}
+	if pte&pteValid != 0 {
+		// Either an existing huge leaf or a table of 4K mappings.
+		return fmt.Errorf("iommu %s: va %#x pasid %d already mapped (huge or 4K table present)", u.name, uint64(va), p)
+	}
+	pte = uint64(frame.Addr())&pteAddrM | pteValid | pteHuge
+	if perm&AccessRead != 0 {
+		pte |= pteRead
+	}
+	if perm&AccessWrite != 0 {
+		pte |= pteWrite
+	}
+	return u.mem.WriteU64(slot, pte)
+}
+
+// UnmapHuge removes a huge translation and invalidates its TLB entry.
+func (u *IOMMU) UnmapHuge(p PASID, va VirtAddr) error {
+	root, ok := u.ctx[p]
+	if !ok {
+		return fmt.Errorf("iommu %s: unmap on unknown PASID %d", u.name, p)
+	}
+	if uint64(va)%HugePageSize != 0 {
+		return fmt.Errorf("iommu %s: huge unmap of unaligned va %#x", u.name, uint64(va))
+	}
+	if err := checkVA(va); err != nil {
+		return err
+	}
+	tbl := root
+	for lvl := 0; lvl < levels-2; lvl++ {
+		pte, err := u.mem.ReadU64(physmem.Addr(uint64(tbl) + idx(va, lvl)*8))
+		if err != nil {
+			return err
+		}
+		if pte&pteValid == 0 {
+			return fmt.Errorf("iommu %s: huge unmap of unmapped va %#x pasid %d", u.name, uint64(va), p)
+		}
+		tbl = physmem.Addr(pte & pteAddrM)
+	}
+	slot := physmem.Addr(uint64(tbl) + idx(va, levels-2)*8)
+	pte, err := u.mem.ReadU64(slot)
+	if err != nil {
+		return err
+	}
+	if pte&pteValid == 0 || pte&pteHuge == 0 {
+		return fmt.Errorf("iommu %s: huge unmap of non-huge va %#x pasid %d", u.name, uint64(va), p)
+	}
+	if err := u.mem.WriteU64(slot, 0); err != nil {
+		return err
+	}
+	u.tlb.invalidateHuge(p, va.HugePage())
+	return nil
+}
+
+// Unmap removes the translation for va and invalidates its TLB entry.
+func (u *IOMMU) Unmap(p PASID, va VirtAddr) error {
+	root, ok := u.ctx[p]
+	if !ok {
+		return fmt.Errorf("iommu %s: unmap on unknown PASID %d", u.name, p)
+	}
+	if err := checkVA(va); err != nil {
+		return err
+	}
+	tbl := root
+	for lvl := 0; lvl < levels-1; lvl++ {
+		slot := physmem.Addr(uint64(tbl) + idx(va, lvl)*8)
+		pte, err := u.mem.ReadU64(slot)
+		if err != nil {
+			return err
+		}
+		if pte&pteValid == 0 {
+			return fmt.Errorf("iommu %s: unmap of unmapped va %#x pasid %d", u.name, uint64(va), p)
+		}
+		tbl = physmem.Addr(pte & pteAddrM)
+	}
+	slot := physmem.Addr(uint64(tbl) + idx(va, levels-1)*8)
+	pte, err := u.mem.ReadU64(slot)
+	if err != nil {
+		return err
+	}
+	if pte&pteValid == 0 {
+		return fmt.Errorf("iommu %s: unmap of unmapped va %#x pasid %d", u.name, uint64(va), p)
+	}
+	if err := u.mem.WriteU64(slot, 0); err != nil {
+		return err
+	}
+	u.tlb.invalidate(p, va.Page())
+	return nil
+}
+
+// Lookup reports the frame mapped at va without touching the TLB or the
+// stats — used by audits and tests, not by the data path.
+func (u *IOMMU) Lookup(p PASID, va VirtAddr) (physmem.Frame, Perm, bool) {
+	root, ok := u.ctx[p]
+	if !ok {
+		return 0, 0, false
+	}
+	if va >= MaxVirtAddr {
+		return 0, 0, false
+	}
+	tbl := root
+	for lvl := 0; lvl < levels-1; lvl++ {
+		pte, err := u.mem.ReadU64(physmem.Addr(uint64(tbl) + idx(va, lvl)*8))
+		if err != nil || pte&pteValid == 0 {
+			return 0, 0, false
+		}
+		if lvl == levels-2 && pte&pteHuge != 0 {
+			var perm Perm
+			if pte&pteRead != 0 {
+				perm |= AccessRead
+			}
+			if pte&pteWrite != 0 {
+				perm |= AccessWrite
+			}
+			return physmem.FrameOf(physmem.Addr(pte & pteAddrM)), perm, true
+		}
+		tbl = physmem.Addr(pte & pteAddrM)
+	}
+	pte, err := u.mem.ReadU64(physmem.Addr(uint64(tbl) + idx(va, levels-1)*8))
+	if err != nil || pte&pteValid == 0 {
+		return 0, 0, false
+	}
+	var perm Perm
+	if pte&pteRead != 0 {
+		perm |= AccessRead
+	}
+	if pte&pteWrite != 0 {
+		perm |= AccessWrite
+	}
+	return physmem.FrameOf(physmem.Addr(pte & pteAddrM)), perm, true
+}
+
+// Translate resolves one access. On success it returns the physical
+// address and the number of page-walk memory reads performed (0 on a TLB
+// hit). On failure it returns a *Fault.
+func (u *IOMMU) Translate(p PASID, va VirtAddr, access Access) (physmem.Addr, int, error) {
+	u.st.Translations++
+	if err := checkVA(va); err != nil {
+		u.st.Faults++
+		f := err.(*Fault)
+		f.PASID, f.Access = p, access
+		return 0, 0, f
+	}
+	root, ok := u.ctx[p]
+	if !ok {
+		u.st.Faults++
+		return 0, 0, &Fault{PASID: p, Addr: va, Access: access, Reason: FaultBadPASID}
+	}
+	page := va.Page()
+	off := uint64(va) & (physmem.PageSize - 1)
+	if e, ok := u.tlb.lookup(p, page, va.HugePage()); ok {
+		u.st.TLBHits++
+		if e.perm&access != access {
+			u.st.Faults++
+			return 0, 0, &Fault{PASID: p, Addr: va, Access: access, Reason: FaultPermission}
+		}
+		if e.huge {
+			hoff := uint64(va) & (HugePageSize - 1)
+			return physmem.Addr(uint64(e.frame.Addr()) + hoff), 0, nil
+		}
+		return physmem.Addr(uint64(e.frame.Addr()) + off), 0, nil
+	}
+	u.st.TLBMisses++
+	// Walk.
+	tbl := root
+	reads := 0
+	for lvl := 0; lvl < levels-1; lvl++ {
+		pte, err := u.mem.ReadU64(physmem.Addr(uint64(tbl) + idx(va, lvl)*8))
+		reads++
+		if err != nil {
+			return 0, reads, err
+		}
+		if pte&pteValid == 0 {
+			u.st.Faults++
+			u.st.WalkReads += uint64(reads)
+			return 0, reads, &Fault{PASID: p, Addr: va, Access: access, Reason: FaultNotPresent}
+		}
+		if lvl == levels-2 && pte&pteHuge != 0 {
+			// Huge leaf: translation completes one level early.
+			u.st.WalkReads += uint64(reads)
+			var perm Perm
+			if pte&pteRead != 0 {
+				perm |= AccessRead
+			}
+			if pte&pteWrite != 0 {
+				perm |= AccessWrite
+			}
+			frame := physmem.FrameOf(physmem.Addr(pte & pteAddrM))
+			u.tlb.insertHuge(p, va.HugePage(), frame, perm)
+			if perm&access != access {
+				u.st.Faults++
+				return 0, reads, &Fault{PASID: p, Addr: va, Access: access, Reason: FaultPermission}
+			}
+			hoff := uint64(va) & (HugePageSize - 1)
+			return physmem.Addr(uint64(frame.Addr()) + hoff), reads, nil
+		}
+		tbl = physmem.Addr(pte & pteAddrM)
+	}
+	pte, err := u.mem.ReadU64(physmem.Addr(uint64(tbl) + idx(va, levels-1)*8))
+	reads++
+	u.st.WalkReads += uint64(reads)
+	if err != nil {
+		return 0, reads, err
+	}
+	if pte&pteValid == 0 {
+		u.st.Faults++
+		return 0, reads, &Fault{PASID: p, Addr: va, Access: access, Reason: FaultNotPresent}
+	}
+	var perm Perm
+	if pte&pteRead != 0 {
+		perm |= AccessRead
+	}
+	if pte&pteWrite != 0 {
+		perm |= AccessWrite
+	}
+	frame := physmem.FrameOf(physmem.Addr(pte & pteAddrM))
+	u.tlb.insert(p, page, frame, perm)
+	if perm&access != access {
+		u.st.Faults++
+		return 0, reads, &Fault{PASID: p, Addr: va, Access: access, Reason: FaultPermission}
+	}
+	return physmem.Addr(uint64(frame.Addr()) + off), reads, nil
+}
+
+// FlushTLB discards all cached translations (e.g. after a device reset).
+func (u *IOMMU) FlushTLB() { u.tlb.flushAll() }

@@ -1,0 +1,342 @@
+package iommu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nocpu/internal/physmem"
+)
+
+func newTestIOMMU(t *testing.T, frames uint64, cfg Config) (*IOMMU, *physmem.Memory) {
+	t.Helper()
+	mem := physmem.MustNew(frames * physmem.PageSize)
+	return New("test", mem, cfg), mem
+}
+
+func TestCreateDestroyContext(t *testing.T) {
+	u, mem := newTestIOMMU(t, 256, DefaultConfig)
+	if err := u.CreateContext(0); err == nil {
+		t.Error("PASID 0 accepted")
+	}
+	if err := u.CreateContext(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.CreateContext(1); err == nil {
+		t.Error("duplicate PASID accepted")
+	}
+	if !u.HasContext(1) || u.Contexts() != 1 {
+		t.Error("context bookkeeping wrong")
+	}
+	before := mem.AllocatedBytes()
+	if before == 0 {
+		t.Error("root table not allocated from physmem")
+	}
+	if err := u.DestroyContext(1); err != nil {
+		t.Fatal(err)
+	}
+	if mem.AllocatedBytes() != 0 {
+		t.Errorf("table frames leaked: %d bytes", mem.AllocatedBytes())
+	}
+	if err := u.DestroyContext(1); err == nil {
+		t.Error("double destroy accepted")
+	}
+}
+
+func TestMapTranslateRoundTrip(t *testing.T) {
+	u, mem := newTestIOMMU(t, 256, DefaultConfig)
+	if err := u.CreateContext(7); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := mem.AllocFrames(1)
+	const va = VirtAddr(0x40000000)
+	if err := u.Map(7, va, f, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	pa, reads, err := u.Translate(7, va+123, AccessRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != physmem.Addr(uint64(f.Addr())+123) {
+		t.Errorf("pa = %#x, want frame base + 123", pa)
+	}
+	if reads != 4 {
+		t.Errorf("cold walk performed %d reads, want 4 (4-level)", reads)
+	}
+	// Second translation of the same page must hit the TLB.
+	_, reads, err = u.Translate(7, va+200, AccessWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads != 0 {
+		t.Errorf("TLB hit performed %d walk reads", reads)
+	}
+	st := u.Stats()
+	if st.TLBHits != 1 || st.TLBMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTranslateFaults(t *testing.T) {
+	u, mem := newTestIOMMU(t, 256, DefaultConfig)
+	_ = u.CreateContext(1)
+	f, _ := mem.AllocFrames(1)
+	_ = u.Map(1, 0, f, AccessRead)
+
+	var fault *Fault
+	// Unmapped address.
+	_, _, err := u.Translate(1, 0x1000, AccessRead)
+	if !errors.As(err, &fault) || fault.Reason != FaultNotPresent {
+		t.Errorf("unmapped: %v", err)
+	}
+	// Permission violation (read-only page, write access).
+	_, _, err = u.Translate(1, 0, AccessWrite)
+	if !errors.As(err, &fault) || fault.Reason != FaultPermission {
+		t.Errorf("perm: %v", err)
+	}
+	// Unknown PASID.
+	_, _, err = u.Translate(9, 0, AccessRead)
+	if !errors.As(err, &fault) || fault.Reason != FaultBadPASID {
+		t.Errorf("pasid: %v", err)
+	}
+	// Out of range VA.
+	_, _, err = u.Translate(1, MaxVirtAddr, AccessRead)
+	if !errors.As(err, &fault) || fault.Reason != FaultOutOfRange {
+		t.Errorf("range: %v", err)
+	}
+	if u.Stats().Faults != 4 {
+		t.Errorf("fault count = %d, want 4", u.Stats().Faults)
+	}
+}
+
+func TestPermissionCheckedOnTLBHit(t *testing.T) {
+	u, mem := newTestIOMMU(t, 256, DefaultConfig)
+	_ = u.CreateContext(1)
+	f, _ := mem.AllocFrames(1)
+	_ = u.Map(1, 0, f, AccessRead)
+	if _, _, err := u.Translate(1, 0, AccessRead); err != nil {
+		t.Fatal(err)
+	}
+	// Now cached; a write must still fault.
+	var fault *Fault
+	_, _, err := u.Translate(1, 8, AccessWrite)
+	if !errors.As(err, &fault) || fault.Reason != FaultPermission {
+		t.Errorf("cached perm: %v", err)
+	}
+}
+
+func TestUnmapInvalidatesTLB(t *testing.T) {
+	u, mem := newTestIOMMU(t, 256, DefaultConfig)
+	_ = u.CreateContext(1)
+	f, _ := mem.AllocFrames(1)
+	_ = u.Map(1, 0x2000, f, PermRW)
+	if _, _, err := u.Translate(1, 0x2000, AccessRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Unmap(1, 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	var fault *Fault
+	if _, _, err := u.Translate(1, 0x2000, AccessRead); !errors.As(err, &fault) {
+		t.Errorf("stale TLB entry served after unmap: %v", err)
+	}
+}
+
+func TestRemapRejectedUntilUnmap(t *testing.T) {
+	u, mem := newTestIOMMU(t, 256, DefaultConfig)
+	_ = u.CreateContext(1)
+	f1, _ := mem.AllocFrames(1)
+	f2, _ := mem.AllocFrames(1)
+	if err := u.Map(1, 0x3000, f1, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Map(1, 0x3000, f2, PermRW); err == nil {
+		t.Error("silent remap accepted")
+	}
+	if err := u.Unmap(1, 0x3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Map(1, 0x3000, f2, PermRW); err != nil {
+		t.Errorf("remap after unmap failed: %v", err)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	u, mem := newTestIOMMU(t, 256, DefaultConfig)
+	_ = u.CreateContext(1)
+	f, _ := mem.AllocFrames(1)
+	if err := u.Map(1, 0x123, f, PermRW); err == nil {
+		t.Error("unaligned map accepted")
+	}
+	if err := u.Map(1, 0, f, 0); err == nil {
+		t.Error("empty-permission map accepted")
+	}
+	if err := u.Map(2, 0, f, PermRW); err == nil {
+		t.Error("map on unknown PASID accepted")
+	}
+	if err := u.Map(1, MaxVirtAddr, f, PermRW); err == nil {
+		t.Error("out-of-range map accepted")
+	}
+	if err := u.Unmap(1, 0x5000); err == nil {
+		t.Error("unmap of never-mapped page accepted")
+	}
+}
+
+func TestPASIDIsolation(t *testing.T) {
+	u, mem := newTestIOMMU(t, 512, DefaultConfig)
+	_ = u.CreateContext(1)
+	_ = u.CreateContext(2)
+	f1, _ := mem.AllocFrames(1)
+	f2, _ := mem.AllocFrames(1)
+	_ = u.Map(1, 0x1000, f1, PermRW)
+	_ = u.Map(2, 0x1000, f2, PermRW)
+	pa1, _, err := u.Translate(1, 0x1000, AccessRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa2, _, err := u.Translate(2, 0x1000, AccessRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa1 == pa2 {
+		t.Error("two PASIDs share a translation for the same VA")
+	}
+	if pa1 != f1.Addr() || pa2 != f2.Addr() {
+		t.Error("translations routed to wrong frames")
+	}
+}
+
+func TestDestroyContextFlushesTLB(t *testing.T) {
+	u, mem := newTestIOMMU(t, 512, DefaultConfig)
+	_ = u.CreateContext(1)
+	f, _ := mem.AllocFrames(1)
+	_ = u.Map(1, 0x1000, f, PermRW)
+	_, _, _ = u.Translate(1, 0x1000, AccessRead)
+	if err := u.DestroyContext(1); err != nil {
+		t.Fatal(err)
+	}
+	// Recreate the PASID: the old cached translation must not leak into
+	// the fresh address space.
+	_ = u.CreateContext(1)
+	var fault *Fault
+	if _, _, err := u.Translate(1, 0x1000, AccessRead); !errors.As(err, &fault) {
+		t.Errorf("stale translation survived context destroy: %v", err)
+	}
+}
+
+func TestNoTLBConfigAlwaysWalks(t *testing.T) {
+	u, mem := newTestIOMMU(t, 256, Disabled)
+	_ = u.CreateContext(1)
+	f, _ := mem.AllocFrames(1)
+	_ = u.Map(1, 0, f, PermRW)
+	for i := 0; i < 3; i++ {
+		_, reads, err := u.Translate(1, 0, AccessRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reads != 4 {
+			t.Fatalf("no-TLB translate did %d reads, want 4", reads)
+		}
+	}
+	if u.Stats().TLBHits != 0 {
+		t.Error("disabled TLB recorded hits")
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	// 1 set x 1 way: second page evicts the first.
+	u, mem := newTestIOMMU(t, 512, Config{TLBSets: 1, TLBWays: 1})
+	_ = u.CreateContext(1)
+	f1, _ := mem.AllocFrames(1)
+	f2, _ := mem.AllocFrames(1)
+	_ = u.Map(1, 0x1000, f1, PermRW)
+	_ = u.Map(1, 0x2000, f2, PermRW)
+	_, _, _ = u.Translate(1, 0x1000, AccessRead) // miss, fill
+	_, _, _ = u.Translate(1, 0x2000, AccessRead) // miss, evict
+	_, reads, _ := u.Translate(1, 0x1000, AccessRead)
+	if reads == 0 {
+		t.Error("expected eviction, got TLB hit")
+	}
+	st := u.Stats()
+	if st.TLBMisses != 3 {
+		t.Errorf("misses = %d, want 3", st.TLBMisses)
+	}
+}
+
+func TestFlushTLB(t *testing.T) {
+	u, mem := newTestIOMMU(t, 256, DefaultConfig)
+	_ = u.CreateContext(1)
+	f, _ := mem.AllocFrames(1)
+	_ = u.Map(1, 0, f, PermRW)
+	_, _, _ = u.Translate(1, 0, AccessRead)
+	u.FlushTLB()
+	_, reads, _ := u.Translate(1, 0, AccessRead)
+	if reads == 0 {
+		t.Error("translation hit after FlushTLB")
+	}
+}
+
+func TestLookupMatchesTranslate(t *testing.T) {
+	u, mem := newTestIOMMU(t, 512, DefaultConfig)
+	_ = u.CreateContext(3)
+	f, _ := mem.AllocFrames(1)
+	_ = u.Map(3, 0x7000, f, AccessRead)
+	got, perm, ok := u.Lookup(3, 0x7000)
+	if !ok || got != f || perm != AccessRead {
+		t.Errorf("Lookup = (%v, %v, %v)", got, perm, ok)
+	}
+	if _, _, ok := u.Lookup(3, 0x8000); ok {
+		t.Error("Lookup found unmapped page")
+	}
+	if _, _, ok := u.Lookup(9, 0x7000); ok {
+		t.Error("Lookup found page in unknown PASID")
+	}
+}
+
+// Property: for random sets of page mappings, every mapped page translates
+// to its exact frame and every unmapped probe faults.
+func TestTranslationProperty(t *testing.T) {
+	f := func(pages []uint16) bool {
+		u, mem := newTestIOMMU(t, 2048, DefaultConfig)
+		if err := u.CreateContext(1); err != nil {
+			return false
+		}
+		mapped := make(map[VirtAddr]physmem.Frame)
+		for _, pg := range pages {
+			va := VirtAddr(pg) * physmem.PageSize
+			if _, dup := mapped[va]; dup {
+				continue
+			}
+			fr, err := mem.AllocFrames(1)
+			if err != nil {
+				break
+			}
+			if err := u.Map(1, va, fr, PermRW); err != nil {
+				return false
+			}
+			mapped[va] = fr
+		}
+		for va, fr := range mapped {
+			pa, _, err := u.Translate(1, va+5, AccessRead)
+			if err != nil || pa != physmem.Addr(uint64(fr.Addr())+5) {
+				return false
+			}
+		}
+		// Probe a page guaranteed unmapped (beyond the 16-bit page space).
+		if _, _, err := u.Translate(1, VirtAddr(1<<30), AccessRead); err == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultErrorText(t *testing.T) {
+	f := &Fault{PASID: 3, Addr: 0x1000, Access: AccessWrite, Reason: FaultPermission}
+	want := "iommu fault: write of va 0x1000 pasid 3: permission"
+	if f.Error() != want {
+		t.Errorf("Error() = %q, want %q", f.Error(), want)
+	}
+}

@@ -1,0 +1,141 @@
+package iommu
+
+import "nocpu/internal/physmem"
+
+// tlb is a set-associative translation cache keyed by (PASID, page).
+// Replacement is LRU within a set, tracked with a monotonic use counter —
+// deterministic, which the experiment harness depends on.
+type tlb struct {
+	sets    int
+	ways    int
+	entries []tlbEntry // sets*ways, set-major
+	tick    uint64
+}
+
+type tlbEntry struct {
+	valid bool
+	pasid PASID
+	page  VirtAddr
+	frame physmem.Frame
+	perm  Perm
+	huge  bool // entry covers HugePageSize, page is huge-aligned
+	used  uint64
+}
+
+// newTLB builds a TLB; sets <= 0 disables caching entirely (every
+// translation walks), which is the E6 "no TLB" ablation point.
+func newTLB(sets, ways int) *tlb {
+	if sets <= 0 || ways <= 0 {
+		return &tlb{}
+	}
+	// Force sets to a power of two for cheap indexing.
+	s := 1
+	for s < sets {
+		s <<= 1
+	}
+	return &tlb{sets: s, ways: ways, entries: make([]tlbEntry, s*ways)}
+}
+
+func (t *tlb) disabled() bool { return t.sets == 0 }
+
+func (t *tlb) setOf(p PASID, page VirtAddr) int {
+	// Multiplicative mixing: huge pages have 9+ zero low bits in their
+	// page number, so a plain low-bits index would pile them into a
+	// handful of sets.
+	h := (uint64(page>>physmem.PageShift) ^ uint64(p)) * 0x9e3779b97f4a7c15
+	return int(h>>40) & (t.sets - 1)
+}
+
+// lookup probes both granularities: the 4K page and the huge page
+// containing the address (hardware TLBs do the same with per-size arrays;
+// we share one array and tag entries).
+func (t *tlb) lookup(p PASID, page, hugePage VirtAddr) (*tlbEntry, bool) {
+	if t.disabled() {
+		return nil, false
+	}
+	if e, ok := t.probe(p, page, false); ok {
+		return e, true
+	}
+	return t.probe(p, hugePage, true)
+}
+
+func (t *tlb) probe(p PASID, page VirtAddr, huge bool) (*tlbEntry, bool) {
+	base := t.setOf(p, page) * t.ways
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.pasid == p && e.page == page && e.huge == huge {
+			t.tick++
+			e.used = t.tick
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+func (t *tlb) insert(p PASID, page VirtAddr, frame physmem.Frame, perm Perm) {
+	t.insertEntry(p, page, frame, perm, false)
+}
+
+func (t *tlb) insertHuge(p PASID, page VirtAddr, frame physmem.Frame, perm Perm) {
+	t.insertEntry(p, page, frame, perm, true)
+}
+
+func (t *tlb) insertEntry(p PASID, page VirtAddr, frame physmem.Frame, perm Perm, huge bool) {
+	if t.disabled() {
+		return
+	}
+	base := t.setOf(p, page) * t.ways
+	victim := base
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if !e.valid {
+			victim = base + i
+			break
+		}
+		if e.used < t.entries[victim].used {
+			victim = base + i
+		}
+	}
+	t.tick++
+	t.entries[victim] = tlbEntry{valid: true, pasid: p, page: page, frame: frame, perm: perm, huge: huge, used: t.tick}
+}
+
+func (t *tlb) invalidate(p PASID, page VirtAddr) {
+	if t.disabled() {
+		return
+	}
+	base := t.setOf(p, page) * t.ways
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.pasid == p && e.page == page && !e.huge {
+			e.valid = false
+		}
+	}
+}
+
+func (t *tlb) invalidateHuge(p PASID, page VirtAddr) {
+	if t.disabled() {
+		return
+	}
+	base := t.setOf(p, page) * t.ways
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.pasid == p && e.page == page && e.huge {
+			e.valid = false
+		}
+	}
+}
+
+func (t *tlb) flushPASID(p PASID) {
+	for i := range t.entries {
+		if t.entries[i].pasid == p {
+			t.entries[i].valid = false
+		}
+	}
+}
+
+func (t *tlb) flushAll() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}

@@ -1,0 +1,134 @@
+package kvs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+)
+
+func TestValueCacheLRU(t *testing.T) {
+	c := newValueCache(2)
+	c.put("a", []byte{1})
+	c.put("b", []byte{2})
+	if v, ok := c.get("a"); !ok || v[0] != 1 {
+		t.Fatal("a missing")
+	}
+	// a is now MRU; inserting c evicts b.
+	c.put("c", []byte{3})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted out of LRU order")
+	}
+	// Refresh updates in place without growing.
+	c.put("a", []byte{9})
+	if v, _ := c.get("a"); v[0] != 9 {
+		t.Fatal("refresh lost")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+	c.drop("a")
+	if _, ok := c.get("a"); ok {
+		t.Fatal("drop ineffective")
+	}
+	c.clear()
+	if c.len() != 0 {
+		t.Fatal("clear ineffective")
+	}
+}
+
+// cachedTestbed builds a decentralized machine with a cache-enabled KVS.
+func cachedTestbed(t *testing.T, entries int) *testbed {
+	t.Helper()
+	tb := newTestbed(t, 0)
+	// Second store with a cache, same file.
+	st := New(Config{App: 20, FileName: "kv.dat", Memctrl: mcID, QueueEntries: 64, CacheEntries: entries})
+	var bootErr error
+	booted := false
+	st.OnReady = func(err error) { bootErr, booted = err, true }
+	tb.nic.AddApp(st)
+	tb.run()
+	if !booted || bootErr != nil {
+		t.Fatalf("cached store boot: %v", bootErr)
+	}
+	tb.store = st
+	return tb
+}
+
+func (tb *testbed) opApp(t *testing.T, app uint32, req Request) Response {
+	t.Helper()
+	var resp Response
+	got := false
+	tb.nic.Deliver(msg.AppID(app), EncodeRequest(req), func(b []byte) {
+		r, err := DecodeResponse(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, got = r, true
+	})
+	tb.run()
+	if !got {
+		t.Fatal("no response")
+	}
+	return resp
+}
+
+func TestCacheServesRepeatGets(t *testing.T) {
+	tb := cachedTestbed(t, 16)
+	tb.opApp(t, 20, Request{Op: OpPut, Key: "hot", Value: []byte("cached-value")})
+	// First get misses the cache? No: put is write-through, so it hits.
+	r := tb.opApp(t, 20, Request{Op: OpGet, Key: "hot"})
+	if r.Status != StatusOK || string(r.Value) != "cached-value" {
+		t.Fatalf("get: %+v", r)
+	}
+	st := tb.store.Stats()
+	if st.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1 (write-through)", st.CacheHits)
+	}
+	// Cached gets are dramatically faster: no SSD flash trip.
+	start := tb.eng.Now()
+	tb.opApp(t, 20, Request{Op: OpGet, Key: "hot"})
+	cachedTime := tb.eng.Now().Sub(start)
+	if cachedTime > 10*sim.Microsecond {
+		t.Fatalf("cached get took %v (flash is ~25us — did it go to the SSD?)", cachedTime)
+	}
+}
+
+func TestCacheCoherentWithUpdatesAndDeletes(t *testing.T) {
+	tb := cachedTestbed(t, 16)
+	tb.opApp(t, 20, Request{Op: OpPut, Key: "k", Value: []byte("v1")})
+	tb.opApp(t, 20, Request{Op: OpPut, Key: "k", Value: []byte("v2")})
+	if r := tb.opApp(t, 20, Request{Op: OpGet, Key: "k"}); string(r.Value) != "v2" {
+		t.Fatalf("stale cache after update: %q", r.Value)
+	}
+	tb.opApp(t, 20, Request{Op: OpDelete, Key: "k"})
+	if r := tb.opApp(t, 20, Request{Op: OpGet, Key: "k"}); r.Status != StatusNotFound {
+		t.Fatalf("cache resurrected deleted key: %+v", r)
+	}
+}
+
+func TestCacheEvictionFallsBackToSSD(t *testing.T) {
+	tb := cachedTestbed(t, 4)
+	for i := 0; i < 12; i++ {
+		tb.opApp(t, 20, Request{Op: OpPut, Key: fmt.Sprintf("k%02d", i), Value: bytes.Repeat([]byte{byte(i)}, 64)})
+	}
+	// k00 was evicted long ago; the get must still return correct data
+	// (from the SSD) and repopulate the cache.
+	r := tb.opApp(t, 20, Request{Op: OpGet, Key: "k00"})
+	if r.Status != StatusOK || r.Value[0] != 0 || len(r.Value) != 64 {
+		t.Fatalf("evicted key: %+v", r)
+	}
+	before := tb.store.Stats().CacheHits
+	r = tb.opApp(t, 20, Request{Op: OpGet, Key: "k00"})
+	if r.Status != StatusOK {
+		t.Fatalf("refetched key: %+v", r)
+	}
+	if tb.store.Stats().CacheHits != before+1 {
+		t.Fatal("miss did not repopulate the cache")
+	}
+}

@@ -1,0 +1,165 @@
+// Package kvs implements the paper's §3 application: a key-value store
+// whose operations execute on the smart NIC while the data lives in a
+// file on the smart SSD. No CPU participates — the NIC keeps the index in
+// its local memory and reaches values over the shared-memory virtqueue.
+//
+// The store is log-structured: every put/delete appends a record to the
+// data file (which doubles as the write-ahead log), and the index maps
+// keys to value locations. Recovery after an SSD reset is a sequential
+// scan of the file (§4's error-handling story, exercised by E5).
+package kvs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is a client request opcode.
+type Op uint8
+
+// Client operations.
+const (
+	OpGet Op = iota + 1
+	OpPut
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Status is a response code.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusError
+	StatusUnavailable // store not (yet) connected to its file
+)
+
+// Request is a decoded client request.
+type Request struct {
+	Op    Op
+	Key   string
+	Value []byte
+}
+
+// Response is a decoded store response.
+type Response struct {
+	Status Status
+	Value  []byte
+}
+
+// EncodeRequest serializes: op u8 | keyLen u16 | key | valLen u32 | val.
+func EncodeRequest(r Request) []byte {
+	b := make([]byte, 7+len(r.Key)+len(r.Value))
+	b[0] = byte(r.Op)
+	binary.LittleEndian.PutUint16(b[1:], uint16(len(r.Key)))
+	copy(b[3:], r.Key)
+	off := 3 + len(r.Key)
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(r.Value)))
+	copy(b[off+4:], r.Value)
+	return b
+}
+
+// DecodeRequest parses a client request.
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) < 7 {
+		return Request{}, fmt.Errorf("kvs: short request")
+	}
+	kl := int(binary.LittleEndian.Uint16(b[1:]))
+	if len(b) < 3+kl+4 {
+		return Request{}, fmt.Errorf("kvs: truncated key")
+	}
+	vl := int(binary.LittleEndian.Uint32(b[3+kl:]))
+	if len(b) < 7+kl+vl {
+		return Request{}, fmt.Errorf("kvs: truncated value")
+	}
+	r := Request{Op: Op(b[0]), Key: string(b[3 : 3+kl])}
+	if vl > 0 {
+		r.Value = append([]byte(nil), b[7+kl:7+kl+vl]...)
+	}
+	return r, nil
+}
+
+// EncodeResponse serializes: status u8 | valLen u32 | val.
+func EncodeResponse(r Response) []byte {
+	b := make([]byte, 5+len(r.Value))
+	b[0] = byte(r.Status)
+	binary.LittleEndian.PutUint32(b[1:], uint32(len(r.Value)))
+	copy(b[5:], r.Value)
+	return b
+}
+
+// DecodeResponse parses a store response.
+func DecodeResponse(b []byte) (Response, error) {
+	if len(b) < 5 {
+		return Response{}, fmt.Errorf("kvs: short response")
+	}
+	vl := int(binary.LittleEndian.Uint32(b[1:]))
+	if len(b) < 5+vl {
+		return Response{}, fmt.Errorf("kvs: truncated response value")
+	}
+	r := Response{Status: Status(b[0])}
+	if vl > 0 {
+		r.Value = append([]byte(nil), b[5:5+vl]...)
+	}
+	return r, nil
+}
+
+// Log-record framing within the data file:
+// keyLen u16 | valLen u32 | key | value. valLen == tombstone marks a
+// delete.
+const tombstone = uint32(0xFFFFFFFF)
+
+// recordHeader is the fixed framing overhead.
+const recordHeader = 6
+
+// encodeRecord frames one log record.
+func encodeRecord(key string, value []byte, del bool) []byte {
+	vl := uint32(len(value))
+	if del {
+		vl = tombstone
+	}
+	b := make([]byte, recordHeader+len(key)+len(value))
+	binary.LittleEndian.PutUint16(b[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint32(b[2:], vl)
+	copy(b[recordHeader:], key)
+	copy(b[recordHeader+len(key):], value)
+	return b
+}
+
+// recordMeta describes a parsed record header.
+type recordMeta struct {
+	keyLen int
+	valLen int
+	del    bool
+}
+
+func parseRecordHeader(b []byte) (recordMeta, bool) {
+	if len(b) < recordHeader {
+		return recordMeta{}, false
+	}
+	kl := int(binary.LittleEndian.Uint16(b[0:]))
+	vlRaw := binary.LittleEndian.Uint32(b[2:])
+	m := recordMeta{keyLen: kl}
+	if vlRaw == tombstone {
+		m.del = true
+	} else {
+		m.valLen = int(vlRaw)
+	}
+	return m, true
+}
+
+// totalLen returns the full record length.
+func (m recordMeta) totalLen() int { return recordHeader + m.keyLen + m.valLen }

@@ -1,0 +1,439 @@
+package kvs
+
+import (
+	"fmt"
+
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+	"nocpu/internal/smartnic"
+)
+
+// Mode selects which machine's control/data planes the store uses.
+type Mode uint8
+
+// Store modes.
+const (
+	// ModeDecentralized is the paper's machine: bus discovery, memory
+	// controller authorization, peer-to-peer virtqueue.
+	ModeDecentralized Mode = iota
+	// ModeCentralDirect is the Omni-X-style baseline: kernel-mediated
+	// setup (syscalls to the CPU), peer-to-peer data plane.
+	ModeCentralDirect
+	// ModeCentralMediated is the traditional stack: every file I/O is a
+	// syscall through the kernel.
+	ModeCentralMediated
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	App msg.AppID
+	// FileName is the data file on the smart SSD (discovered by
+	// broadcast; §3 step 1).
+	FileName string
+	// Token is the file's authorization token (§3 step 3).
+	Token uint64
+	// Memctrl is the memory controller's bus address (decentralized
+	// mode).
+	Memctrl msg.DeviceID
+	// Mode selects decentralized vs. centralized control/data planes.
+	Mode Mode
+	// Kernel is the CPU's bus address (centralized modes).
+	Kernel msg.DeviceID
+	// QueueEntries sizes the virtqueue (power of two).
+	QueueEntries uint16
+	// IndexCost models the NIC-local hash-table probe/update time.
+	IndexCost sim.Duration
+	// RetryEvery paces reconnection attempts after a provider failure.
+	RetryEvery sim.Duration
+	// KickBatch batches request doorbells on the store's virtqueue (E9
+	// ablation; 0/1 = kick per request).
+	KickBatch int
+	// CacheEntries enables a NIC-local value cache of that many entries
+	// (KV-Direct-style; the paper cites it as [30]). 0 disables. Gets
+	// served from the cache never touch the SSD (E11 ablation).
+	CacheEntries int
+	// SnapshotFile enables index snapshots: recovery loads the snapshot
+	// and scans only the log suffix past its watermark. The file is
+	// created on the SSD on demand. Not supported in mediated mode.
+	SnapshotFile string
+}
+
+// DefaultIndexCost models an on-NIC hash probe.
+const DefaultIndexCost = 150 * sim.Nanosecond
+
+// loc addresses a value inside the data file.
+type loc struct {
+	off uint64 // offset of the value bytes
+	n   uint32
+}
+
+// Stats counts store operations.
+type Stats struct {
+	Gets, Puts, Deletes uint64
+	Hits, Misses        uint64
+	CacheHits           uint64
+	Unavailable         uint64
+	IOErrors            uint64
+	Recoveries          uint64
+	RecoveredRecords    uint64
+	Snapshots           uint64
+	SnapshotRestores    uint64
+	Compactions         uint64
+}
+
+// Store is the KVS application hosted on the smart NIC.
+type Store struct {
+	cfg Config
+	rt  *smartnic.Runtime
+	fc  smartnic.FileAPI
+
+	index      map[string]loc
+	fileEnd    uint64
+	ready      bool
+	compacting bool
+	cache      *valueCache      // nil when disabled
+	snap       smartnic.FileAPI // nil when snapshots disabled
+
+	// OnReady fires whenever the store (re)connects and finishes
+	// recovery; err != nil reports a failed boot.
+	OnReady func(error)
+
+	stats Stats
+}
+
+// New builds a Store; add it to a NIC with nic.AddApp.
+func New(cfg Config) *Store {
+	if cfg.QueueEntries == 0 {
+		cfg.QueueEntries = 64
+	}
+	if cfg.IndexCost == 0 {
+		cfg.IndexCost = DefaultIndexCost
+	}
+	if cfg.RetryEvery == 0 {
+		cfg.RetryEvery = 500 * sim.Microsecond
+	}
+	s := &Store{cfg: cfg, index: make(map[string]loc)}
+	if cfg.CacheEntries > 0 {
+		s.cache = newValueCache(cfg.CacheEntries)
+	}
+	return s
+}
+
+// AppID implements smartnic.App.
+func (s *Store) AppID() msg.AppID { return s.cfg.App }
+
+// Ready reports whether the store is serving.
+func (s *Store) Ready() bool { return s.ready }
+
+// Stats returns a copy of the counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Keys returns the number of live keys.
+func (s *Store) Keys() int { return len(s.index) }
+
+// Boot implements smartnic.App: run the Figure-2 sequence, then recover
+// the index from the data file.
+func (s *Store) Boot(rt *smartnic.Runtime) {
+	s.rt = rt
+	rt.OnResourceError = func(e *msg.ErrorNotify) {
+		// The provider reset our resource (§4): drop to unavailable and
+		// reconnect.
+		s.ready = false
+		s.scheduleReconnect()
+	}
+	s.connect()
+}
+
+func (s *Store) connect() {
+	done := func(fc smartnic.FileAPI, err error) {
+		if err != nil {
+			if s.OnReady != nil {
+				s.OnReady(fmt.Errorf("kvs: connect: %w", err))
+			}
+			s.scheduleReconnect()
+			return
+		}
+		s.fc = fc
+		s.openSnapshot(func() {
+			s.finishConnect()
+		})
+	}
+	s.dispatchOpen(done)
+}
+
+// dispatchOpen issues the mode-appropriate open for the data file.
+func (s *Store) dispatchOpen(done func(fc smartnic.FileAPI, err error)) {
+	tune := func(fc smartnic.FileAPI, err error) {
+		if err == nil && s.cfg.KickBatch > 1 {
+			if pc, ok := fc.(*smartnic.FileClient); ok {
+				pc.Conn.Queue.KickBatch = s.cfg.KickBatch
+			}
+		}
+		done(fc, err)
+	}
+	switch s.cfg.Mode {
+	case ModeCentralDirect:
+		s.rt.OpenFileCentralDirect(s.cfg.Kernel, s.cfg.FileName, s.cfg.Token, s.cfg.QueueEntries, tune)
+	case ModeCentralMediated:
+		s.rt.OpenFileMediated(s.cfg.Kernel, s.cfg.FileName, s.cfg.Token, tune)
+	default:
+		s.rt.OpenFile(s.cfg.Memctrl, s.cfg.FileName, s.cfg.Token, s.cfg.QueueEntries, func(fc *smartnic.FileClient, err error) {
+			tune(fc, err)
+		})
+	}
+}
+
+// openSnapshot opens (creating if needed) the snapshot file when
+// configured and supported in this mode.
+func (s *Store) openSnapshot(next func()) {
+	if s.cfg.SnapshotFile == "" || s.cfg.Mode == ModeCentralMediated || s.snap != nil {
+		next()
+		return
+	}
+	s.rt.OpenFileCreate(s.cfg.Memctrl, s.cfg.SnapshotFile, s.cfg.Token, 16, func(fc *smartnic.FileClient, err error) {
+		if err == nil {
+			s.snap = fc
+		}
+		// Snapshot is an accelerator: failure to open it degrades to
+		// full-scan recovery, never to an error.
+		next()
+	})
+}
+
+// finishConnect recovers the index and marks the store serving.
+func (s *Store) finishConnect() {
+	s.recover(func(err error) {
+		if err != nil {
+			if s.OnReady != nil {
+				s.OnReady(fmt.Errorf("kvs: recovery: %w", err))
+			}
+			s.scheduleReconnect()
+			return
+		}
+		s.ready = true
+		if s.OnReady != nil {
+			s.OnReady(nil)
+		}
+	})
+}
+
+func (s *Store) scheduleReconnect() {
+	s.rt.Engine().After(s.cfg.RetryEvery, func() {
+		if s.ready {
+			return
+		}
+		s.connect()
+	})
+}
+
+// PeerFailed implements smartnic.App: the bus told us our provider died
+// (§4). Fail everything in flight — replies will never arrive — and
+// reconnect once the device is reset.
+func (s *Store) PeerFailed(dev msg.DeviceID) {
+	if s.snap != nil && s.snap.Provider() == dev {
+		// The snapshot connection died with the device; reopen on
+		// reconnect.
+		s.snap.Fail(fmt.Errorf("kvs: snapshot provider %v failed", dev))
+		s.snap = nil
+	}
+	if s.fc != nil && s.fc.Provider() == dev {
+		s.ready = false
+		s.stats.Recoveries++
+		s.fc.Fail(fmt.Errorf("kvs: provider %v failed", dev))
+		s.scheduleReconnect()
+	}
+}
+
+// recover rebuilds the index: seed from the snapshot when one is valid,
+// then scan the log (all of it, or just the suffix past the snapshot's
+// watermark).
+func (s *Store) recover(cb func(error)) {
+	s.index = make(map[string]loc)
+	s.fileEnd = 0
+	if s.cache != nil {
+		s.cache.clear()
+	}
+	s.loadSnapshot(func(start uint64) {
+		s.fc.Stat(func(size uint64, err error) {
+			if err != nil {
+				cb(err)
+				return
+			}
+			if start > size {
+				// Snapshot is ahead of the log (log truncated?): distrust
+				// it entirely.
+				s.index = make(map[string]loc)
+				start = 0
+			}
+			s.scanChunk(start, size, nil, cb)
+		})
+	})
+}
+
+// scanChunk reads forward through [off, size), carrying partial-record
+// bytes between reads.
+func (s *Store) scanChunk(off, size uint64, carry []byte, cb func(error)) {
+	// Consume complete records from carry.
+	for {
+		m, ok := parseRecordHeader(carry)
+		if !ok || len(carry) < m.totalLen() {
+			break
+		}
+		key := string(carry[recordHeader : recordHeader+m.keyLen])
+		consumed := uint64(m.totalLen())
+		valOff := off - uint64(len(carry)) + recordHeader + uint64(m.keyLen)
+		if m.del {
+			delete(s.index, key)
+		} else {
+			s.index[key] = loc{off: valOff, n: uint32(m.valLen)}
+		}
+		s.stats.RecoveredRecords++
+		carry = carry[consumed:]
+	}
+	if off >= size {
+		if len(carry) != 0 {
+			cb(fmt.Errorf("kvs: %d trailing bytes in log (torn write?)", len(carry)))
+			return
+		}
+		s.fileEnd = size
+		cb(nil)
+		return
+	}
+	n := s.fc.MaxIO()
+	if rem := size - off; uint64(n) > rem {
+		n = int(rem)
+	}
+	s.fc.Read(off, n, func(b []byte, err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		if len(b) == 0 {
+			cb(fmt.Errorf("kvs: empty read during recovery at %d", off))
+			return
+		}
+		s.scanChunk(off+uint64(len(b)), size, append(carry, b...), cb)
+	})
+}
+
+// ServeNetwork implements smartnic.App: decode, execute, reply.
+func (s *Store) ServeNetwork(payload []byte, reply func([]byte)) {
+	req, err := DecodeRequest(payload)
+	if err != nil {
+		reply(EncodeResponse(Response{Status: StatusError}))
+		return
+	}
+	if !s.ready {
+		s.stats.Unavailable++
+		reply(EncodeResponse(Response{Status: StatusUnavailable}))
+		return
+	}
+	// Charge the NIC-local index probe before touching the data plane.
+	s.rt.Engine().After(s.cfg.IndexCost, func() {
+		switch req.Op {
+		case OpGet:
+			s.get(req, reply)
+		case OpPut:
+			s.put(req, reply)
+		case OpDelete:
+			s.del(req, reply)
+		default:
+			reply(EncodeResponse(Response{Status: StatusError}))
+		}
+	})
+}
+
+func (s *Store) get(req Request, reply func([]byte)) {
+	s.stats.Gets++
+	l, ok := s.index[req.Key]
+	if !ok {
+		s.stats.Misses++
+		reply(EncodeResponse(Response{Status: StatusNotFound}))
+		return
+	}
+	s.stats.Hits++
+	if s.cache != nil {
+		if val, hit := s.cache.get(req.Key); hit {
+			// Served entirely from NIC memory — no data-plane traffic.
+			s.stats.CacheHits++
+			reply(EncodeResponse(Response{Status: StatusOK, Value: val}))
+			return
+		}
+	}
+	if l.n == 0 {
+		reply(EncodeResponse(Response{Status: StatusOK}))
+		return
+	}
+	s.fc.Read(l.off, int(l.n), func(b []byte, err error) {
+		if err != nil {
+			s.stats.IOErrors++
+			reply(EncodeResponse(Response{Status: StatusError}))
+			return
+		}
+		if s.cache != nil {
+			s.cache.put(req.Key, b)
+		}
+		reply(EncodeResponse(Response{Status: StatusOK, Value: b}))
+	})
+}
+
+func (s *Store) put(req Request, reply func([]byte)) {
+	s.stats.Puts++
+	if s.compacting {
+		s.stats.Unavailable++
+		reply(EncodeResponse(Response{Status: StatusUnavailable}))
+		return
+	}
+	rec := encodeRecord(req.Key, req.Value, false)
+	if len(rec) > s.fc.MaxIO() {
+		reply(EncodeResponse(Response{Status: StatusError}))
+		return
+	}
+	// The store is the file's only writer: it owns the append offset, so
+	// concurrent puts write disjoint ranges.
+	off := s.fileEnd
+	s.fileEnd += uint64(len(rec))
+	s.fc.Write(off, rec, func(err error) {
+		if err != nil {
+			s.stats.IOErrors++
+			reply(EncodeResponse(Response{Status: StatusError}))
+			return
+		}
+		s.index[req.Key] = loc{off: off + recordHeader + uint64(len(req.Key)), n: uint32(len(req.Value))}
+		if s.cache != nil {
+			// Write-through: the cache never holds a value newer or older
+			// than the log.
+			s.cache.put(req.Key, req.Value)
+		}
+		reply(EncodeResponse(Response{Status: StatusOK}))
+	})
+}
+
+func (s *Store) del(req Request, reply func([]byte)) {
+	s.stats.Deletes++
+	if s.compacting {
+		s.stats.Unavailable++
+		reply(EncodeResponse(Response{Status: StatusUnavailable}))
+		return
+	}
+	if _, ok := s.index[req.Key]; !ok {
+		s.stats.Misses++
+		reply(EncodeResponse(Response{Status: StatusNotFound}))
+		return
+	}
+	rec := encodeRecord(req.Key, nil, true)
+	off := s.fileEnd
+	s.fileEnd += uint64(len(rec))
+	s.fc.Write(off, rec, func(err error) {
+		if err != nil {
+			s.stats.IOErrors++
+			reply(EncodeResponse(Response{Status: StatusError}))
+			return
+		}
+		delete(s.index, req.Key)
+		if s.cache != nil {
+			s.cache.drop(req.Key)
+		}
+		reply(EncodeResponse(Response{Status: StatusOK}))
+	})
+}

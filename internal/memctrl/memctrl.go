@@ -1,0 +1,308 @@
+// Package memctrl implements the discrete memory-controller device.
+//
+// §2.4 of "The Last CPU" calls for "a discrete memory controller ...
+// separate from the CPU package" (in the spirit of Intel's Memory
+// Controller Hub or IBM's MXT). It is the resource controller for
+// physical memory: it owns allocation policy, keeps per-application
+// allocation tables, and authorizes every mapping and grant — while the
+// system bus retains the mechanism (actually programming IOMMUs). The
+// controller never touches an IOMMU itself, per §2.2: "the resource
+// controller cannot be allowed to access the IOMMU of another device
+// directly".
+package memctrl
+
+import (
+	"fmt"
+
+	"nocpu/internal/bus"
+	"nocpu/internal/device"
+	"nocpu/internal/interconnect"
+	"nocpu/internal/iommu"
+	"nocpu/internal/msg"
+	"nocpu/internal/physmem"
+	"nocpu/internal/sim"
+	"nocpu/internal/trace"
+)
+
+// Config tunes the controller.
+type Config struct {
+	Device device.Config
+	// OpCost is the controller's table-update time per request.
+	OpCost sim.Duration
+	// QuotaPerApp caps bytes allocated to one application; 0 = unlimited.
+	QuotaPerApp uint64
+}
+
+// DefaultOpCost models a small hardware table engine.
+const DefaultOpCost = 300 * sim.Nanosecond
+
+// Stats counts controller activity.
+type Stats struct {
+	Allocs      uint64
+	Frees       uint64
+	AuthsOK     uint64
+	AuthsDenied uint64
+	Denials     uint64
+	BytesLive   uint64
+}
+
+// allocation is one live region. For huge allocations, frames holds the
+// base frame of each contiguous 2 MiB run.
+type allocation struct {
+	owner  msg.DeviceID
+	frames []physmem.Frame
+	bytes  uint64
+	huge   bool
+}
+
+// Controller is the memory-controller device.
+type Controller struct {
+	dev  *device.Device
+	mem  *physmem.Memory
+	cfg  Config
+	proc *sim.Server
+
+	// table maps app -> base VA -> allocation.
+	table map[msg.AppID]map[uint64]*allocation
+	// appBytes tracks per-app usage for the quota.
+	appBytes map[msg.AppID]uint64
+
+	stats Stats
+}
+
+// New builds and registers the controller on the bus. The device config's
+// Role is forced to RoleMemoryController.
+func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer, cfg Config) (*Controller, error) {
+	cfg.Device.Role = msg.RoleMemoryController
+	if cfg.OpCost == 0 {
+		cfg.OpCost = DefaultOpCost
+	}
+	d, err := device.New(eng, b, fab, tr, cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		dev:      d,
+		mem:      fab.Memory(),
+		cfg:      cfg,
+		proc:     sim.NewServer(eng),
+		table:    make(map[msg.AppID]map[uint64]*allocation),
+		appBytes: make(map[msg.AppID]uint64),
+	}
+	d.Handle(msg.KindAllocReq, c.onAlloc)
+	d.Handle(msg.KindFreeReq, c.onFree)
+	d.Handle(msg.KindAuthReq, c.onAuth)
+	return c, nil
+}
+
+// Device exposes the chassis (Start, state).
+func (c *Controller) Device() *device.Device { return c.dev }
+
+// Start powers the controller on.
+func (c *Controller) Start() { c.dev.Start() }
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// LiveAllocations returns the number of live regions (audits).
+func (c *Controller) LiveAllocations() int {
+	n := 0
+	for _, m := range c.table {
+		n += len(m)
+	}
+	return n
+}
+
+func pagesOf(bytes uint64) int {
+	return int((bytes + physmem.PageSize - 1) / physmem.PageSize)
+}
+
+func (c *Controller) onAlloc(env msg.Envelope) {
+	m := env.Msg.(*msg.AllocReq)
+	c.proc.Submit(c.cfg.OpCost, func() {
+		resp := c.doAlloc(env.Src, m)
+		c.dev.Send(env.Src, resp)
+	})
+}
+
+func (c *Controller) doAlloc(src msg.DeviceID, m *msg.AllocReq) *msg.AllocResp {
+	deny := func(reason string) *msg.AllocResp {
+		c.stats.Denials++
+		return &msg.AllocResp{App: m.App, OK: false, Reason: reason, VA: m.VA}
+	}
+	if m.App == 0 {
+		return deny("invalid app id")
+	}
+	if m.Bytes == 0 {
+		return deny("zero-byte allocation")
+	}
+	if m.VA%physmem.PageSize != 0 {
+		return deny("unaligned virtual address")
+	}
+	apps := c.table[m.App]
+	if apps == nil {
+		apps = make(map[uint64]*allocation)
+		c.table[m.App] = apps
+	}
+	pages := pagesOf(m.Bytes)
+	bytes := uint64(pages) * physmem.PageSize
+	// Overlap check against this app's existing regions.
+	for base, a := range apps {
+		if m.VA < base+a.bytes && base < m.VA+bytes {
+			return deny(fmt.Sprintf("overlaps existing region at %#x", base))
+		}
+	}
+	if m.Huge {
+		// Huge allocations: VA must be 2 MiB aligned and bytes round up
+		// to whole runs of contiguous, naturally aligned frames.
+		if m.VA%iommu.HugePageSize != 0 {
+			return deny("huge allocation requires 2MiB-aligned virtual address")
+		}
+		runs := int((m.Bytes + iommu.HugePageSize - 1) / iommu.HugePageSize)
+		bytes = uint64(runs) * iommu.HugePageSize
+		// Re-check overlap with the rounded-up extent.
+		for base, a := range apps {
+			if m.VA < base+a.bytes && base < m.VA+bytes {
+				return deny(fmt.Sprintf("overlaps existing region at %#x", base))
+			}
+		}
+		if q := c.cfg.QuotaPerApp; q > 0 && c.appBytes[m.App]+bytes > q {
+			return deny("quota exceeded")
+		}
+		frames := make([]physmem.Frame, 0, runs)
+		for i := 0; i < runs; i++ {
+			f, err := c.mem.AllocFrames(iommu.HugeFrames)
+			if err != nil {
+				for _, ff := range frames {
+					_ = c.mem.FreeFrames(ff, iommu.HugeFrames)
+				}
+				return deny("out of contiguous physical memory")
+			}
+			frames = append(frames, f)
+		}
+		apps[m.VA] = &allocation{owner: src, frames: frames, bytes: bytes, huge: true}
+		c.appBytes[m.App] += bytes
+		c.stats.Allocs++
+		c.stats.BytesLive += bytes
+		out := make([]uint64, runs)
+		for i, f := range frames {
+			out[i] = uint64(f)
+		}
+		return &msg.AllocResp{App: m.App, OK: true, VA: m.VA, Frames: out, Perm: m.Perm, Huge: true}
+	}
+	if q := c.cfg.QuotaPerApp; q > 0 && c.appBytes[m.App]+bytes > q {
+		return deny("quota exceeded")
+	}
+	frames := make([]physmem.Frame, 0, pages)
+	// Allocate frame by frame: physical contiguity is not required (the
+	// IOMMU hides it), and page-wise allocation fragments less.
+	for i := 0; i < pages; i++ {
+		f, err := c.mem.AllocFrames(1)
+		if err != nil {
+			for _, ff := range frames {
+				_ = c.mem.FreeFrames(ff, 1)
+			}
+			return deny("out of physical memory")
+		}
+		frames = append(frames, f)
+	}
+	apps[m.VA] = &allocation{owner: src, frames: frames, bytes: bytes}
+	c.appBytes[m.App] += bytes
+	c.stats.Allocs++
+	c.stats.BytesLive += bytes
+	out := make([]uint64, pages)
+	for i, f := range frames {
+		out[i] = uint64(f)
+	}
+	return &msg.AllocResp{App: m.App, OK: true, VA: m.VA, Frames: out, Perm: m.Perm}
+}
+
+func (c *Controller) onFree(env msg.Envelope) {
+	m := env.Msg.(*msg.FreeReq)
+	c.proc.Submit(c.cfg.OpCost, func() {
+		resp := c.doFree(env.Src, m)
+		c.dev.Send(env.Src, resp)
+	})
+}
+
+func (c *Controller) doFree(src msg.DeviceID, m *msg.FreeReq) *msg.FreeResp {
+	deny := func(reason string) *msg.FreeResp {
+		c.stats.Denials++
+		return &msg.FreeResp{App: m.App, OK: false, Reason: reason, VA: m.VA}
+	}
+	a, ok := c.table[m.App][m.VA]
+	if !ok {
+		return deny("no such region")
+	}
+	if a.owner != src {
+		return deny("not the owner")
+	}
+	if m.Bytes != 0 && m.Bytes != a.bytes &&
+		uint64(pagesOf(m.Bytes))*physmem.PageSize != a.bytes {
+		return deny("size mismatch")
+	}
+	per := 1
+	if a.huge {
+		per = iommu.HugeFrames
+	}
+	for _, f := range a.frames {
+		if err := c.mem.FreeFrames(f, per); err != nil {
+			return deny("frame table corruption: " + err.Error())
+		}
+	}
+	delete(c.table[m.App], m.VA)
+	c.appBytes[m.App] -= a.bytes
+	c.stats.Frees++
+	c.stats.BytesLive -= a.bytes
+	return &msg.FreeResp{App: m.App, OK: true, VA: m.VA, Bytes: a.bytes}
+}
+
+func (c *Controller) onAuth(env msg.Envelope) {
+	m := env.Msg.(*msg.AuthReq)
+	c.proc.Submit(c.cfg.OpCost, func() {
+		resp := c.doAuth(env.Src, m)
+		c.dev.Send(msg.BusID, resp)
+	})
+}
+
+func (c *Controller) doAuth(src msg.DeviceID, m *msg.AuthReq) *msg.AuthResp {
+	deny := func(reason string) *msg.AuthResp {
+		c.stats.AuthsDenied++
+		return &msg.AuthResp{App: m.App, OK: false, Reason: reason, VA: m.VA, Nonce: m.Nonce}
+	}
+	// Authorization queries come only from the bus.
+	if src != msg.BusID {
+		return deny("auth requests accepted only from the bus")
+	}
+	if m.Bytes == 0 || m.VA%physmem.PageSize != 0 {
+		return deny("malformed range")
+	}
+	// Find the allocation containing [VA, VA+Bytes).
+	for base, a := range c.table[m.App] {
+		if m.VA >= base && m.VA+m.Bytes <= base+a.bytes {
+			if a.huge {
+				// Huge regions are granted in whole 2 MiB runs only.
+				if (m.VA-base)%iommu.HugePageSize != 0 || m.Bytes%iommu.HugePageSize != 0 {
+					return deny("huge regions grant in whole 2MiB runs")
+				}
+				first := int((m.VA - base) / iommu.HugePageSize)
+				n := int(m.Bytes / iommu.HugePageSize)
+				out := make([]uint64, n)
+				for i := 0; i < n; i++ {
+					out[i] = uint64(a.frames[first+i])
+				}
+				c.stats.AuthsOK++
+				return &msg.AuthResp{App: m.App, OK: true, VA: m.VA, Frames: out, Perm: m.Perm, Nonce: m.Nonce, Huge: true}
+			}
+			first := int((m.VA - base) / physmem.PageSize)
+			n := pagesOf(m.Bytes)
+			out := make([]uint64, n)
+			for i := 0; i < n; i++ {
+				out[i] = uint64(a.frames[first+i])
+			}
+			c.stats.AuthsOK++
+			return &msg.AuthResp{App: m.App, OK: true, VA: m.VA, Frames: out, Perm: m.Perm, Nonce: m.Nonce}
+		}
+	}
+	return deny("range not allocated to app")
+}

@@ -1,0 +1,213 @@
+// Package msg defines the system-management-bus protocol of the CPU-less
+// machine: device and application identifiers, the message vocabulary of
+// §2.2/§3 of "The Last CPU", and a compact binary wire encoding.
+//
+// The protocol carries only control traffic — discovery, service open,
+// memory allocation/grant, lifecycle and error notifications. Data moves
+// over the interconnect (DMA + virtqueues), never over the bus.
+//
+// Messages are encoded to bytes on send: the bus charges transfer time by
+// encoded size, and the codec is round-trip tested, so the protocol is a
+// real wire format rather than passed Go pointers.
+package msg
+
+import "fmt"
+
+// DeviceID addresses a device on the system bus. 0 is invalid.
+type DeviceID uint16
+
+// Broadcast addresses every alive device (discovery, failure notices).
+const Broadcast DeviceID = 0xFFFF
+
+// BusID is the well-known address of the system bus itself.
+const BusID DeviceID = 0xFFFE
+
+func (d DeviceID) String() string {
+	switch d {
+	case Broadcast:
+		return "broadcast"
+	case BusID:
+		return "bus"
+	default:
+		return fmt.Sprintf("dev%d", uint16(d))
+	}
+}
+
+// AppID identifies an application. Per §2.2, "what uniquely identifies
+// [an application] is its virtual address space": AppID doubles as the
+// PASID under which the app's address space is instantiated in each
+// participating device's IOMMU. 0 is invalid.
+type AppID uint32
+
+// Role describes what a device is, which the bus needs for its few
+// policy-free authorization checks (only the registered memory controller
+// may authorize mappings).
+type Role uint8
+
+// Device roles.
+const (
+	RoleAccelerator Role = iota + 1
+	RoleMemoryController
+	RoleStorage
+	RoleNIC
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleAccelerator:
+		return "accelerator"
+	case RoleMemoryController:
+		return "memctrl"
+	case RoleStorage:
+		return "storage"
+	case RoleNIC:
+		return "nic"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// Kind discriminates message types on the wire.
+type Kind uint16
+
+// Message kinds. The groups mirror the paper: lifecycle (§2.2 "System
+// Initialization"), discovery (SSDP-like), service sessions (§3 steps
+// 1-4, 7), memory management (§3 steps 5-6), and error handling (§4).
+const (
+	KindInvalid Kind = iota
+
+	// Lifecycle.
+	KindHello     // device → bus: self-test passed, record me alive
+	KindHelloAck  // bus → device
+	KindHeartbeat // device → bus: watchdog keep-alive
+	KindReset     // bus → device: attempt restart after failure
+	KindResetDone // device → bus: back up after reset
+
+	// Discovery.
+	KindDiscoverReq  // device → broadcast: who provides this service?
+	KindDiscoverResp // provider → requester
+
+	// Service sessions.
+	KindOpenReq     // requester → provider: open service instance (+token)
+	KindOpenResp    // provider → requester: connection details + shm size
+	KindConnectReq  // requester → provider: virtqueue layout in shared VA
+	KindConnectResp // provider → requester
+	KindCloseReq    // requester → provider
+	KindCloseResp   // provider → requester
+
+	// Memory management.
+	KindAllocReq  // device → memctrl: allocate shared memory for app at VA
+	KindAllocResp // memctrl → device; bus intercepts and programs IOMMU
+	KindFreeReq   // device → memctrl
+	KindFreeResp  // memctrl → device; bus unmaps
+	KindGrantReq  // device → bus: grant my app mapping to another device
+	KindGrantResp // bus → device
+	KindAuthReq   // bus → memctrl: is this grant authorized?
+	KindAuthResp  // memctrl → bus
+	KindRevokeReq // device → bus: revoke a previous grant
+	KindRevokeResp
+
+	// Loader service (§2.1: devices storing applications internally must
+	// expose a loader).
+	KindLoadReq
+	KindLoadResp
+
+	// Kernel-mediated file I/O (used only by the centralized-CPU
+	// baseline: the app's data path is a syscall to the kernel, which
+	// performs the device I/O on its behalf — the "traditional stack"
+	// the paper argues against).
+	KindFileIOReq
+	KindFileIOResp
+
+	// Errors (§4).
+	KindErrorNotify  // device → consumers: resource suffered a fatal error
+	KindDeviceFailed // bus → broadcast: a device died
+
+	kindMax
+)
+
+var kindNames = map[Kind]string{
+	KindHello: "hello", KindHelloAck: "hello.ack", KindHeartbeat: "heartbeat",
+	KindReset: "reset", KindResetDone: "reset.done",
+	KindDiscoverReq: "discover.req", KindDiscoverResp: "discover.resp",
+	KindOpenReq: "open.req", KindOpenResp: "open.resp",
+	KindConnectReq: "connect.req", KindConnectResp: "connect.resp",
+	KindCloseReq: "close.req", KindCloseResp: "close.resp",
+	KindAllocReq: "alloc.req", KindAllocResp: "alloc.resp",
+	KindFreeReq: "free.req", KindFreeResp: "free.resp",
+	KindGrantReq: "grant.req", KindGrantResp: "grant.resp",
+	KindAuthReq: "auth.req", KindAuthResp: "auth.resp",
+	KindRevokeReq: "revoke.req", KindRevokeResp: "revoke.resp",
+	KindLoadReq: "load.req", KindLoadResp: "load.resp",
+	KindFileIOReq: "fileio.req", KindFileIOResp: "fileio.resp",
+	KindErrorNotify: "error.notify", KindDeviceFailed: "device.failed",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint16(k))
+}
+
+// Message is any bus message body.
+type Message interface {
+	Kind() Kind
+	encode(w *writer)
+	decode(r *reader)
+}
+
+// Envelope is a routed message.
+type Envelope struct {
+	Src DeviceID
+	Dst DeviceID
+	Msg Message
+}
+
+// Encode serializes the envelope: header (src, dst, kind, payload length)
+// followed by the payload.
+func (e Envelope) Encode() []byte {
+	var pw writer
+	e.Msg.encode(&pw)
+	var w writer
+	w.u16(uint16(e.Src))
+	w.u16(uint16(e.Dst))
+	w.u16(uint16(e.Msg.Kind()))
+	w.u32(uint32(len(pw.buf)))
+	w.buf = append(w.buf, pw.buf...)
+	return w.buf
+}
+
+// Decode parses an envelope produced by Encode.
+func Decode(b []byte) (Envelope, error) {
+	r := reader{buf: b}
+	src := DeviceID(r.u16())
+	dst := DeviceID(r.u16())
+	kind := Kind(r.u16())
+	n := r.u32()
+	if r.err != nil {
+		return Envelope{}, fmt.Errorf("msg: short header: %w", r.err)
+	}
+	if int(n) != len(r.buf)-r.off {
+		return Envelope{}, fmt.Errorf("msg: payload length %d does not match remaining %d bytes", n, len(r.buf)-r.off)
+	}
+	m := newMessage(kind)
+	if m == nil {
+		return Envelope{}, fmt.Errorf("msg: unknown kind %d", kind)
+	}
+	m.decode(&r)
+	if r.err != nil {
+		return Envelope{}, fmt.Errorf("msg: decoding %v: %w", kind, r.err)
+	}
+	if r.off != len(r.buf) {
+		return Envelope{}, fmt.Errorf("msg: %d trailing bytes after %v", len(r.buf)-r.off, kind)
+	}
+	return Envelope{Src: src, Dst: dst, Msg: m}, nil
+}
+
+// EncodedSize returns the wire size of a message without retaining the
+// encoding (used for transfer-time accounting).
+func EncodedSize(m Message) int {
+	var w writer
+	m.encode(&w)
+	return len(w.buf) + 10 // header
+}

@@ -1,0 +1,193 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// allMessages returns one populated instance of every message type; the
+// round-trip test below fails if a new kind is added without extending
+// this list (see TestEveryKindCovered).
+func allMessages() []Message {
+	return []Message{
+		&Hello{Role: RoleStorage, Name: "ssd0", Services: []string{"file:kv.dat", "loader"}},
+		&HelloAck{},
+		&Heartbeat{Seq: 42},
+		&Reset{Reason: "watchdog"},
+		&ResetDone{},
+		&DiscoverReq{Query: "file:kv.dat", Nonce: 7},
+		&DiscoverResp{Query: "file:kv.dat", Nonce: 7, Service: "fs0/kv.dat"},
+		&OpenReq{Service: "fs0/kv.dat", App: 3, Token: 0xdeadbeef},
+		&OpenResp{Service: "fs0/kv.dat", App: 3, OK: true, ConnID: 9, SharedBytes: 1 << 20},
+		&ConnectReq{Service: "fs0/kv.dat", ConnID: 9, App: 3, RingVA: 0x10000, RingEntries: 128,
+			DataVA: 0x20000, DataBytes: 1 << 20, ReqDoorbell: 0x100, RespDoorbell: 0x101},
+		&ConnectResp{ConnID: 9, OK: false, Reason: "bad ring"},
+		&CloseReq{Service: "fs0/kv.dat", ConnID: 9, App: 3},
+		&CloseResp{ConnID: 9, OK: true},
+		&AllocReq{App: 3, VA: 0x10000, Bytes: 1 << 20, Perm: 3, Huge: true},
+		&AllocResp{App: 3, OK: true, VA: 0x10000, Frames: []uint64{5, 6, 7}, Perm: 3, Huge: true},
+		&FreeReq{App: 3, VA: 0x10000, Bytes: 1 << 20},
+		&FreeResp{App: 3, OK: true, VA: 0x10000, Bytes: 1 << 20},
+		&GrantReq{App: 3, VA: 0x10000, Bytes: 4096, Target: 2, Perm: 1},
+		&GrantResp{App: 3, OK: false, Reason: "unauthorized", VA: 0x10000, Target: 2},
+		&AuthReq{App: 3, VA: 0x10000, Bytes: 4096, Target: 2, Perm: 1, Nonce: 88},
+		&AuthResp{App: 3, OK: true, VA: 0x10000, Frames: []uint64{12}, Perm: 1, Nonce: 88, Huge: true},
+		&RevokeReq{App: 3, VA: 0x10000, Bytes: 4096, Target: 2},
+		&RevokeResp{App: 3, OK: true},
+		&LoadReq{Image: "kvs.bin", Token: 1, Data: []byte{1, 2, 3}},
+		&LoadResp{Image: "kvs.bin", OK: true},
+		&FileIOReq{App: 3, Handle: 2, Seq: 9, Op: 1, Off: 4096, Len: 100, Data: []byte{5}},
+		&FileIOResp{App: 3, Handle: 2, Seq: 9, Status: 0, Size: 123, Data: []byte{6, 7}},
+		&ErrorNotify{App: 3, Resource: "fs0/kv.dat", Code: 5, Detail: "flash die failed"},
+		&DeviceFailed{Device: 4},
+	}
+}
+
+func TestRoundTripEveryType(t *testing.T) {
+	for _, m := range allMessages() {
+		env := Envelope{Src: 1, Dst: 2, Msg: m}
+		b := env.Encode()
+		got, err := Decode(b)
+		if err != nil {
+			t.Errorf("%v: decode: %v", m.Kind(), err)
+			continue
+		}
+		if got.Src != 1 || got.Dst != 2 {
+			t.Errorf("%v: routing lost: %+v", m.Kind(), got)
+		}
+		if !reflect.DeepEqual(got.Msg, m) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", m.Kind(), got.Msg, m)
+		}
+	}
+}
+
+func TestEveryKindCovered(t *testing.T) {
+	covered := map[Kind]bool{}
+	for _, m := range allMessages() {
+		covered[m.Kind()] = true
+	}
+	for k := KindInvalid + 1; k < kindMax; k++ {
+		if !covered[k] {
+			t.Errorf("kind %v has no round-trip coverage", k)
+		}
+		if newMessage(k) == nil {
+			t.Errorf("kind %v missing from newMessage registry", k)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	env := Envelope{Src: 1, Dst: 2, Msg: &Heartbeat{Seq: 1}}
+	b := env.Encode()
+
+	// Truncated at every boundary must error, never panic.
+	for i := 0; i < len(b); i++ {
+		if _, err := Decode(b[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	// Trailing garbage rejected.
+	if _, err := Decode(append(append([]byte{}, b...), 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Unknown kind rejected.
+	bad := append([]byte{}, b...)
+	bad[4] = 0xEE
+	bad[5] = 0xEE
+	if _, err := Decode(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// Property: no byte string makes Decode panic.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AllocResp frame lists of arbitrary contents round trip.
+func TestAllocRespFramesProperty(t *testing.T) {
+	f := func(frames []uint64, va uint64, ok bool) bool {
+		m := &AllocResp{App: 1, OK: ok, VA: va, Frames: frames}
+		got, err := Decode(Envelope{Src: 1, Dst: 2, Msg: m}.Encode())
+		if err != nil {
+			return false
+		}
+		gm := got.Msg.(*AllocResp)
+		if len(frames) == 0 {
+			return len(gm.Frames) == 0
+		}
+		return reflect.DeepEqual(gm.Frames, frames)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arbitrary strings in DiscoverReq round trip.
+func TestStringFieldProperty(t *testing.T) {
+	f := func(q string, nonce uint32) bool {
+		if len(q) > 65535 {
+			q = q[:65535]
+		}
+		m := &DiscoverReq{Query: q, Nonce: nonce}
+		got, err := Decode(Envelope{Src: 9, Dst: Broadcast, Msg: m}.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Msg.(*DiscoverReq).Query == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	m := &Heartbeat{Seq: 1}
+	env := Envelope{Src: 1, Dst: 2, Msg: m}
+	if EncodedSize(m) != len(env.Encode()) {
+		t.Errorf("EncodedSize = %d, wire = %d", EncodedSize(m), len(env.Encode()))
+	}
+}
+
+func TestU64ListBomb(t *testing.T) {
+	// A claimed huge frame count with a tiny payload must error cleanly,
+	// not allocate gigabytes.
+	var w writer
+	w.u32(1) // App
+	w.u8(1)  // OK
+	w.u16(0) // Reason
+	w.u64(0) // VA
+	w.u32(0xFFFFFFF0)
+	payload := w.buf
+	var hdr writer
+	hdr.u16(1)
+	hdr.u16(2)
+	hdr.u16(uint16(KindAllocResp))
+	hdr.u32(uint32(len(payload)))
+	hdr.buf = append(hdr.buf, payload...)
+	if _, err := Decode(hdr.buf); err == nil {
+		t.Error("length bomb accepted")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Broadcast.String() != "broadcast" || BusID.String() != "bus" || DeviceID(3).String() != "dev3" {
+		t.Error("DeviceID.String wrong")
+	}
+	if KindAllocResp.String() != "alloc.resp" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(999).String() != "kind(999)" {
+		t.Error("unknown Kind.String wrong")
+	}
+	if RoleMemoryController.String() != "memctrl" || Role(99).String() != "role(99)" {
+		t.Error("Role.String wrong")
+	}
+}

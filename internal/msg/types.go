@@ -1,0 +1,721 @@
+package msg
+
+// This file defines every message body. Encoders and decoders must list
+// fields in identical order; the round-trip tests in msg_test.go cover
+// each type, and Decode rejects trailing bytes, so drift fails loudly.
+
+// Hello announces a device after it passes self-test (§2.2 "System
+// Initialization"). Services lists what it exposes, but the bus does not
+// index them: discovery stays broadcast-based (no global state).
+type Hello struct {
+	Role     Role
+	Name     string
+	Services []string
+}
+
+func (*Hello) Kind() Kind { return KindHello }
+func (m *Hello) encode(w *writer) {
+	w.u8(uint8(m.Role))
+	w.str(m.Name)
+	w.u16(uint16(len(m.Services)))
+	for _, s := range m.Services {
+		w.str(s)
+	}
+}
+func (m *Hello) decode(r *reader) {
+	m.Role = Role(r.u8())
+	m.Name = r.str()
+	n := int(r.u16())
+	if r.err != nil || n > len(r.buf) {
+		r.err = errShort
+		return
+	}
+	if n > 0 {
+		m.Services = make([]string, n)
+		for i := range m.Services {
+			m.Services[i] = r.str()
+		}
+	}
+}
+
+// HelloAck confirms registration.
+type HelloAck struct{}
+
+func (*HelloAck) Kind() Kind     { return KindHelloAck }
+func (*HelloAck) encode(*writer) {}
+func (*HelloAck) decode(*reader) {}
+
+// Heartbeat is the watchdog keep-alive.
+type Heartbeat struct{ Seq uint64 }
+
+func (*Heartbeat) Kind() Kind         { return KindHeartbeat }
+func (m *Heartbeat) encode(w *writer) { w.u64(m.Seq) }
+func (m *Heartbeat) decode(r *reader) { m.Seq = r.u64() }
+
+// Reset orders a device to restart (§4: "The bus can also send a reset
+// signal to the failed device in an attempt to restart it").
+type Reset struct{ Reason string }
+
+func (*Reset) Kind() Kind         { return KindReset }
+func (m *Reset) encode(w *writer) { w.str(m.Reason) }
+func (m *Reset) decode(r *reader) { m.Reason = r.str() }
+
+// ResetDone reports a device back up after Reset.
+type ResetDone struct{}
+
+func (*ResetDone) Kind() Kind     { return KindResetDone }
+func (*ResetDone) encode(*writer) {}
+func (*ResetDone) decode(*reader) {}
+
+// DiscoverReq asks, by broadcast, which device provides a service
+// (§3 step 1: "a broadcast message (containing the file name)").
+// Query is a service selector such as "file:kv.dat" or "loader".
+type DiscoverReq struct {
+	Query string
+	Nonce uint32 // correlates responses with requests
+}
+
+func (*DiscoverReq) Kind() Kind { return KindDiscoverReq }
+func (m *DiscoverReq) encode(w *writer) {
+	w.str(m.Query)
+	w.u32(m.Nonce)
+}
+func (m *DiscoverReq) decode(r *reader) {
+	m.Query = r.str()
+	m.Nonce = r.u32()
+}
+
+// DiscoverResp is a provider's answer (§3 step 2).
+type DiscoverResp struct {
+	Query   string
+	Nonce   uint32
+	Service string // concrete service name to open
+}
+
+func (*DiscoverResp) Kind() Kind { return KindDiscoverResp }
+func (m *DiscoverResp) encode(w *writer) {
+	w.str(m.Query)
+	w.u32(m.Nonce)
+	w.str(m.Service)
+}
+func (m *DiscoverResp) decode(r *reader) {
+	m.Query = r.str()
+	m.Nonce = r.u32()
+	m.Service = r.str()
+}
+
+// OpenReq opens a service instance (§3 step 3, "including an
+// authorization token").
+type OpenReq struct {
+	Service string
+	App     AppID
+	Token   uint64
+}
+
+func (*OpenReq) Kind() Kind { return KindOpenReq }
+func (m *OpenReq) encode(w *writer) {
+	w.str(m.Service)
+	w.u32(uint32(m.App))
+	w.u64(m.Token)
+}
+func (m *OpenReq) decode(r *reader) {
+	m.Service = r.str()
+	m.App = AppID(r.u32())
+	m.Token = r.u64()
+}
+
+// OpenResp returns "the connection details and the amount of shared
+// memory required" (§3 step 4).
+type OpenResp struct {
+	Service     string
+	App         AppID
+	OK          bool
+	Reason      string
+	ConnID      uint32
+	SharedBytes uint64 // shared memory the connection requires
+	// Base is used only by the centralized baseline: the kernel reports
+	// where it mapped the shared region in the app's address space
+	// (decentralized opens leave it 0 — the app allocates its own VA).
+	Base uint64
+}
+
+func (*OpenResp) Kind() Kind { return KindOpenResp }
+func (m *OpenResp) encode(w *writer) {
+	w.str(m.Service)
+	w.u32(uint32(m.App))
+	w.bool(m.OK)
+	w.str(m.Reason)
+	w.u32(m.ConnID)
+	w.u64(m.SharedBytes)
+	w.u64(m.Base)
+}
+func (m *OpenResp) decode(r *reader) {
+	m.Service = r.str()
+	m.App = AppID(r.u32())
+	m.OK = r.bool()
+	m.Reason = r.str()
+	m.ConnID = r.u32()
+	m.SharedBytes = r.u64()
+	m.Base = r.u64()
+}
+
+// ConnectReq programs the provider's end of the connection: where in the
+// app's shared virtual address space the virtqueue and data region live,
+// and which doorbells to use (§3 step 7: "programming the VIRTIO queues
+// in the SSD using virtual addresses").
+type ConnectReq struct {
+	Service      string
+	ConnID       uint32
+	App          AppID
+	RingVA       uint64 // virtqueue base (descriptor table + rings)
+	RingEntries  uint16
+	DataVA       uint64 // data buffer region base
+	DataBytes    uint64
+	ReqDoorbell  uint64 // requester rings this after posting avail entries
+	RespDoorbell uint64 // provider rings this after posting used entries
+}
+
+func (*ConnectReq) Kind() Kind { return KindConnectReq }
+func (m *ConnectReq) encode(w *writer) {
+	w.str(m.Service)
+	w.u32(m.ConnID)
+	w.u32(uint32(m.App))
+	w.u64(m.RingVA)
+	w.u16(m.RingEntries)
+	w.u64(m.DataVA)
+	w.u64(m.DataBytes)
+	w.u64(m.ReqDoorbell)
+	w.u64(m.RespDoorbell)
+}
+func (m *ConnectReq) decode(r *reader) {
+	m.Service = r.str()
+	m.ConnID = r.u32()
+	m.App = AppID(r.u32())
+	m.RingVA = r.u64()
+	m.RingEntries = r.u16()
+	m.DataVA = r.u64()
+	m.DataBytes = r.u64()
+	m.ReqDoorbell = r.u64()
+	m.RespDoorbell = r.u64()
+}
+
+// ConnectResp acknowledges ConnectReq.
+type ConnectResp struct {
+	ConnID uint32
+	OK     bool
+	Reason string
+}
+
+func (*ConnectResp) Kind() Kind { return KindConnectResp }
+func (m *ConnectResp) encode(w *writer) {
+	w.u32(m.ConnID)
+	w.bool(m.OK)
+	w.str(m.Reason)
+}
+func (m *ConnectResp) decode(r *reader) {
+	m.ConnID = r.u32()
+	m.OK = r.bool()
+	m.Reason = r.str()
+}
+
+// CloseReq tears down a service connection.
+type CloseReq struct {
+	Service string
+	ConnID  uint32
+	App     AppID
+}
+
+func (*CloseReq) Kind() Kind { return KindCloseReq }
+func (m *CloseReq) encode(w *writer) {
+	w.str(m.Service)
+	w.u32(m.ConnID)
+	w.u32(uint32(m.App))
+}
+func (m *CloseReq) decode(r *reader) {
+	m.Service = r.str()
+	m.ConnID = r.u32()
+	m.App = AppID(r.u32())
+}
+
+// CloseResp acknowledges CloseReq.
+type CloseResp struct {
+	ConnID uint32
+	OK     bool
+}
+
+func (*CloseResp) Kind() Kind { return KindCloseResp }
+func (m *CloseResp) encode(w *writer) {
+	w.u32(m.ConnID)
+	w.bool(m.OK)
+}
+func (m *CloseResp) decode(r *reader) {
+	m.ConnID = r.u32()
+	m.OK = r.bool()
+}
+
+// AllocReq asks the memory controller for Bytes of physical memory mapped
+// at VA in the app's address space (§3 step 5).
+type AllocReq struct {
+	App   AppID
+	VA    uint64
+	Bytes uint64
+	Perm  uint8 // iommu.Perm bits
+	// Huge requests 2 MiB mappings: the controller allocates contiguous
+	// naturally aligned runs and the bus installs huge PTEs.
+	Huge bool
+}
+
+func (*AllocReq) Kind() Kind { return KindAllocReq }
+func (m *AllocReq) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.u64(m.VA)
+	w.u64(m.Bytes)
+	w.u8(m.Perm)
+	w.bool(m.Huge)
+}
+func (m *AllocReq) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.VA = r.u64()
+	m.Bytes = r.u64()
+	m.Perm = r.u8()
+	m.Huge = r.bool()
+}
+
+// AllocResp is the memory controller's answer. The bus intercepts it in
+// flight and programs the requester's IOMMU (§3 step 6: "Upon seeing the
+// response from the memory, the system bus programs the IOMMU belonging
+// to the NIC"). Frames lists the allocated physical frames, page by page.
+type AllocResp struct {
+	App    AppID
+	OK     bool
+	Reason string
+	VA     uint64
+	Frames []uint64
+	Perm   uint8
+	// Huge marks Frames as bases of contiguous 2 MiB runs rather than
+	// individual 4 KiB frames.
+	Huge bool
+}
+
+func (*AllocResp) Kind() Kind { return KindAllocResp }
+func (m *AllocResp) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.bool(m.OK)
+	w.str(m.Reason)
+	w.u64(m.VA)
+	w.u64s(m.Frames)
+	w.u8(m.Perm)
+	w.bool(m.Huge)
+}
+func (m *AllocResp) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.OK = r.bool()
+	m.Reason = r.str()
+	m.VA = r.u64()
+	m.Frames = r.u64list()
+	m.Perm = r.u8()
+	m.Huge = r.bool()
+}
+
+// FreeReq returns memory to the controller.
+type FreeReq struct {
+	App   AppID
+	VA    uint64
+	Bytes uint64
+}
+
+func (*FreeReq) Kind() Kind { return KindFreeReq }
+func (m *FreeReq) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.u64(m.VA)
+	w.u64(m.Bytes)
+}
+func (m *FreeReq) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.VA = r.u64()
+	m.Bytes = r.u64()
+}
+
+// FreeResp confirms a free; the bus unmaps the range from the requester's
+// IOMMU (and any grantees) when it sees an OK response.
+type FreeResp struct {
+	App    AppID
+	OK     bool
+	Reason string
+	VA     uint64
+	Bytes  uint64
+}
+
+func (*FreeResp) Kind() Kind { return KindFreeResp }
+func (m *FreeResp) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.bool(m.OK)
+	w.str(m.Reason)
+	w.u64(m.VA)
+	w.u64(m.Bytes)
+}
+func (m *FreeResp) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.OK = r.bool()
+	m.Reason = r.str()
+	m.VA = r.u64()
+	m.Bytes = r.u64()
+}
+
+// GrantReq asks the bus to extend one of the requester's app mappings to
+// another device (§3 step 7 first half: "grant access to the shared
+// memory to the SSD"). The bus must obtain memory-controller
+// authorization before programming anything (§3: "must be first
+// authorized by the memory controller").
+type GrantReq struct {
+	App    AppID
+	VA     uint64
+	Bytes  uint64
+	Target DeviceID
+	Perm   uint8
+}
+
+func (*GrantReq) Kind() Kind { return KindGrantReq }
+func (m *GrantReq) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.u64(m.VA)
+	w.u64(m.Bytes)
+	w.u16(uint16(m.Target))
+	w.u8(m.Perm)
+}
+func (m *GrantReq) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.VA = r.u64()
+	m.Bytes = r.u64()
+	m.Target = DeviceID(r.u16())
+	m.Perm = r.u8()
+}
+
+// GrantResp reports the outcome of a GrantReq.
+type GrantResp struct {
+	App    AppID
+	OK     bool
+	Reason string
+	VA     uint64
+	Target DeviceID
+}
+
+func (*GrantResp) Kind() Kind { return KindGrantResp }
+func (m *GrantResp) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.bool(m.OK)
+	w.str(m.Reason)
+	w.u64(m.VA)
+	w.u16(uint16(m.Target))
+}
+func (m *GrantResp) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.OK = r.bool()
+	m.Reason = r.str()
+	m.VA = r.u64()
+	m.Target = DeviceID(r.u16())
+}
+
+// AuthReq is the bus's authorization query to the memory controller.
+type AuthReq struct {
+	App    AppID
+	VA     uint64
+	Bytes  uint64
+	Target DeviceID
+	Perm   uint8
+	Nonce  uint32
+}
+
+func (*AuthReq) Kind() Kind { return KindAuthReq }
+func (m *AuthReq) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.u64(m.VA)
+	w.u64(m.Bytes)
+	w.u16(uint16(m.Target))
+	w.u8(m.Perm)
+	w.u32(m.Nonce)
+}
+func (m *AuthReq) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.VA = r.u64()
+	m.Bytes = r.u64()
+	m.Target = DeviceID(r.u16())
+	m.Perm = r.u8()
+	m.Nonce = r.u32()
+}
+
+// AuthResp carries the controller's verdict and, when authorized, the
+// physical frames backing [VA, VA+Bytes) so the bus can program the
+// target IOMMU.
+type AuthResp struct {
+	App    AppID
+	OK     bool
+	Reason string
+	VA     uint64
+	Frames []uint64
+	Perm   uint8
+	Nonce  uint32
+	// Huge marks Frames as 2 MiB run bases (see AllocResp).
+	Huge bool
+}
+
+func (*AuthResp) Kind() Kind { return KindAuthResp }
+func (m *AuthResp) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.bool(m.OK)
+	w.str(m.Reason)
+	w.u64(m.VA)
+	w.u64s(m.Frames)
+	w.u8(m.Perm)
+	w.u32(m.Nonce)
+	w.bool(m.Huge)
+}
+func (m *AuthResp) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.OK = r.bool()
+	m.Reason = r.str()
+	m.VA = r.u64()
+	m.Frames = r.u64list()
+	m.Perm = r.u8()
+	m.Nonce = r.u32()
+	m.Huge = r.bool()
+}
+
+// RevokeReq removes a previously granted mapping from Target.
+type RevokeReq struct {
+	App    AppID
+	VA     uint64
+	Bytes  uint64
+	Target DeviceID
+}
+
+func (*RevokeReq) Kind() Kind { return KindRevokeReq }
+func (m *RevokeReq) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.u64(m.VA)
+	w.u64(m.Bytes)
+	w.u16(uint16(m.Target))
+}
+func (m *RevokeReq) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.VA = r.u64()
+	m.Bytes = r.u64()
+	m.Target = DeviceID(r.u16())
+}
+
+// RevokeResp reports the outcome of a RevokeReq.
+type RevokeResp struct {
+	App    AppID
+	OK     bool
+	Reason string
+}
+
+func (*RevokeResp) Kind() Kind { return KindRevokeResp }
+func (m *RevokeResp) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.bool(m.OK)
+	w.str(m.Reason)
+}
+func (m *RevokeResp) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.OK = r.bool()
+	m.Reason = r.str()
+}
+
+// LoadReq uploads a new application image via a device's loader service
+// (§2.1). Token carries the §4 authentication credential.
+type LoadReq struct {
+	Image string
+	Token uint64
+	Data  []byte
+}
+
+func (*LoadReq) Kind() Kind { return KindLoadReq }
+func (m *LoadReq) encode(w *writer) {
+	w.str(m.Image)
+	w.u64(m.Token)
+	w.bytes(m.Data)
+}
+func (m *LoadReq) decode(r *reader) {
+	m.Image = r.str()
+	m.Token = r.u64()
+	m.Data = r.bytesField()
+}
+
+// LoadResp reports the outcome of a LoadReq.
+type LoadResp struct {
+	Image  string
+	OK     bool
+	Reason string
+}
+
+func (*LoadResp) Kind() Kind { return KindLoadResp }
+func (m *LoadResp) encode(w *writer) {
+	w.str(m.Image)
+	w.bool(m.OK)
+	w.str(m.Reason)
+}
+func (m *LoadResp) decode(r *reader) {
+	m.Image = r.str()
+	m.OK = r.bool()
+	m.Reason = r.str()
+}
+
+// FileIOReq is a kernel-mediated file operation (centralized baseline
+// only): the app traps to the kernel, which performs the device I/O.
+type FileIOReq struct {
+	App    AppID
+	Handle uint32 // kernel file handle from the mediated open
+	Seq    uint32 // correlates responses
+	Op     uint8  // smartssd.FileOp
+	Off    uint64
+	Len    uint32
+	Data   []byte
+}
+
+func (*FileIOReq) Kind() Kind { return KindFileIOReq }
+func (m *FileIOReq) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.u32(m.Handle)
+	w.u32(m.Seq)
+	w.u8(m.Op)
+	w.u64(m.Off)
+	w.u32(m.Len)
+	w.bytes(m.Data)
+}
+func (m *FileIOReq) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.Handle = r.u32()
+	m.Seq = r.u32()
+	m.Op = r.u8()
+	m.Off = r.u64()
+	m.Len = r.u32()
+	m.Data = r.bytesField()
+}
+
+// FileIOResp is the kernel's completion for a FileIOReq.
+type FileIOResp struct {
+	App    AppID
+	Handle uint32
+	Seq    uint32
+	Status uint8 // smartssd.Status
+	Size   uint64
+	Data   []byte
+}
+
+func (*FileIOResp) Kind() Kind { return KindFileIOResp }
+func (m *FileIOResp) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.u32(m.Handle)
+	w.u32(m.Seq)
+	w.u8(m.Status)
+	w.u64(m.Size)
+	w.bytes(m.Data)
+}
+func (m *FileIOResp) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.Handle = r.u32()
+	m.Seq = r.u32()
+	m.Status = r.u8()
+	m.Size = r.u64()
+	m.Data = r.bytesField()
+}
+
+// ErrorNotify tells a consumer that a resource it uses suffered a fatal
+// error and is being reset (§4: "It must send a message to any consumer
+// using that resource and then reset the resource").
+type ErrorNotify struct {
+	App      AppID
+	Resource string
+	Code     uint32
+	Detail   string
+}
+
+func (*ErrorNotify) Kind() Kind { return KindErrorNotify }
+func (m *ErrorNotify) encode(w *writer) {
+	w.u32(uint32(m.App))
+	w.str(m.Resource)
+	w.u32(m.Code)
+	w.str(m.Detail)
+}
+func (m *ErrorNotify) decode(r *reader) {
+	m.App = AppID(r.u32())
+	m.Resource = r.str()
+	m.Code = r.u32()
+	m.Detail = r.str()
+}
+
+// DeviceFailed is the bus's broadcast when a device dies (§4: "the
+// resource bus must send messages to all other devices in the system that
+// may be using a resource of the failed device").
+type DeviceFailed struct{ Device DeviceID }
+
+func (*DeviceFailed) Kind() Kind         { return KindDeviceFailed }
+func (m *DeviceFailed) encode(w *writer) { w.u16(uint16(m.Device)) }
+func (m *DeviceFailed) decode(r *reader) { m.Device = DeviceID(r.u16()) }
+
+// newMessage returns a zero value of the message type for kind, or nil
+// for an unknown kind.
+func newMessage(k Kind) Message {
+	switch k {
+	case KindHello:
+		return &Hello{}
+	case KindHelloAck:
+		return &HelloAck{}
+	case KindHeartbeat:
+		return &Heartbeat{}
+	case KindReset:
+		return &Reset{}
+	case KindResetDone:
+		return &ResetDone{}
+	case KindDiscoverReq:
+		return &DiscoverReq{}
+	case KindDiscoverResp:
+		return &DiscoverResp{}
+	case KindOpenReq:
+		return &OpenReq{}
+	case KindOpenResp:
+		return &OpenResp{}
+	case KindConnectReq:
+		return &ConnectReq{}
+	case KindConnectResp:
+		return &ConnectResp{}
+	case KindCloseReq:
+		return &CloseReq{}
+	case KindCloseResp:
+		return &CloseResp{}
+	case KindAllocReq:
+		return &AllocReq{}
+	case KindAllocResp:
+		return &AllocResp{}
+	case KindFreeReq:
+		return &FreeReq{}
+	case KindFreeResp:
+		return &FreeResp{}
+	case KindGrantReq:
+		return &GrantReq{}
+	case KindGrantResp:
+		return &GrantResp{}
+	case KindAuthReq:
+		return &AuthReq{}
+	case KindAuthResp:
+		return &AuthResp{}
+	case KindRevokeReq:
+		return &RevokeReq{}
+	case KindRevokeResp:
+		return &RevokeResp{}
+	case KindLoadReq:
+		return &LoadReq{}
+	case KindLoadResp:
+		return &LoadResp{}
+	case KindFileIOReq:
+		return &FileIOReq{}
+	case KindFileIOResp:
+		return &FileIOResp{}
+	case KindErrorNotify:
+		return &ErrorNotify{}
+	case KindDeviceFailed:
+		return &DeviceFailed{}
+	}
+	return nil
+}

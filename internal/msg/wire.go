@@ -1,0 +1,130 @@
+package msg
+
+import (
+	"errors"
+	"math"
+)
+
+// writer accumulates a little-endian encoding.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = append(w.buf, byte(v), byte(v>>8)) }
+func (w *writer) u32(v uint32) {
+	w.buf = append(w.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (w *writer) u64(v uint64) {
+	w.u32(uint32(v))
+	w.u32(uint32(v >> 32))
+}
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) u64s(v []uint64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.u64(x)
+	}
+}
+
+var errShort = errors.New("truncated message")
+
+// reader decodes; the first error sticks and subsequent reads return
+// zeros, so decoders can be written without per-field error checks.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = errShort
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func (r *reader) u64() uint64 {
+	lo := uint64(r.u32())
+	hi := uint64(r.u32())
+	return lo | hi<<32
+}
+func (r *reader) bool() bool { return r.u8() != 0 }
+func (r *reader) str() string {
+	n := int(r.u16())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+func (r *reader) bytesField() []byte {
+	n := int(r.u32())
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+func (r *reader) u64list() []uint64 {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	// Sanity bound: each element needs 8 bytes.
+	if n < 0 || r.off+8*n > len(r.buf) {
+		r.err = errShort
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.u64()
+	}
+	return out
+}

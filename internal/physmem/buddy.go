@@ -1,0 +1,157 @@
+package physmem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// buddy is a classic binary-buddy frame allocator. Allocation requests are
+// rounded up to a power-of-two order; the excess frames of the rounded
+// block are immediately split back onto the free lists so only the exact
+// request is consumed (a common refinement, cf. Linux's alloc_pages_exact).
+type buddy struct {
+	orders     int
+	free       [][]Frame        // free[o] = free blocks of size 1<<o frames
+	allocated  map[Frame]uint64 // start frame -> exact frame count
+	freeFrames uint64
+	total      uint64
+}
+
+const maxOrder = 24 // 2^24 frames * 4KiB = 64 GiB max region
+
+func newBuddy(frames uint64) *buddy {
+	b := &buddy{
+		orders:     maxOrder + 1,
+		free:       make([][]Frame, maxOrder+1),
+		allocated:  make(map[Frame]uint64),
+		freeFrames: frames,
+		total:      frames,
+	}
+	// Seed the free lists by greedily carving the region into maximal
+	// power-of-two aligned blocks.
+	var start uint64
+	remaining := frames
+	for remaining > 0 {
+		o := bits.TrailingZeros64(start)
+		if start == 0 {
+			o = maxOrder
+		}
+		for (uint64(1) << o) > remaining {
+			o--
+		}
+		if o > maxOrder {
+			o = maxOrder
+		}
+		b.free[o] = append(b.free[o], Frame(start))
+		start += 1 << o
+		remaining -= 1 << o
+	}
+	return b
+}
+
+func orderFor(n uint64) int {
+	o := bits.Len64(n - 1)
+	if n == 1 {
+		o = 0
+	}
+	return o
+}
+
+// alloc reserves exactly n frames and returns the first.
+func (b *buddy) alloc(n uint64) (Frame, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("physmem: zero-frame allocation")
+	}
+	if n > b.total {
+		return 0, fmt.Errorf("physmem: allocation of %d frames exceeds memory of %d frames", n, b.total)
+	}
+	want := orderFor(n)
+	// Find the smallest order with a free block.
+	o := want
+	for o <= maxOrder && len(b.free[o]) == 0 {
+		o++
+	}
+	if o > maxOrder {
+		return 0, fmt.Errorf("physmem: out of memory allocating %d frames (%d free, fragmented)", n, b.freeFrames)
+	}
+	// Pop the last block (LIFO keeps the address space compact and the
+	// allocator deterministic).
+	blk := b.free[o][len(b.free[o])-1]
+	b.free[o] = b.free[o][:len(b.free[o])-1]
+	// Split down to the wanted order.
+	for o > want {
+		o--
+		b.free[o] = append(b.free[o], blk+Frame(uint64(1)<<o))
+	}
+	// Return the tail beyond the exact request to the free lists.
+	excessStart := uint64(blk) + n
+	excess := (uint64(1) << want) - n
+	b.releaseRange(excessStart, excess)
+	b.allocated[blk] = n
+	b.freeFrames -= n
+	return blk, nil
+}
+
+// releaseRange puts [start, start+count) back on the free lists as maximal
+// aligned power-of-two blocks, merging buddies where possible.
+func (b *buddy) releaseRange(start, count uint64) {
+	for count > 0 {
+		o := bits.TrailingZeros64(start)
+		if start == 0 {
+			o = maxOrder
+		}
+		for o > 0 && (uint64(1)<<o) > count {
+			o--
+		}
+		if o > maxOrder {
+			o = maxOrder
+		}
+		b.insertAndMerge(Frame(start), o)
+		start += 1 << o
+		count -= 1 << o
+	}
+}
+
+// insertAndMerge adds a block at order o, coalescing with its buddy
+// repeatedly while the buddy is free.
+func (b *buddy) insertAndMerge(blk Frame, o int) {
+	for o < maxOrder {
+		buddyBlk := blk ^ Frame(uint64(1)<<o)
+		merged := false
+		lst := b.free[o]
+		for i, fb := range lst {
+			if fb == buddyBlk {
+				// Remove buddy, merge upward.
+				lst[i] = lst[len(lst)-1]
+				b.free[o] = lst[:len(lst)-1]
+				if buddyBlk < blk {
+					blk = buddyBlk
+				}
+				o++
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	b.free[o] = append(b.free[o], blk)
+}
+
+// free releases an allocation made by alloc. The start frame and count
+// must match exactly; anything else is a double free or corruption and is
+// reported as an error.
+func (b *buddy) release(f Frame, n uint64) error {
+	got, ok := b.allocated[f]
+	if !ok {
+		return fmt.Errorf("physmem: free of unallocated frame %d", f)
+	}
+	if got != n {
+		return fmt.Errorf("physmem: free of %d frames at %d, but allocation was %d frames", n, f, got)
+	}
+	delete(b.allocated, f)
+	b.releaseRange(uint64(f), n)
+	b.freeFrames += n
+	return nil
+}

@@ -1,0 +1,214 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Everything in the emulated CPU-less machine — bus messages, DMA
+// transfers, flash operations, network arrivals — executes as events on a
+// single virtual clock owned by an Engine. The engine is strictly
+// deterministic: events fire in (time, insertion-sequence) order, and all
+// randomness is drawn from an explicitly seeded Rand. Two runs with the
+// same seed produce byte-identical traces.
+//
+// The engine is not safe for concurrent use; the whole simulation is
+// single-threaded by design (determinism is a correctness requirement for
+// the experiment harness, which asserts on exact event orderings).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String renders a Time as a human-readable duration since start.
+func (t Time) String() string { return Duration(t).String() }
+
+// String renders a Duration using the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(d)/float64(Second))
+	}
+}
+
+// Micros returns the duration in (possibly fractional) microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Add returns t+d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a scheduled callback. seq breaks timestamp ties so that events
+// scheduled earlier run earlier, which keeps runs reproducible.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the callback was still
+// pending (false means it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+// Engine owns the virtual clock and the pending-event queue.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	running bool
+	// Executed counts events dispatched since creation; useful for
+	// detecting runaway simulations in tests.
+	Executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it
+// indicates a model bug (causality violation), never a recoverable state.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn d nanoseconds from now. Negative d is clamped to 0.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet drained).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step dispatches the next event, advancing the clock to its timestamp.
+// It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue drains.
+func (e *Engine) Run() {
+	e.running = true
+	for e.running && e.Step() {
+	}
+	e.running = false
+}
+
+// RunUntil dispatches events with timestamps <= t, then sets the clock to
+// t (even if no event fired exactly at t).
+func (e *Engine) RunUntil(t Time) {
+	e.running = true
+	for e.running {
+		if len(e.events) == 0 {
+			break
+		}
+		// Peek.
+		next := e.events[0]
+		if next.dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	e.running = false
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Stop halts a Run/RunUntil loop after the current event returns.
+func (e *Engine) Stop() { e.running = false }

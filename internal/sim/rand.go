@@ -1,0 +1,109 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic PRNG (splitmix64). The simulation
+// never touches math/rand global state: every stochastic component owns a
+// Rand derived from the run seed, so runs replay exactly.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Fork derives an independent generator from this one. Used to give each
+// workload source its own stream so adding a source does not perturb the
+// draws seen by others.
+func (r *Rand) Fork() *Rand { return &Rand{state: r.Uint64() ^ 0x9e3779b97f4a7c15} }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed duration with the given mean —
+// inter-arrival times of a Poisson process.
+func (r *Rand) Exp(mean Duration) Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	d := Duration(-math.Log(u) * float64(mean))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Zipf draws ranks in [0, n) with P(k) proportional to 1/(k+1)^s, using
+// inverse-CDF over a precomputed table. Build one with NewZipf.
+type Zipf struct {
+	rand *Rand
+	cdf  []float64
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s (s=0 is
+// uniform, s≈0.99 is the usual YCSB-style skew).
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: Zipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{rand: r, cdf: cdf}
+}
+
+// Next returns the next sampled rank.
+func (z *Zipf) Next() int {
+	u := z.rand.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

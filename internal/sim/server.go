@@ -1,0 +1,104 @@
+package sim
+
+// Server models a serial resource with FIFO queueing: an embedded
+// controller, a flash channel, a CPU core. Work submitted while the server
+// is busy queues behind the in-flight job; completion callbacks fire in
+// submission order. This is the primitive that makes centralized control
+// planes saturate realistically in the experiments.
+type Server struct {
+	eng *Engine
+	// busyUntil is the virtual time at which the server drains all
+	// currently accepted work.
+	busyUntil Time
+	// Busy time accumulated, for utilization accounting.
+	busyTotal Duration
+	jobs      uint64
+}
+
+// NewServer returns an idle server on the given engine.
+func NewServer(eng *Engine) *Server { return &Server{eng: eng} }
+
+// Submit enqueues a job with the given service time and schedules done at
+// its completion. It returns the completion time.
+func (s *Server) Submit(service Duration, done func()) Time {
+	if service < 0 {
+		service = 0
+	}
+	start := s.eng.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	finish := start.Add(service)
+	s.busyUntil = finish
+	s.busyTotal += service
+	s.jobs++
+	if done != nil {
+		s.eng.At(finish, done)
+	}
+	return finish
+}
+
+// Delay reports how long a job submitted now would wait before service.
+func (s *Server) Delay() Duration {
+	if s.busyUntil <= s.eng.Now() {
+		return 0
+	}
+	return s.busyUntil.Sub(s.eng.Now())
+}
+
+// BusyTotal returns accumulated service time (for utilization).
+func (s *Server) BusyTotal() Duration { return s.busyTotal }
+
+// Jobs returns the number of jobs accepted.
+func (s *Server) Jobs() uint64 { return s.jobs }
+
+// Pool models k identical parallel servers with a shared FIFO queue
+// (M/x/k): the centralized baseline's multi-core CPU.
+type Pool struct {
+	eng     *Engine
+	free    []Time // next-free time per server
+	queue   Duration
+	jobs    uint64
+	busySum Duration
+}
+
+// NewPool returns a pool of k servers. k must be >= 1.
+func NewPool(eng *Engine, k int) *Pool {
+	if k < 1 {
+		panic("sim: pool needs at least one server")
+	}
+	return &Pool{eng: eng, free: make([]Time, k)}
+}
+
+// Submit places a job on the earliest-free server and schedules done at
+// completion; returns the completion time.
+func (p *Pool) Submit(service Duration, done func()) Time {
+	if service < 0 {
+		service = 0
+	}
+	// Pick the server that frees earliest (stable: lowest index wins ties).
+	best := 0
+	for i, t := range p.free {
+		if t < p.free[best] {
+			best = i
+		}
+	}
+	start := p.eng.Now()
+	if p.free[best] > start {
+		start = p.free[best]
+	}
+	finish := start.Add(service)
+	p.free[best] = finish
+	p.jobs++
+	p.busySum += service
+	if done != nil {
+		p.eng.At(finish, done)
+	}
+	return finish
+}
+
+// Jobs returns the number of jobs accepted.
+func (p *Pool) Jobs() uint64 { return p.jobs }
+
+// BusyTotal returns accumulated service time across all servers.
+func (p *Pool) BusyTotal() Duration { return p.busySum }

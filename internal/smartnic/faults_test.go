@@ -1,0 +1,184 @@
+package smartnic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+	"nocpu/internal/smartssd"
+)
+
+// Loader-service coverage (§2.1: devices that store applications
+// internally must expose a loader; §4: loads are authenticated).
+
+func TestLoaderUploadsImage(t *testing.T) {
+	m := newMachine(t)
+	image := bytes.Repeat([]byte{0xEE}, 10000)
+	var resp *msg.LoadResp
+	app := &testApp{id: 1}
+	m.nic.AddApp(app)
+	m.nic.Device().Handle(msg.KindLoadResp, func(e msg.Envelope) {
+		resp = e.Msg.(*msg.LoadResp)
+	})
+	m.eng.Run()
+	m.nic.Device().Send(ssdID, &msg.LoadReq{Image: "kvs.bin", Data: image})
+	m.eng.Run()
+	if resp == nil || !resp.OK {
+		t.Fatalf("load = %+v", resp)
+	}
+	// The image is a file on the volume now.
+	f, ok := m.ssd.FS().Lookup("kvs.bin")
+	if !ok || f.Size() != uint64(len(image)) {
+		t.Fatalf("image not stored (ok=%v)", ok)
+	}
+	// Re-upload replaces contents.
+	resp = nil
+	m.nic.Device().Send(ssdID, &msg.LoadReq{Image: "kvs.bin", Data: []byte("v2")})
+	m.eng.Run()
+	if resp == nil || !resp.OK {
+		t.Fatalf("reload = %+v", resp)
+	}
+	f, _ = m.ssd.FS().Lookup("kvs.bin")
+	if f.Size() != 2 {
+		t.Fatalf("reload size = %d", f.Size())
+	}
+}
+
+func TestLoaderAuthentication(t *testing.T) {
+	// Machine with a loader token configured.
+	m := newMachineWithSSD(t, smartssd.Config{LoaderToken: 0x5ec7e7})
+	var resp *msg.LoadResp
+	m.nic.Device().Handle(msg.KindLoadResp, func(e msg.Envelope) {
+		resp = e.Msg.(*msg.LoadResp)
+	})
+	m.nic.Device().Send(9, &msg.LoadReq{Image: "evil.bin", Token: 0xBAD, Data: []byte{1}})
+	m.eng.Run()
+	if resp == nil || resp.OK || !strings.Contains(resp.Reason, "authentication") {
+		t.Fatalf("unauthenticated load = %+v", resp)
+	}
+	if _, ok := m.ssd.FS().Lookup("evil.bin"); ok {
+		t.Fatal("unauthenticated image stored")
+	}
+	resp = nil
+	m.nic.Device().Send(9, &msg.LoadReq{Image: "good.bin", Token: 0x5ec7e7, Data: []byte{1}})
+	m.eng.Run()
+	if resp == nil || !resp.OK {
+		t.Fatalf("authenticated load = %+v", resp)
+	}
+}
+
+// newMachineWithSSD builds the standard machine but with a custom SSD
+// config (the smartnic_test machine fixture hard-codes one).
+func newMachineWithSSD(t *testing.T, ssdCfg smartssd.Config) *machine {
+	t.Helper()
+	m := newMachine(t)
+	// Replace the SSD by attaching a second one with the custom config.
+	ssdCfg.Device.ID = 9
+	ssdCfg.Device.Name = "ssd9"
+	ssd2, err := smartssd.New(m.eng, m.bus, m.fab, m.tr, ssdCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssd2.Start()
+	m.eng.Run()
+	// Route the fixture's helpers at the new SSD.
+	m.ssd = ssd2
+	return m
+}
+
+func TestBrokenFlashSurfacesIOErrors(t *testing.T) {
+	m := newMachine(t)
+	m.createFile(t, "kv.dat", []byte("some data on flash"))
+	var fc *FileClient
+	m.nic.AddApp(&testApp{id: 1, onBoot: func(rt *Runtime) {
+		rt.OpenFile(mcID, "kv.dat", 0, 32, func(c *FileClient, err error) {
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			fc = c
+		})
+	}})
+	m.eng.Run()
+	if fc == nil {
+		t.Fatal("no client")
+	}
+	// Break the NAND: reads must come back as IO errors, not hangs.
+	m.ssd.BreakFlash()
+	var gotErr error
+	fc.Read(0, 10, func(b []byte, err error) { gotErr = err })
+	m.eng.Run()
+	if gotErr == nil {
+		t.Fatal("read from broken flash succeeded")
+	}
+	// Repair: service resumes on the same connection.
+	m.ssd.RepairFlash()
+	var got []byte
+	fc.Read(0, 4, func(b []byte, err error) { got = b; gotErr = err })
+	m.eng.Run()
+	if gotErr != nil || !bytes.Equal(got, []byte("some")) {
+		t.Fatalf("post-repair read: %q, %v", got, gotErr)
+	}
+}
+
+func TestErrorNotifyOnRevokedQueue(t *testing.T) {
+	// Revoke the SSD's grant mid-connection: its next DMA faults, and per
+	// §4 it must send ErrorNotify to the consumer and drop the context.
+	m := newMachine(t)
+	m.createFile(t, "kv.dat", []byte("payload"))
+	var conn *Connection
+	var notified *msg.ErrorNotify
+	m.nic.AddApp(&testApp{id: 1, onBoot: func(rt *Runtime) {
+		rt.OnResourceError = func(e *msg.ErrorNotify) { notified = e }
+		rt.OpenService(mcID, "file:kv.dat", 0, 16, func(c *Connection, err error) {
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			conn = c
+		})
+	}})
+	m.eng.Run()
+	if conn == nil {
+		t.Fatal("no connection")
+	}
+	// Revoke the whole shared region from the SSD.
+	m.nic.Device().Send(msg.BusID, &msg.RevokeReq{App: 1, VA: conn.VA, Bytes: conn.Bytes, Target: ssdID})
+	m.eng.Run()
+	// Drive a request: the SSD-side DMA faults.
+	_ = conn.Queue.Submit([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, func(b []byte, err error) {})
+	m.eng.Run()
+	if notified == nil {
+		t.Fatal("no ErrorNotify after revocation fault")
+	}
+	if notified.Resource != "file:kv.dat" {
+		t.Errorf("resource = %q", notified.Resource)
+	}
+}
+
+func TestNICFailureRebootsApps(t *testing.T) {
+	// Kill the NIC: watchdog resets it; the chassis re-runs OnAlive,
+	// which re-boots every app, which re-runs the Figure-2 sequence.
+	m2 := buildMachine(t, 500*sim.Microsecond)
+	m2.createFile(t, "kv.dat", []byte("x"))
+	boots := 0
+	var lastErr error
+	m2.nic.AddApp(&testApp{id: 1, onBoot: func(rt *Runtime) {
+		boots++
+		rt.OpenFile(mcID, "kv.dat", 0, 16, func(c *FileClient, err error) { lastErr = err })
+	}})
+	m2.eng.RunFor(5 * sim.Millisecond)
+	if boots != 1 || lastErr != nil {
+		t.Fatalf("first boot: boots=%d err=%v", boots, lastErr)
+	}
+	m2.nic.Device().Kill()
+	m2.eng.RunFor(20 * sim.Millisecond)
+	if boots < 2 {
+		t.Fatalf("app not rebooted after NIC recovery (boots=%d)", boots)
+	}
+	if lastErr != nil {
+		t.Fatalf("reboot open failed: %v", lastErr)
+	}
+}

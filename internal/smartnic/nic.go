@@ -1,0 +1,263 @@
+// Package smartnic implements the smart NIC of §3: the programmable
+// device that hosts offloaded applications (the KVS), exposes them to the
+// network, and consumes services from other devices (the smart SSD's
+// file service) through the system bus and shared-memory virtqueues.
+//
+// The package also provides the Runtime — §4's "library that encapsulates
+// the functionality of the system bus, and provide[s] functions for
+// service discovery, resource allocation, etc." — which executes the
+// paper's Figure-2 initialization sequence on behalf of an application.
+package smartnic
+
+import (
+	"fmt"
+
+	"nocpu/internal/bus"
+	"nocpu/internal/device"
+	"nocpu/internal/interconnect"
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+	"nocpu/internal/trace"
+)
+
+// App is an application offloaded to the NIC. The NIC calls Boot once the
+// device is alive; the app uses the Runtime for everything.
+type App interface {
+	// AppID is the application's identity == its PASID (§2.2).
+	AppID() msg.AppID
+	// Boot starts the app; it typically runs the Figure-2 sequence.
+	Boot(rt *Runtime)
+	// ServeNetwork handles one network request; reply sends the response
+	// back to the client.
+	ServeNetwork(payload []byte, reply func([]byte))
+	// PeerFailed tells the app a device it may depend on died (§4).
+	PeerFailed(dev msg.DeviceID)
+}
+
+// Config assembles a NIC.
+type Config struct {
+	Device device.Config
+	// RxCost/TxCost model packet processing per network request/response.
+	RxCost sim.Duration
+	TxCost sim.Duration
+}
+
+// DefaultRxCost and DefaultTxCost model a programmable pipeline.
+const (
+	DefaultRxCost = 600 * sim.Nanosecond
+	DefaultTxCost = 300 * sim.Nanosecond
+)
+
+// NIC is the smart NIC device.
+type NIC struct {
+	dev *device.Device
+	cfg Config
+
+	apps map[msg.AppID]App
+	rts  map[msg.AppID]*Runtime
+	rx   *sim.Server
+	tx   *sim.Server
+
+	// pending continuations for control-plane responses, keyed by each
+	// message's natural correlator.
+	pendingDiscover map[uint32]func(msg.DeviceID, *msg.DiscoverResp)
+	pendingOpen     map[openKey]func(*msg.OpenResp)
+	pendingAlloc    map[allocKey]func(*msg.AllocResp)
+	pendingFree     map[allocKey]func(*msg.FreeResp)
+	pendingGrant    map[grantKey]func(*msg.GrantResp)
+	pendingConnect  map[uint32]func(*msg.ConnectResp)
+	pendingClose    map[uint32]func(*msg.CloseResp)
+	pendingIO       map[ioKey]func(*msg.FileIOResp)
+	nextNonce       uint32
+	faultHandlerSet bool
+
+	// NetRequests counts network requests served.
+	NetRequests uint64
+}
+
+type openKey struct {
+	app     msg.AppID
+	service string
+}
+type allocKey struct {
+	app msg.AppID
+	va  uint64
+}
+type grantKey struct {
+	app    msg.AppID
+	va     uint64
+	target msg.DeviceID
+}
+
+// New builds the NIC and attaches it.
+func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer, cfg Config) (*NIC, error) {
+	if cfg.RxCost == 0 {
+		cfg.RxCost = DefaultRxCost
+	}
+	if cfg.TxCost == 0 {
+		cfg.TxCost = DefaultTxCost
+	}
+	cfg.Device.Role = msg.RoleNIC
+	d, err := device.New(eng, b, fab, tr, cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	n := &NIC{
+		dev:             d,
+		cfg:             cfg,
+		apps:            make(map[msg.AppID]App),
+		rts:             make(map[msg.AppID]*Runtime),
+		rx:              sim.NewServer(eng),
+		tx:              sim.NewServer(eng),
+		pendingDiscover: make(map[uint32]func(msg.DeviceID, *msg.DiscoverResp)),
+		pendingOpen:     make(map[openKey]func(*msg.OpenResp)),
+		pendingAlloc:    make(map[allocKey]func(*msg.AllocResp)),
+		pendingFree:     make(map[allocKey]func(*msg.FreeResp)),
+		pendingGrant:    make(map[grantKey]func(*msg.GrantResp)),
+		pendingConnect:  make(map[uint32]func(*msg.ConnectResp)),
+		pendingClose:    make(map[uint32]func(*msg.CloseResp)),
+		pendingIO:       make(map[ioKey]func(*msg.FileIOResp)),
+	}
+	d.Handle(msg.KindDiscoverResp, n.onDiscoverResp)
+	d.Handle(msg.KindOpenResp, n.onOpenResp)
+	d.Handle(msg.KindAllocResp, n.onAllocResp)
+	d.Handle(msg.KindFreeResp, n.onFreeResp)
+	d.Handle(msg.KindGrantResp, n.onGrantResp)
+	d.Handle(msg.KindConnectResp, n.onConnectResp)
+	d.Handle(msg.KindCloseResp, n.onCloseResp)
+	d.Handle(msg.KindFileIOResp, n.onFileIOResp)
+	d.Handle(msg.KindErrorNotify, n.onErrorNotify)
+	d.OnAlive = n.onAlive
+	d.OnPeerFailed = n.onPeerFailed
+	return n, nil
+}
+
+// Device exposes the chassis.
+func (n *NIC) Device() *device.Device { return n.dev }
+
+// Start powers the NIC on.
+func (n *NIC) Start() { n.dev.Start() }
+
+// AddApp loads an application image onto the NIC (before or after Start;
+// apps added while alive boot immediately).
+func (n *NIC) AddApp(a App) *Runtime {
+	if _, dup := n.apps[a.AppID()]; dup {
+		panic(fmt.Sprintf("smartnic %s: duplicate app %d", n.dev.Name(), a.AppID()))
+	}
+	rt := newRuntime(n, a.AppID())
+	n.apps[a.AppID()] = a
+	n.rts[a.AppID()] = rt
+	if n.dev.State() == device.StateAlive {
+		a.Boot(rt)
+	}
+	return rt
+}
+
+func (n *NIC) onAlive() {
+	for id, a := range n.apps {
+		a.Boot(n.rts[id])
+	}
+}
+
+func (n *NIC) onPeerFailed(dev msg.DeviceID) {
+	for _, a := range n.apps {
+		a.PeerFailed(dev)
+	}
+}
+
+// Deliver injects a network request addressed to an app (called by the
+// netsim workload generators — this is the NIC's MAC/PHY edge). reply is
+// invoked with the response after tx processing.
+func (n *NIC) Deliver(app msg.AppID, payload []byte, reply func([]byte)) {
+	a, ok := n.apps[app]
+	if !ok || n.dev.State() != device.StateAlive {
+		// No such app or dead NIC: the packet vanishes, as on a real wire.
+		return
+	}
+	n.rx.Submit(n.cfg.RxCost, func() {
+		n.NetRequests++
+		a.ServeNetwork(payload, func(resp []byte) {
+			n.tx.Submit(n.cfg.TxCost, func() { reply(resp) })
+		})
+	})
+}
+
+// Control-plane response routing.
+
+func (n *NIC) onDiscoverResp(env msg.Envelope) {
+	m := env.Msg.(*msg.DiscoverResp)
+	if cb, ok := n.pendingDiscover[m.Nonce]; ok {
+		// First responder wins; later responses for the same nonce are
+		// dropped (the paper leaves multi-provider arbitration open).
+		delete(n.pendingDiscover, m.Nonce)
+		cb(env.Src, m)
+	}
+}
+
+func (n *NIC) onOpenResp(env msg.Envelope) {
+	m := env.Msg.(*msg.OpenResp)
+	k := openKey{m.App, m.Service}
+	if cb, ok := n.pendingOpen[k]; ok {
+		delete(n.pendingOpen, k)
+		cb(m)
+	}
+}
+
+func (n *NIC) onAllocResp(env msg.Envelope) {
+	m := env.Msg.(*msg.AllocResp)
+	k := allocKey{m.App, m.VA}
+	if cb, ok := n.pendingAlloc[k]; ok {
+		delete(n.pendingAlloc, k)
+		cb(m)
+	}
+}
+
+func (n *NIC) onFreeResp(env msg.Envelope) {
+	m := env.Msg.(*msg.FreeResp)
+	k := allocKey{m.App, m.VA}
+	if cb, ok := n.pendingFree[k]; ok {
+		delete(n.pendingFree, k)
+		cb(m)
+	}
+}
+
+func (n *NIC) onGrantResp(env msg.Envelope) {
+	m := env.Msg.(*msg.GrantResp)
+	k := grantKey{m.App, m.VA, m.Target}
+	if cb, ok := n.pendingGrant[k]; ok {
+		delete(n.pendingGrant, k)
+		cb(m)
+	}
+}
+
+func (n *NIC) onConnectResp(env msg.Envelope) {
+	m := env.Msg.(*msg.ConnectResp)
+	if cb, ok := n.pendingConnect[m.ConnID]; ok {
+		delete(n.pendingConnect, m.ConnID)
+		cb(m)
+	}
+}
+
+func (n *NIC) onCloseResp(env msg.Envelope) {
+	m := env.Msg.(*msg.CloseResp)
+	if cb, ok := n.pendingClose[m.ConnID]; ok {
+		delete(n.pendingClose, m.ConnID)
+		cb(m)
+	}
+}
+
+func (n *NIC) onFileIOResp(env msg.Envelope) {
+	m := env.Msg.(*msg.FileIOResp)
+	k := ioKey{m.App, m.Handle, m.Seq}
+	if cb, ok := n.pendingIO[k]; ok {
+		delete(n.pendingIO, k)
+		cb(m)
+	}
+}
+
+func (n *NIC) onErrorNotify(env msg.Envelope) {
+	m := env.Msg.(*msg.ErrorNotify)
+	if rt, ok := n.rts[m.App]; ok && rt.OnResourceError != nil {
+		rt.OnResourceError(m)
+	}
+}

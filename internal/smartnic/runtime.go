@@ -1,0 +1,278 @@
+package smartnic
+
+import (
+	"fmt"
+
+	"nocpu/internal/iommu"
+	"nocpu/internal/msg"
+	"nocpu/internal/physmem"
+	"nocpu/internal/sim"
+	"nocpu/internal/virtio"
+)
+
+// Runtime is the per-application system-bus library (§4
+// "Programmability"). It exposes discovery, shared-memory allocation,
+// grants and service connections; OpenService composes them into the full
+// Figure-2 initialization sequence.
+type Runtime struct {
+	nic *NIC
+	app msg.AppID
+
+	// nextVA is the app's trivial virtual-address-space allocator: the
+	// address space is huge and regions are rarely freed, so a bump
+	// allocator suffices.
+	nextVA uint64
+
+	// OnResourceError receives §4 error notifications from providers.
+	OnResourceError func(*msg.ErrorNotify)
+
+	// DiscoverTimeout bounds how long a discovery waits for an answer.
+	DiscoverTimeout sim.Duration
+
+	// Demand-paging state (see demand.go).
+	lazy          []lazyRegion
+	lazyMemctrl   msg.DeviceID
+	lazyAllocs    int
+	pendingFaults map[uint64][]func(error)
+}
+
+func newRuntime(n *NIC, app msg.AppID) *Runtime {
+	return &Runtime{
+		nic:             n,
+		app:             app,
+		nextVA:          0x1000_0000, // leave low VAs unused to catch bugs
+		DiscoverTimeout: 10 * sim.Millisecond,
+		pendingFaults:   make(map[uint64][]func(error)),
+	}
+}
+
+// App returns the application id.
+func (rt *Runtime) App() msg.AppID { return rt.app }
+
+// Engine returns the simulation engine (apps schedule timers with it).
+func (rt *Runtime) Engine() *sim.Engine { return rt.nic.dev.Engine() }
+
+// NIC returns the hosting device.
+func (rt *Runtime) NIC() *NIC { return rt.nic }
+
+// reserveVA carves a page-aligned region out of the app's address space.
+func (rt *Runtime) reserveVA(bytes uint64) uint64 {
+	va := rt.nextVA
+	pages := (bytes + physmem.PageSize - 1) / physmem.PageSize
+	rt.nextVA += (pages + 1) * physmem.PageSize // guard page between regions
+	return va
+}
+
+// Discover broadcasts a service query (§3 step 1) and waits for the first
+// provider (§3 step 2) or the timeout.
+func (rt *Runtime) Discover(query string, cb func(provider msg.DeviceID, service string, err error)) {
+	n := rt.nic
+	n.nextNonce++
+	nonce := n.nextNonce
+	timer := n.dev.Engine().After(rt.DiscoverTimeout, func() {
+		if _, still := n.pendingDiscover[nonce]; still {
+			delete(n.pendingDiscover, nonce)
+			cb(0, "", fmt.Errorf("smartnic: discovery of %q timed out", query))
+		}
+	})
+	n.pendingDiscover[nonce] = func(src msg.DeviceID, m *msg.DiscoverResp) {
+		timer.Stop()
+		cb(src, m.Service, nil)
+	}
+	n.dev.Send(msg.Broadcast, &msg.DiscoverReq{Query: query, Nonce: nonce})
+}
+
+// AllocShared asks the memory controller for shared memory mapped into
+// this app's address space (§3 step 5); the bus programs this NIC's IOMMU
+// before the response arrives (§3 step 6).
+func (rt *Runtime) AllocShared(memctrl msg.DeviceID, bytes uint64, cb func(va uint64, err error)) {
+	n := rt.nic
+	va := rt.reserveVA(bytes)
+	n.pendingAlloc[allocKey{rt.app, va}] = func(m *msg.AllocResp) {
+		if !m.OK {
+			cb(0, fmt.Errorf("smartnic: alloc failed: %s", m.Reason))
+			return
+		}
+		cb(va, nil)
+	}
+	n.dev.Send(memctrl, &msg.AllocReq{App: rt.app, VA: va, Bytes: bytes, Perm: uint8(iommu.PermRW)})
+}
+
+// AllocSharedHuge is AllocShared with 2 MiB mappings: the controller
+// hands out contiguous runs and the bus installs one PTE per 2 MiB,
+// cutting table-programming cost ~512x and extending TLB reach (E13).
+func (rt *Runtime) AllocSharedHuge(memctrl msg.DeviceID, bytes uint64, cb func(va uint64, err error)) {
+	n := rt.nic
+	// Round the reservation so the next region stays huge-aligned.
+	runs := (bytes + iommu.HugePageSize - 1) / iommu.HugePageSize
+	va := rt.nextVA
+	if rem := va % iommu.HugePageSize; rem != 0 {
+		va += iommu.HugePageSize - rem
+	}
+	rt.nextVA = va + (runs+1)*iommu.HugePageSize
+	n.pendingAlloc[allocKey{rt.app, va}] = func(m *msg.AllocResp) {
+		if !m.OK {
+			cb(0, fmt.Errorf("smartnic: huge alloc failed: %s", m.Reason))
+			return
+		}
+		cb(va, nil)
+	}
+	n.dev.Send(memctrl, &msg.AllocReq{App: rt.app, VA: va, Bytes: bytes, Perm: uint8(iommu.PermRW), Huge: true})
+}
+
+// Free returns a shared region to the controller.
+func (rt *Runtime) Free(memctrl msg.DeviceID, va, bytes uint64, cb func(error)) {
+	n := rt.nic
+	n.pendingFree[allocKey{rt.app, va}] = func(m *msg.FreeResp) {
+		if !m.OK {
+			cb(fmt.Errorf("smartnic: free failed: %s", m.Reason))
+			return
+		}
+		cb(nil)
+	}
+	n.dev.Send(memctrl, &msg.FreeReq{App: rt.app, VA: va, Bytes: bytes})
+}
+
+// Grant asks the bus to extend one of this app's regions to another
+// device (§3 step 7, first half).
+func (rt *Runtime) Grant(va, bytes uint64, target msg.DeviceID, cb func(error)) {
+	n := rt.nic
+	n.pendingGrant[grantKey{rt.app, va, target}] = func(m *msg.GrantResp) {
+		if !m.OK {
+			cb(fmt.Errorf("smartnic: grant to %v denied: %s", target, m.Reason))
+			return
+		}
+		cb(nil)
+	}
+	n.dev.Send(msg.BusID, &msg.GrantReq{App: rt.app, VA: va, Bytes: bytes, Target: target, Perm: uint8(iommu.PermRW)})
+}
+
+// Connection is an established service connection with its virtqueue.
+type Connection struct {
+	rt       *Runtime
+	Provider msg.DeviceID
+	Service  string
+	ConnID   uint32
+	VA       uint64 // shared region base
+	Bytes    uint64
+	Queue    *virtio.Driver
+}
+
+// OpenService runs the complete Figure-2 sequence:
+//
+//  1. broadcast discovery of the query
+//  2. provider responds
+//  3. OpenReq with the authorization token
+//  4. OpenResp with connection id + shared memory size
+//  5. AllocReq to the memory controller
+//  6. bus programs this device's IOMMU, AllocResp arrives
+//  7. GrantReq extends the region to the provider; ConnectReq programs
+//     the provider's virtqueue endpoint
+//
+// cb receives a live Connection whose Queue is ready for requests.
+func (rt *Runtime) OpenService(memctrl msg.DeviceID, query string, token uint64, entries uint16, cb func(*Connection, error)) {
+	n := rt.nic
+	fail := func(stage string, err error) {
+		cb(nil, fmt.Errorf("smartnic: open %q: %s: %w", query, stage, err))
+	}
+	// Step 1-2: discovery.
+	rt.Discover(query, func(provider msg.DeviceID, service string, err error) {
+		if err != nil {
+			fail("discover", err)
+			return
+		}
+		// Step 3-4: open.
+		n.pendingOpen[openKey{rt.app, service}] = func(or *msg.OpenResp) {
+			if !or.OK {
+				fail("open", fmt.Errorf("%s", or.Reason))
+				return
+			}
+			// The provider quotes shared memory for a default ring; scale
+			// for the ring size we actually want.
+			cell := int(or.SharedBytes) // provider's quote for 128 entries
+			_ = cell
+			cellSize := cellSizeFromQuote(or.SharedBytes, 128)
+			lay := virtio.NewLayout(0, entries, cellSize)
+			shared := uint64(lay.DataVA) + uint64(lay.DataBytes())
+			// Step 5-6: allocate shared memory (bus maps our IOMMU).
+			rt.AllocShared(memctrl, shared, func(va uint64, err error) {
+				if err != nil {
+					fail("alloc", err)
+					return
+				}
+				// Step 7a: grant the region to the provider.
+				rt.Grant(va, shared, provider, func(err error) {
+					if err != nil {
+						fail("grant", err)
+						return
+					}
+					// Build our driver half first so the ConnectReq can
+					// carry the response doorbell.
+					layout := virtio.NewLayout(iommu.VirtAddr(va), entries, cellSize)
+					drv, derr := virtio.NewDriver(n.dev.DMA(), iommu.PASID(rt.app), layout, 0)
+					if derr != nil {
+						fail("driver", derr)
+						return
+					}
+					// Step 7b: program the provider's queue.
+					n.pendingConnect[or.ConnID] = func(cr *msg.ConnectResp) {
+						if !cr.OK {
+							fail("connect", fmt.Errorf("%s", cr.Reason))
+							return
+						}
+						var bell uint64
+						if _, err := fmt.Sscanf(cr.Reason, "reqbell=%d", &bell); err != nil {
+							fail("connect", fmt.Errorf("no request doorbell in response"))
+							return
+						}
+						drv.SetRequestBell(bell)
+						cb(&Connection{
+							rt:       rt,
+							Provider: provider,
+							Service:  service,
+							ConnID:   or.ConnID,
+							VA:       va,
+							Bytes:    shared,
+							Queue:    drv,
+						}, nil)
+					}
+					n.dev.Send(provider, &msg.ConnectReq{
+						Service:      service,
+						ConnID:       or.ConnID,
+						App:          rt.app,
+						RingVA:       uint64(layout.Base),
+						RingEntries:  entries,
+						DataVA:       uint64(layout.DataVA),
+						DataBytes:    uint64(layout.DataBytes()),
+						RespDoorbell: uint64(drv.RespBell),
+					})
+				})
+			})
+		}
+		n.dev.Send(provider, &msg.OpenReq{Service: service, App: rt.app, Token: token})
+	})
+}
+
+// cellSizeFromQuote inverts virtio.SharedBytes for the provider's default
+// 128-entry quote to recover its cell size.
+func cellSizeFromQuote(quote uint64, entries uint16) int {
+	ring := uint64((virtio.RingBytes(entries) + physmem.PageSize - 1) &^ (physmem.PageSize - 1))
+	if quote <= ring {
+		return physmem.PageSize
+	}
+	return int((quote - ring) / uint64(entries))
+}
+
+// Close tears down the connection (service side and local doorbell).
+func (c *Connection) Close(cb func(error)) {
+	n := c.rt.nic
+	n.pendingClose[c.ConnID] = func(m *msg.CloseResp) {
+		n.dev.Fabric().UnregisterDoorbell(c.Queue.RespBell)
+		if !m.OK {
+			cb(fmt.Errorf("smartnic: close refused"))
+			return
+		}
+		cb(nil)
+	}
+	n.dev.Send(c.Provider, &msg.CloseReq{Service: c.Service, ConnID: c.ConnID, App: c.rt.app})
+}

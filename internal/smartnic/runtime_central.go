@@ -1,0 +1,186 @@
+package smartnic
+
+import (
+	"fmt"
+
+	"nocpu/internal/iommu"
+	"nocpu/internal/msg"
+	"nocpu/internal/smartssd"
+	"nocpu/internal/virtio"
+)
+
+// This file is the centralized-baseline counterpart of runtime.go: the
+// same application-facing API, but every control operation is a syscall
+// to the CPU kernel (centralos) instead of bus discovery + controller
+// authorization. It exists so experiments can run the identical KVS
+// application on both machines and compare.
+
+// FileAPI abstracts a file connection so applications are agnostic to
+// whether the data path is peer-to-peer (FileClient) or kernel-mediated
+// (mediatedFile).
+type FileAPI interface {
+	Read(off uint64, n int, cb func([]byte, error))
+	Write(off uint64, data []byte, cb func(error))
+	Append(data []byte, cb func(newSize uint64, err error))
+	Stat(cb func(size uint64, err error))
+	Truncate(cb func(error))
+	MaxIO() int
+	// Provider is the device serving the file (for failure tracking).
+	Provider() msg.DeviceID
+	// Fail aborts the connection, erroring out all in-flight requests —
+	// called when the owner learns the provider died.
+	Fail(err error)
+}
+
+// Fail implements FileAPI for the mediated client. The kernel is assumed
+// reliable in the baseline, so there is nothing to abort.
+func (m *mediatedFile) Fail(err error) {}
+
+// Provider implements FileAPI for the peer-to-peer client.
+func (fc *FileClient) Provider() msg.DeviceID { return fc.Conn.Provider }
+
+// Fail implements FileAPI: abort the virtqueue, failing pending requests.
+func (fc *FileClient) Fail(err error) { fc.Conn.Queue.Abort(err) }
+
+// OpenFileCentralDirect performs an Omni-X-style open: the kernel
+// handles discovery (its registry), memory allocation and IOMMU
+// programming, but the resulting virtqueue is app-to-SSD — the data
+// plane stays peer-to-peer.
+func (rt *Runtime) OpenFileCentralDirect(kernel msg.DeviceID, name string, token uint64, entries uint16, cb func(FileAPI, error)) {
+	n := rt.nic
+	service := "file:" + name
+	fail := func(stage string, err error) {
+		cb(nil, fmt.Errorf("smartnic: central open %q: %s: %w", name, stage, err))
+	}
+	n.pendingOpen[openKey{rt.app, service}] = func(or *msg.OpenResp) {
+		if !or.OK {
+			fail("open", fmt.Errorf("%s", or.Reason))
+			return
+		}
+		cellSize := cellSizeFromQuote(or.SharedBytes, entries)
+		layout := virtio.NewLayout(iommu.VirtAddr(or.Base), entries, cellSize)
+		drv, derr := virtio.NewDriver(n.dev.DMA(), iommu.PASID(rt.app), layout, 0)
+		if derr != nil {
+			fail("driver", derr)
+			return
+		}
+		n.pendingConnect[or.ConnID] = func(cr *msg.ConnectResp) {
+			if !cr.OK {
+				fail("connect", fmt.Errorf("%s", cr.Reason))
+				return
+			}
+			var bell uint64
+			if _, err := fmt.Sscanf(cr.Reason, "reqbell=%d", &bell); err != nil {
+				fail("connect", fmt.Errorf("no request doorbell"))
+				return
+			}
+			drv.SetRequestBell(bell)
+			cb(&FileClient{Conn: &Connection{
+				rt: rt, Provider: kernel, Service: service,
+				ConnID: or.ConnID, VA: or.Base, Bytes: or.SharedBytes, Queue: drv,
+			}}, nil)
+		}
+		// The connect syscall also goes through the kernel.
+		n.dev.Send(kernel, &msg.ConnectReq{
+			Service:      service,
+			ConnID:       or.ConnID,
+			App:          rt.app,
+			RingVA:       uint64(layout.Base),
+			RingEntries:  entries,
+			DataVA:       uint64(layout.DataVA),
+			DataBytes:    uint64(layout.DataBytes()),
+			RespDoorbell: uint64(drv.RespBell),
+		})
+	}
+	n.dev.Send(kernel, &msg.OpenReq{Service: service, App: rt.app, Token: token})
+}
+
+// OpenFileMediated performs a traditional-stack open: the kernel owns the
+// device queue, and every subsequent I/O is a FileIOReq syscall with the
+// kernel copying data between the app and its page cache.
+func (rt *Runtime) OpenFileMediated(kernel msg.DeviceID, name string, token uint64, cb func(FileAPI, error)) {
+	n := rt.nic
+	service := "mediated:" + name
+	n.pendingOpen[openKey{rt.app, service}] = func(or *msg.OpenResp) {
+		if !or.OK {
+			cb(nil, fmt.Errorf("smartnic: mediated open %q: %s", name, or.Reason))
+			return
+		}
+		cb(&mediatedFile{rt: rt, kernel: kernel, handle: or.ConnID, maxIO: int(or.SharedBytes)}, nil)
+	}
+	n.dev.Send(kernel, &msg.OpenReq{Service: service, App: rt.app, Token: token})
+}
+
+// ioKey correlates mediated I/O completions.
+type ioKey struct {
+	app    msg.AppID
+	handle uint32
+	seq    uint32
+}
+
+// mediatedFile is the syscall-based FileAPI.
+type mediatedFile struct {
+	rt     *Runtime
+	kernel msg.DeviceID
+	handle uint32
+	maxIO  int
+	seq    uint32
+}
+
+func (m *mediatedFile) Provider() msg.DeviceID { return m.kernel }
+func (m *mediatedFile) MaxIO() int             { return m.maxIO }
+
+func (m *mediatedFile) call(op smartssd.FileOp, off uint64, n uint32, data []byte, cb func(*msg.FileIOResp, error)) {
+	nic := m.rt.nic
+	m.seq++
+	seq := m.seq
+	nic.pendingIO[ioKey{m.rt.app, m.handle, seq}] = func(resp *msg.FileIOResp) {
+		if smartssd.Status(resp.Status) != smartssd.StatusOK {
+			cb(nil, fmt.Errorf("smartnic: mediated %v failed with status %d", op, resp.Status))
+			return
+		}
+		cb(resp, nil)
+	}
+	nic.dev.Send(m.kernel, &msg.FileIOReq{
+		App: m.rt.app, Handle: m.handle, Seq: seq,
+		Op: uint8(op), Off: off, Len: n, Data: data,
+	})
+}
+
+func (m *mediatedFile) Read(off uint64, n int, cb func([]byte, error)) {
+	m.call(smartssd.OpRead, off, uint32(n), nil, func(r *msg.FileIOResp, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(r.Data, nil)
+	})
+}
+
+func (m *mediatedFile) Write(off uint64, data []byte, cb func(error)) {
+	m.call(smartssd.OpWrite, off, 0, data, func(r *msg.FileIOResp, err error) { cb(err) })
+}
+
+func (m *mediatedFile) Append(data []byte, cb func(uint64, error)) {
+	m.call(smartssd.OpAppend, 0, 0, data, func(r *msg.FileIOResp, err error) {
+		if err != nil {
+			cb(0, err)
+			return
+		}
+		cb(r.Size, nil)
+	})
+}
+
+func (m *mediatedFile) Stat(cb func(uint64, error)) {
+	m.call(smartssd.OpStat, 0, 0, nil, func(r *msg.FileIOResp, err error) {
+		if err != nil {
+			cb(0, err)
+			return
+		}
+		cb(r.Size, nil)
+	})
+}
+
+func (m *mediatedFile) Truncate(cb func(error)) {
+	m.call(smartssd.OpTruncate, 0, 0, nil, func(r *msg.FileIOResp, err error) { cb(err) })
+}

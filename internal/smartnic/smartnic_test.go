@@ -1,0 +1,411 @@
+package smartnic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nocpu/internal/bus"
+	"nocpu/internal/device"
+	"nocpu/internal/interconnect"
+	"nocpu/internal/memctrl"
+	"nocpu/internal/msg"
+	"nocpu/internal/physmem"
+	"nocpu/internal/sim"
+	"nocpu/internal/smartssd"
+	"nocpu/internal/trace"
+)
+
+// machine is a full CPU-less testbed: bus + memctrl + SSD + NIC.
+type machine struct {
+	eng      *sim.Engine
+	tr       *trace.Tracer
+	bus      *bus.Bus
+	fab      *interconnect.Fabric
+	mc       *memctrl.Controller
+	ssd      *smartssd.SSD
+	nic      *NIC
+	watchdog sim.Duration
+}
+
+const (
+	mcID  = msg.DeviceID(1)
+	ssdID = msg.DeviceID(2)
+	nicID = msg.DeviceID(3)
+)
+
+func newMachine(t *testing.T) *machine {
+	t.Helper()
+	return buildMachine(t, 0)
+}
+
+// buildMachine assembles the memctrl+SSD+NIC testbed; a non-zero
+// watchdog enables heartbeats at watchdog/4.
+func buildMachine(t *testing.T, watchdog sim.Duration) *machine {
+	t.Helper()
+	m := &machine{eng: sim.NewEngine(), tr: trace.New(0)}
+	mem := physmem.MustNew(16 * 1024 * physmem.PageSize) // 64 MiB
+	m.fab = interconnect.NewFabric(m.eng, mem, interconnect.DefaultCosts)
+	busCfg := bus.DefaultConfig
+	busCfg.WatchdogTimeout = watchdog
+	m.bus = bus.New(m.eng, busCfg, m.tr)
+	hb := sim.Duration(0)
+	if watchdog > 0 {
+		hb = watchdog / 4
+	}
+	m.watchdog = watchdog
+
+	mc, err := memctrl.New(m.eng, m.bus, m.fab, m.tr, memctrl.Config{
+		Device: device.Config{ID: mcID, Name: "memctrl", HeartbeatEvery: hb},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.mc = mc
+
+	ssd, err := smartssd.New(m.eng, m.bus, m.fab, m.tr, smartssd.Config{
+		Device: device.Config{ID: ssdID, Name: "ssd", SelfTest: 5 * sim.Microsecond,
+			ResetDelay: 100 * sim.Microsecond, HeartbeatEvery: hb},
+		Tokens: map[string]uint64{"secret.dat": 0xCAFE},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ssd = ssd
+
+	nic, err := New(m.eng, m.bus, m.fab, m.tr, Config{
+		Device: device.Config{ID: nicID, Name: "nic", SelfTest: 5 * sim.Microsecond,
+			ResetDelay: 100 * sim.Microsecond, HeartbeatEvery: hb},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.nic = nic
+
+	mc.Start()
+	ssd.Start()
+	nic.Start()
+	m.run()
+	if !ssd.Ready() {
+		t.Fatal("ssd not ready after boot")
+	}
+	return m
+}
+
+// run advances the simulation: to quiescence without a watchdog, by a
+// bounded window with one (heartbeats never drain).
+func (m *machine) run() {
+	if m.watchdog == 0 {
+		m.eng.Run()
+		return
+	}
+	m.eng.RunFor(20 * sim.Millisecond)
+}
+
+// createFile pre-populates the SSD volume.
+func (m *machine) createFile(t *testing.T, name string, contents []byte) {
+	t.Helper()
+	var done bool
+	m.ssd.FS().Create(name, func(f *smartssd.File, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(contents) == 0 {
+			done = true
+			return
+		}
+		f.WriteAt(0, contents, func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			done = true
+		})
+	})
+	m.run()
+	if !done {
+		t.Fatal("file setup did not complete")
+	}
+}
+
+// testApp is a minimal NIC application for the tests.
+type testApp struct {
+	id     msg.AppID
+	onBoot func(rt *Runtime)
+	failed []msg.DeviceID
+}
+
+func (a *testApp) AppID() msg.AppID { return a.id }
+func (a *testApp) Boot(rt *Runtime) {
+	if a.onBoot != nil {
+		a.onBoot(rt)
+	}
+}
+func (a *testApp) ServeNetwork(p []byte, reply func([]byte)) { reply(p) }
+func (a *testApp) PeerFailed(d msg.DeviceID)                 { a.failed = append(a.failed, d) }
+
+func TestFigure2OpenFileSequence(t *testing.T) {
+	m := newMachine(t)
+	m.createFile(t, "kv.dat", []byte("the last cpu's data"))
+
+	var fc *FileClient
+	var openErr error
+	app := &testApp{id: 42, onBoot: func(rt *Runtime) {
+		rt.OpenFile(mcID, "kv.dat", 0, 32, func(c *FileClient, err error) { fc, openErr = c, err })
+	}}
+	m.nic.AddApp(app)
+	m.eng.Run()
+	if openErr != nil {
+		t.Fatalf("open: %v\ntrace:\n%s", openErr, m.tr.String())
+	}
+	if fc == nil {
+		t.Fatal("no file client")
+	}
+
+	// The trace must contain the Figure-2 message kinds in order.
+	wantSeq := []string{"discover.req", "discover.resp", "open.req", "open.resp",
+		"alloc.req", "alloc.resp", "grant.req", "auth.req", "auth.resp", "grant.resp",
+		"connect.req", "connect.resp"}
+	kinds := m.tr.Kinds()
+	i := 0
+	for _, k := range kinds {
+		if i < len(wantSeq) && k == wantSeq[i] {
+			i++
+		}
+	}
+	if i != len(wantSeq) {
+		t.Fatalf("figure-2 sequence incomplete: matched %d of %v\ntrace:\n%s", i, wantSeq, m.tr.String())
+	}
+
+	// Data-plane round trip: read the file through the virtqueue.
+	var got []byte
+	fc.Read(0, 19, func(b []byte, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got = b
+	})
+	m.eng.Run()
+	if !bytes.Equal(got, []byte("the last cpu's data")) {
+		t.Fatalf("read = %q", got)
+	}
+}
+
+func TestFileWriteAppendStat(t *testing.T) {
+	m := newMachine(t)
+	m.createFile(t, "kv.dat", nil)
+	var fc *FileClient
+	app := &testApp{id: 7, onBoot: func(rt *Runtime) {
+		rt.OpenFile(mcID, "kv.dat", 0, 32, func(c *FileClient, err error) {
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			fc = c
+		})
+	}}
+	m.nic.AddApp(app)
+	m.eng.Run()
+	if fc == nil {
+		t.Fatal("no client")
+	}
+
+	var size uint64
+	fc.Append([]byte("record-1|"), func(s uint64, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		fc.Append([]byte("record-2|"), func(s uint64, err error) {
+			size = s
+			fc.Write(0, []byte("RECORD"), func(err error) {
+				if err != nil {
+					t.Error(err)
+				}
+			})
+		})
+	})
+	m.eng.Run()
+	if size != 18 {
+		t.Fatalf("size after appends = %d", size)
+	}
+	var got []byte
+	fc.Read(0, 18, func(b []byte, err error) { got = b })
+	m.eng.Run()
+	if string(got) != "RECORD-1|record-2|" {
+		t.Fatalf("contents = %q", got)
+	}
+	var statSize uint64
+	fc.Stat(func(s uint64, err error) { statSize = s })
+	m.eng.Run()
+	if statSize != 18 {
+		t.Errorf("stat = %d", statSize)
+	}
+}
+
+func TestOpenUnknownFileFails(t *testing.T) {
+	m := newMachine(t)
+	var openErr error
+	app := &testApp{id: 7, onBoot: func(rt *Runtime) {
+		rt.DiscoverTimeout = 500 * sim.Microsecond
+		rt.OpenFile(mcID, "ghost.dat", 0, 32, func(c *FileClient, err error) { openErr = err })
+	}}
+	m.nic.AddApp(app)
+	m.eng.Run()
+	if openErr == nil || !strings.Contains(openErr.Error(), "timed out") {
+		t.Fatalf("err = %v (no provider should answer)", openErr)
+	}
+}
+
+func TestOpenWithWrongTokenRefused(t *testing.T) {
+	m := newMachine(t)
+	m.createFile(t, "secret.dat", []byte("classified"))
+	var openErr error
+	app := &testApp{id: 7, onBoot: func(rt *Runtime) {
+		rt.OpenFile(mcID, "secret.dat", 0xBAD, 32, func(c *FileClient, err error) { openErr = err })
+	}}
+	m.nic.AddApp(app)
+	m.eng.Run()
+	if openErr == nil || !strings.Contains(openErr.Error(), "authentication") {
+		t.Fatalf("err = %v", openErr)
+	}
+	// Correct token succeeds.
+	var fc *FileClient
+	app2 := &testApp{id: 8, onBoot: func(rt *Runtime) {
+		rt.OpenFile(mcID, "secret.dat", 0xCAFE, 32, func(c *FileClient, err error) { fc = c })
+	}}
+	m.nic.AddApp(app2)
+	m.eng.Run()
+	if fc == nil {
+		t.Fatal("authorized open failed")
+	}
+}
+
+func TestNetworkDeliveryPath(t *testing.T) {
+	m := newMachine(t)
+	app := &testApp{id: 7}
+	m.nic.AddApp(app)
+	m.eng.Run()
+	var resp []byte
+	var at sim.Time
+	start := m.eng.Now()
+	m.nic.Deliver(7, []byte("ping"), func(b []byte) { resp = b; at = m.eng.Now() })
+	m.eng.Run()
+	if !bytes.Equal(resp, []byte("ping")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	if want := start.Add(DefaultRxCost + DefaultTxCost); at != want {
+		t.Errorf("latency: at %v want %v", at, want)
+	}
+	// Unknown app: silently dropped.
+	m.nic.Deliver(99, []byte("x"), func([]byte) { t.Error("reply for unknown app") })
+	m.eng.Run()
+}
+
+func TestPeerFailureNotification(t *testing.T) {
+	busCfg := bus.DefaultConfig
+	m := newMachine(t)
+	_ = busCfg
+	app := &testApp{id: 7}
+	m.nic.AddApp(app)
+	m.eng.Run()
+	if err := m.bus.FailDevice(ssdID, "injected"); err != nil {
+		t.Fatal(err)
+	}
+	m.eng.Run()
+	if len(app.failed) != 1 || app.failed[0] != ssdID {
+		t.Fatalf("app saw failures %v", app.failed)
+	}
+}
+
+func TestTwoAppsIsolatedAddressSpaces(t *testing.T) {
+	m := newMachine(t)
+	m.createFile(t, "a.dat", []byte("AAAA"))
+	m.createFile(t, "b.dat", []byte("BBBB"))
+	var fcA, fcB *FileClient
+	m.nic.AddApp(&testApp{id: 1, onBoot: func(rt *Runtime) {
+		rt.OpenFile(mcID, "a.dat", 0, 16, func(c *FileClient, err error) { fcA = c })
+	}})
+	m.nic.AddApp(&testApp{id: 2, onBoot: func(rt *Runtime) {
+		rt.OpenFile(mcID, "b.dat", 0, 16, func(c *FileClient, err error) { fcB = c })
+	}})
+	m.eng.Run()
+	if fcA == nil || fcB == nil {
+		t.Fatal("opens failed")
+	}
+	var gotA, gotB []byte
+	fcA.Read(0, 4, func(b []byte, err error) { gotA = b })
+	fcB.Read(0, 4, func(b []byte, err error) { gotB = b })
+	m.eng.Run()
+	if string(gotA) != "AAAA" || string(gotB) != "BBBB" {
+		t.Fatalf("cross-talk: a=%q b=%q", gotA, gotB)
+	}
+	// The two apps' mappings live in different PASIDs of the same NIC
+	// IOMMU; each app's region is invisible to the other.
+	if m.nic.Device().IOMMU().Contexts() != 2 {
+		t.Errorf("contexts = %d", m.nic.Device().IOMMU().Contexts())
+	}
+}
+
+func TestCloseTearsDownConnection(t *testing.T) {
+	m := newMachine(t)
+	m.createFile(t, "kv.dat", []byte("x"))
+	var conn *Connection
+	m.nic.AddApp(&testApp{id: 3, onBoot: func(rt *Runtime) {
+		rt.OpenService(mcID, "file:kv.dat", 0, 16, func(c *Connection, err error) {
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			conn = c
+		})
+	}})
+	m.eng.Run()
+	if conn == nil {
+		t.Fatal("no connection")
+	}
+	closed := false
+	conn.Close(func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		closed = true
+	})
+	m.eng.Run()
+	if !closed {
+		t.Fatal("close did not complete")
+	}
+}
+
+func TestConnectByOtherDeviceRefused(t *testing.T) {
+	// A second NIC tries to attach to a connection opened by the first:
+	// the SSD must refuse (per-instance isolation, §2.1).
+	m := newMachine(t)
+	m.createFile(t, "kv.dat", []byte("x"))
+	nic2, err := New(m.eng, m.bus, m.fab, m.tr, Config{
+		Device: device.Config{ID: 9, Name: "nic2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nic2.Start()
+
+	var connID uint32
+	m.nic.AddApp(&testApp{id: 3, onBoot: func(rt *Runtime) {
+		// Run only open (not the full sequence) so we can hijack.
+		rt.Discover("file:kv.dat", func(provider msg.DeviceID, service string, err error) {
+			m.nic.pendingOpen[openKey{3, service}] = func(or *msg.OpenResp) { connID = or.ConnID }
+			m.nic.dev.Send(provider, &msg.OpenReq{Service: service, App: 3})
+		})
+	}})
+	m.eng.Run()
+	if connID == 0 {
+		t.Fatal("open failed")
+	}
+	var refused *msg.ConnectResp
+	nic2.pendingConnect[connID] = func(cr *msg.ConnectResp) { refused = cr }
+	nic2.dev.Send(ssdID, &msg.ConnectReq{Service: "file:kv.dat", ConnID: connID, App: 3,
+		RingVA: 0x1000_0000, RingEntries: 16, DataVA: 0x1001_0000, DataBytes: 16 * 4096})
+	m.eng.Run()
+	if refused == nil || refused.OK {
+		t.Fatalf("hijacked connect = %+v", refused)
+	}
+}

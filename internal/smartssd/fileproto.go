@@ -1,0 +1,127 @@
+package smartssd
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The file-access protocol carried in virtqueue request/response cells.
+// The smart NIC's KVS runtime speaks this to the SSD's file service; no
+// bus traffic is involved once the queue is connected — this is pure data
+// plane.
+
+// FileOp is the request opcode.
+type FileOp uint8
+
+// File operations.
+const (
+	OpRead FileOp = iota + 1
+	OpWrite
+	OpAppend
+	OpStat
+	OpTruncate
+	// OpRename renames the connection's file to the name in Data,
+	// replacing any existing file of that name (atomic replace for
+	// compaction).
+	OpRename
+)
+
+func (o FileOp) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAppend:
+		return "append"
+	case OpStat:
+		return "stat"
+	case OpTruncate:
+		return "truncate"
+	case OpRename:
+		return "rename"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Status is the response code.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota
+	StatusBadRequest
+	StatusIOError
+)
+
+// FileReq is a decoded request.
+type FileReq struct {
+	Op   FileOp
+	Off  uint64
+	Len  uint32 // read length
+	Data []byte // write/append payload
+}
+
+// FileResp is a decoded response.
+type FileResp struct {
+	Status Status
+	Size   uint64 // stat/append: resulting file size
+	Data   []byte // read payload
+}
+
+// EncodeFileReq serializes a request: op u8 | off u64 | len u32 | data.
+func EncodeFileReq(r FileReq) []byte {
+	b := make([]byte, 13+len(r.Data))
+	b[0] = byte(r.Op)
+	binary.LittleEndian.PutUint64(b[1:], r.Off)
+	binary.LittleEndian.PutUint32(b[9:], r.Len)
+	copy(b[13:], r.Data)
+	return b
+}
+
+// DecodeFileReq parses a request.
+func DecodeFileReq(b []byte) (FileReq, error) {
+	if len(b) < 13 {
+		return FileReq{}, fmt.Errorf("smartssd: short file request (%d bytes)", len(b))
+	}
+	r := FileReq{
+		Op:  FileOp(b[0]),
+		Off: binary.LittleEndian.Uint64(b[1:]),
+		Len: binary.LittleEndian.Uint32(b[9:]),
+	}
+	if len(b) > 13 {
+		r.Data = append([]byte(nil), b[13:]...)
+	}
+	return r, nil
+}
+
+// EncodeFileResp serializes a response: status u8 | size u64 | data.
+func EncodeFileResp(r FileResp) []byte {
+	b := make([]byte, 9+len(r.Data))
+	b[0] = byte(r.Status)
+	binary.LittleEndian.PutUint64(b[1:], r.Size)
+	copy(b[9:], r.Data)
+	return b
+}
+
+// DecodeFileResp parses a response.
+func DecodeFileResp(b []byte) (FileResp, error) {
+	if len(b) < 9 {
+		return FileResp{}, fmt.Errorf("smartssd: short file response (%d bytes)", len(b))
+	}
+	r := FileResp{
+		Status: Status(b[0]),
+		Size:   binary.LittleEndian.Uint64(b[1:]),
+	}
+	if len(b) > 9 {
+		r.Data = append([]byte(nil), b[9:]...)
+	}
+	return r, nil
+}
+
+// RespHeaderBytes is the fixed response overhead; a read of N bytes needs
+// a cell of at least N+RespHeaderBytes.
+const RespHeaderBytes = 9
+
+// ReqHeaderBytes is the fixed request overhead.
+const ReqHeaderBytes = 13

@@ -1,0 +1,178 @@
+// Package smartssd implements the smart SSD of §3: a storage device that
+// exposes its files as bus services and serves file I/O to peer devices
+// over VIRTIO queues, with no CPU anywhere in the path.
+//
+// The stack, bottom-up:
+//
+//   - flash: a NAND model with channels/dies, read/program/erase
+//     latencies and per-channel serialization.
+//   - FTL: a page-mapped flash translation layer with greedy garbage
+//     collection and wear accounting.
+//   - FS: a flat extent filesystem persisted through the FTL (superblock
+//   - inode table), with full remount recovery.
+//   - SSD: the self-managing device: a file service per volume
+//     (discovery by "file:<name>" queries), a loader service (§2.1), and
+//     the virtio endpoints serving connections.
+package smartssd
+
+import (
+	"fmt"
+
+	"nocpu/internal/sim"
+)
+
+// FlashGeometry describes the NAND array.
+type FlashGeometry struct {
+	Channels      int
+	DiesPerChan   int
+	BlocksPerDie  int
+	PagesPerBlock int
+	PageSize      int
+}
+
+// DefaultGeometry is a small, fast-to-simulate array: 4 ch x 2 dies x 64
+// blocks x 64 pages x 4 KiB = 128 MiB raw.
+var DefaultGeometry = FlashGeometry{
+	Channels:      4,
+	DiesPerChan:   2,
+	BlocksPerDie:  64,
+	PagesPerBlock: 64,
+	PageSize:      4096,
+}
+
+// TotalBlocks returns the number of physical blocks.
+func (g FlashGeometry) TotalBlocks() int {
+	return g.Channels * g.DiesPerChan * g.BlocksPerDie
+}
+
+// TotalPages returns the number of physical pages.
+func (g FlashGeometry) TotalPages() int { return g.TotalBlocks() * g.PagesPerBlock }
+
+// FlashTiming holds NAND operation latencies (SLC-ish defaults).
+type FlashTiming struct {
+	Read    sim.Duration
+	Program sim.Duration
+	Erase   sim.Duration
+}
+
+// DefaultTiming is a fast-NAND calibration.
+var DefaultTiming = FlashTiming{
+	Read:    25 * sim.Microsecond,
+	Program: 200 * sim.Microsecond,
+	Erase:   1500 * sim.Microsecond,
+}
+
+// PPA is a physical page address: sequential page number across the
+// array.
+type PPA uint32
+
+// blockOf returns the physical block index containing the page.
+func (g FlashGeometry) blockOf(p PPA) int { return int(p) / g.PagesPerBlock }
+
+// channelOf returns the channel that owns the page's block. Blocks are
+// striped across channels so sequential block numbers alternate channels.
+func (g FlashGeometry) channelOf(block int) int { return block % g.Channels }
+
+// flash is the NAND array. Each channel is a FIFO server: operations on
+// the same channel serialize, operations on different channels overlap.
+type flash struct {
+	geo      FlashGeometry
+	tim      FlashTiming
+	eng      *sim.Engine
+	channels []*sim.Server
+	pages    [][]byte // nil = erased
+	erases   []uint64 // per-block erase count (wear)
+	// broken simulates a failed die/controller: every op errors.
+	broken bool
+
+	reads, programs, eraseOps uint64
+}
+
+func newFlash(eng *sim.Engine, geo FlashGeometry, tim FlashTiming) *flash {
+	f := &flash{
+		geo:    geo,
+		tim:    tim,
+		eng:    eng,
+		pages:  make([][]byte, geo.TotalPages()),
+		erases: make([]uint64, geo.TotalBlocks()),
+	}
+	for i := 0; i < geo.Channels; i++ {
+		f.channels = append(f.channels, sim.NewServer(eng))
+	}
+	return f
+}
+
+func (f *flash) chanFor(p PPA) *sim.Server {
+	return f.channels[f.geo.channelOf(f.geo.blockOf(p))]
+}
+
+var errFlashBroken = fmt.Errorf("smartssd: flash failure")
+
+// read returns the page contents (zeros for an erased page).
+func (f *flash) read(p PPA, cb func([]byte, error)) {
+	if int(p) >= len(f.pages) {
+		cb(nil, fmt.Errorf("smartssd: read of ppa %d beyond array", p))
+		return
+	}
+	f.reads++
+	f.chanFor(p).Submit(f.tim.Read, func() {
+		if f.broken {
+			cb(nil, errFlashBroken)
+			return
+		}
+		out := make([]byte, f.geo.PageSize)
+		if f.pages[p] != nil {
+			copy(out, f.pages[p])
+		}
+		cb(out, nil)
+	})
+}
+
+// program writes an erased page. Programming a programmed page is an FTL
+// bug and returns an error.
+func (f *flash) program(p PPA, data []byte, cb func(error)) {
+	if int(p) >= len(f.pages) {
+		cb(fmt.Errorf("smartssd: program of ppa %d beyond array", p))
+		return
+	}
+	if len(data) > f.geo.PageSize {
+		cb(fmt.Errorf("smartssd: program of %d bytes into %d-byte page", len(data), f.geo.PageSize))
+		return
+	}
+	buf := make([]byte, f.geo.PageSize)
+	copy(buf, data)
+	f.programs++
+	f.chanFor(p).Submit(f.tim.Program, func() {
+		if f.broken {
+			cb(errFlashBroken)
+			return
+		}
+		if f.pages[p] != nil {
+			cb(fmt.Errorf("smartssd: program of non-erased ppa %d", p))
+			return
+		}
+		f.pages[p] = buf
+		cb(nil)
+	})
+}
+
+// erase clears a whole block.
+func (f *flash) erase(block int, cb func(error)) {
+	if block < 0 || block >= f.geo.TotalBlocks() {
+		cb(fmt.Errorf("smartssd: erase of block %d beyond array", block))
+		return
+	}
+	f.eraseOps++
+	f.channels[f.geo.channelOf(block)].Submit(f.tim.Erase, func() {
+		if f.broken {
+			cb(errFlashBroken)
+			return
+		}
+		base := block * f.geo.PagesPerBlock
+		for i := 0; i < f.geo.PagesPerBlock; i++ {
+			f.pages[base+i] = nil
+		}
+		f.erases[block]++
+		cb(nil)
+	})
+}

@@ -1,0 +1,331 @@
+package smartssd
+
+import (
+	"fmt"
+	"sort"
+
+	"nocpu/internal/sim"
+)
+
+// invalidPPA / invalidLPN are sentinel mappings.
+const (
+	invalidPPA = PPA(0xFFFFFFFF)
+	invalidLPN = uint32(0xFFFFFFFF)
+)
+
+type blockState uint8
+
+const (
+	blockFree blockState = iota
+	blockOpen
+	blockFull
+)
+
+// FTLStats counts translation-layer activity.
+type FTLStats struct {
+	HostWrites   uint64
+	HostReads    uint64
+	GCRuns       uint64
+	GCPagesMoved uint64
+	Erases       uint64
+}
+
+// WriteAmplification returns (host+GC writes)/host writes.
+func (s FTLStats) WriteAmplification() float64 {
+	if s.HostWrites == 0 {
+		return 1
+	}
+	return float64(s.HostWrites+s.GCPagesMoved) / float64(s.HostWrites)
+}
+
+// ftl is a page-mapped flash translation layer with greedy GC.
+type ftl struct {
+	f   *flash
+	eng *sim.Engine
+	geo FlashGeometry
+
+	l2p        []PPA    // logical page -> physical page
+	p2l        []uint32 // physical page -> logical page (for GC)
+	validCount []int    // valid pages per block
+	state      []blockState
+	freeBlocks []int // sorted ascending for determinism
+	nextInBlk  []int // next free page offset for open blocks
+	active     []int // per-channel open block (-1 none)
+	rrChan     int   // round-robin channel pointer
+
+	logicalPages int
+	gcThreshold  int
+	gcRunning    bool
+
+	stats FTLStats
+}
+
+// newFTL builds the layer over a flash array. opRatio is the
+// over-provisioning fraction (e.g. 0.125 keeps 12.5% of pages invisible
+// to the host, which GC relies on).
+func newFTL(eng *sim.Engine, f *flash, opRatio float64) *ftl {
+	if opRatio < 0.05 {
+		opRatio = 0.05
+	}
+	total := f.geo.TotalPages()
+	t := &ftl{
+		f:            f,
+		eng:          eng,
+		geo:          f.geo,
+		l2p:          make([]PPA, total),
+		p2l:          make([]uint32, total),
+		validCount:   make([]int, f.geo.TotalBlocks()),
+		state:        make([]blockState, f.geo.TotalBlocks()),
+		nextInBlk:    make([]int, f.geo.TotalBlocks()),
+		active:       make([]int, f.geo.Channels),
+		logicalPages: int(float64(total) * (1 - opRatio)),
+		gcThreshold:  2 * f.geo.Channels,
+	}
+	for i := range t.l2p {
+		t.l2p[i] = invalidPPA
+	}
+	for i := range t.p2l {
+		t.p2l[i] = invalidLPN
+	}
+	for b := 0; b < f.geo.TotalBlocks(); b++ {
+		t.freeBlocks = append(t.freeBlocks, b)
+	}
+	for c := range t.active {
+		t.active[c] = -1
+	}
+	return t
+}
+
+// Capacity returns the number of host-visible logical pages.
+func (t *ftl) Capacity() int { return t.logicalPages }
+
+// WearStats summarizes per-block erase counts.
+type WearStats struct {
+	MinErases uint64
+	MaxErases uint64
+	Total     uint64
+}
+
+// Wear returns the erase-count distribution across blocks.
+func (t *ftl) Wear() WearStats {
+	var w WearStats
+	w.MinErases = ^uint64(0)
+	for _, e := range t.f.erases {
+		if e < w.MinErases {
+			w.MinErases = e
+		}
+		if e > w.MaxErases {
+			w.MaxErases = e
+		}
+		w.Total += e
+	}
+	if w.MinErases == ^uint64(0) {
+		w.MinErases = 0
+	}
+	return w
+}
+
+// Stats returns a copy of the counters.
+func (t *ftl) Stats() FTLStats {
+	s := t.stats
+	s.Erases = 0
+	for _, e := range t.f.erases {
+		s.Erases += e
+	}
+	return s
+}
+
+// takeFreeBlock pops the lowest-numbered free block, preferring one on
+// the given channel.
+func (t *ftl) takeFreeBlock(channel int) (int, bool) {
+	for i, b := range t.freeBlocks {
+		if t.geo.channelOf(b) == channel {
+			t.freeBlocks = append(t.freeBlocks[:i], t.freeBlocks[i+1:]...)
+			return b, true
+		}
+	}
+	if len(t.freeBlocks) > 0 {
+		b := t.freeBlocks[0]
+		t.freeBlocks = t.freeBlocks[1:]
+		return b, true
+	}
+	return 0, false
+}
+
+// allocPage reserves the next physical page for a write.
+func (t *ftl) allocPage() (PPA, error) {
+	// Round-robin across channels for parallelism.
+	for tries := 0; tries < t.geo.Channels; tries++ {
+		c := t.rrChan
+		t.rrChan = (t.rrChan + 1) % t.geo.Channels
+		b := t.active[c]
+		if b < 0 {
+			nb, ok := t.takeFreeBlock(c)
+			if !ok {
+				continue
+			}
+			t.active[c] = nb
+			t.state[nb] = blockOpen
+			t.nextInBlk[nb] = 0
+			b = nb
+		}
+		ppa := PPA(b*t.geo.PagesPerBlock + t.nextInBlk[b])
+		t.nextInBlk[b]++
+		if t.nextInBlk[b] == t.geo.PagesPerBlock {
+			t.state[b] = blockFull
+			t.active[c] = -1
+		}
+		return ppa, nil
+	}
+	return 0, fmt.Errorf("smartssd: ftl out of space (gc cannot keep up)")
+}
+
+// invalidate drops the mapping for a physical page.
+func (t *ftl) invalidate(ppa PPA) {
+	if ppa == invalidPPA {
+		return
+	}
+	if t.p2l[ppa] != invalidLPN {
+		t.p2l[ppa] = invalidLPN
+		t.validCount[t.geo.blockOf(ppa)]--
+	}
+}
+
+// Read fetches a logical page. An unwritten page reads as zeros without
+// touching flash.
+func (t *ftl) Read(lpn int, cb func([]byte, error)) {
+	if lpn < 0 || lpn >= t.logicalPages {
+		cb(nil, fmt.Errorf("smartssd: read of lpn %d beyond capacity %d", lpn, t.logicalPages))
+		return
+	}
+	t.stats.HostReads++
+	ppa := t.l2p[lpn]
+	if ppa == invalidPPA {
+		cb(make([]byte, t.geo.PageSize), nil)
+		return
+	}
+	t.f.read(ppa, cb)
+}
+
+// Write stores a logical page (always out-of-place).
+func (t *ftl) Write(lpn int, data []byte, cb func(error)) {
+	if lpn < 0 || lpn >= t.logicalPages {
+		cb(fmt.Errorf("smartssd: write of lpn %d beyond capacity %d", lpn, t.logicalPages))
+		return
+	}
+	t.stats.HostWrites++
+	ppa, err := t.allocPage()
+	if err != nil {
+		cb(err)
+		return
+	}
+	// Reserve the mapping target now; commit on program completion.
+	t.f.program(ppa, data, func(err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		t.invalidate(t.l2p[lpn])
+		t.l2p[lpn] = ppa
+		t.p2l[ppa] = uint32(lpn)
+		t.validCount[t.geo.blockOf(ppa)]++
+		cb(nil)
+		t.maybeGC()
+	})
+}
+
+// Trim invalidates a logical page (file deletion).
+func (t *ftl) Trim(lpn int) {
+	if lpn < 0 || lpn >= t.logicalPages {
+		return
+	}
+	if ppa := t.l2p[lpn]; ppa != invalidPPA {
+		t.invalidate(ppa)
+		t.l2p[lpn] = invalidPPA
+	}
+}
+
+// maybeGC starts a collection cycle when free blocks run low.
+func (t *ftl) maybeGC() {
+	if t.gcRunning || len(t.freeBlocks) >= t.gcThreshold {
+		return
+	}
+	victim := t.pickVictim()
+	if victim < 0 {
+		return
+	}
+	t.gcRunning = true
+	t.stats.GCRuns++
+	t.relocateBlock(victim, 0, func() {
+		t.f.erase(victim, func(err error) {
+			t.gcRunning = false
+			if err != nil {
+				return // broken flash: GC abandons quietly, writes will fail
+			}
+			t.state[victim] = blockFree
+			t.nextInBlk[victim] = 0
+			t.freeBlocks = append(t.freeBlocks, victim)
+			sort.Ints(t.freeBlocks)
+			t.maybeGC()
+		})
+	})
+}
+
+// pickVictim chooses the full block with the fewest valid pages.
+func (t *ftl) pickVictim() int {
+	best, bestValid := -1, 1<<30
+	for b := 0; b < t.geo.TotalBlocks(); b++ {
+		if t.state[b] != blockFull {
+			continue
+		}
+		if t.validCount[b] < bestValid {
+			best, bestValid = b, t.validCount[b]
+		}
+	}
+	return best
+}
+
+// relocateBlock moves every valid page of the block elsewhere, then calls
+// done.
+func (t *ftl) relocateBlock(block, pageIdx int, done func()) {
+	if pageIdx >= t.geo.PagesPerBlock {
+		done()
+		return
+	}
+	ppa := PPA(block*t.geo.PagesPerBlock + pageIdx)
+	lpn := t.p2l[ppa]
+	if lpn == invalidLPN {
+		t.relocateBlock(block, pageIdx+1, done)
+		return
+	}
+	t.f.read(ppa, func(data []byte, err error) {
+		if err != nil {
+			done()
+			return
+		}
+		dst, aerr := t.allocPage()
+		if aerr != nil {
+			done()
+			return
+		}
+		t.f.program(dst, data, func(err error) {
+			if err != nil {
+				done()
+				return
+			}
+			// The host may have rewritten the LPN while we copied; only
+			// commit if our source is still current.
+			if t.l2p[lpn] == ppa {
+				t.invalidate(ppa)
+				t.l2p[lpn] = dst
+				t.p2l[dst] = lpn
+				t.validCount[t.geo.blockOf(dst)]++
+				t.stats.GCPagesMoved++
+			} else {
+				// Stale copy: the destination page holds garbage now.
+				t.p2l[dst] = invalidLPN
+			}
+			t.relocateBlock(block, pageIdx+1, done)
+		})
+	})
+}

@@ -1,0 +1,242 @@
+package virtio
+
+import (
+	"fmt"
+
+	"nocpu/internal/interconnect"
+	"nocpu/internal/iommu"
+)
+
+// Handler processes one request. done may be called immediately or later
+// (e.g. after a flash read completes); resp is copied into the request's
+// response cell and truncated to the cell size.
+type Handler func(req []byte, done func(resp []byte))
+
+// EndpointStats counts endpoint-side queue activity.
+type EndpointStats struct {
+	Processed uint64
+	Notifies  uint64
+	Errors    uint64
+}
+
+// Endpoint is the provider half of a virtqueue. Its request doorbell is
+// allocated at construction (advertise ReqBell to the driver); the
+// driver's response doorbell arrives in the ConnectReq.
+type Endpoint struct {
+	port  *interconnect.Port
+	pasid iommu.PASID
+	lay   Layout
+
+	// ReqBell is this endpoint's own doorbell; the driver rings it after
+	// publishing available entries.
+	ReqBell interconnect.DoorbellAddr
+	// respBell is the driver's doorbell, rung after publishing used
+	// entries.
+	respBell interconnect.DoorbellAddr
+
+	handler Handler
+
+	availSeen uint16
+	usedIdx   uint16
+
+	// MaxInflight bounds concurrently processed requests (the device's
+	// internal parallelism).
+	MaxInflight int
+	inflight    int
+
+	// NotifyBatch rings the driver's doorbell only every N completions;
+	// completions are always flushed when the queue goes idle (E9).
+	NotifyBatch int
+	unnotified  int
+
+	// OnError receives transport-level failures; the queue is dead after.
+	OnError func(error)
+	dead    bool
+	polling bool
+
+	stats EndpointStats
+}
+
+// NewEndpoint builds the provider half. The layout and respBell arrive
+// from the driver's ConnectReq.
+func NewEndpoint(port *interconnect.Port, pasid iommu.PASID, lay Layout, respBell interconnect.DoorbellAddr, h Handler) (*Endpoint, error) {
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	if h == nil {
+		return nil, fmt.Errorf("virtio: nil handler")
+	}
+	e := &Endpoint{
+		port:        port,
+		pasid:       pasid,
+		lay:         lay,
+		respBell:    respBell,
+		handler:     h,
+		MaxInflight: 64,
+		NotifyBatch: 1,
+	}
+	e.ReqBell = port.Fabric().AllocDoorbell(func(uint64) { e.Kick() })
+	return e, nil
+}
+
+// Stats returns a copy of the counters.
+func (e *Endpoint) Stats() EndpointStats { return e.stats }
+
+// Dead reports whether the queue has failed.
+func (e *Endpoint) Dead() bool { return e.dead }
+
+func (e *Endpoint) fail(err error) {
+	if e.dead {
+		return
+	}
+	e.dead = true
+	e.stats.Errors++
+	if e.OnError != nil {
+		e.OnError(err)
+	}
+}
+
+// Kick starts (or resumes) the poll loop. It is the doorbell handler and
+// is also called internally when capacity frees up.
+func (e *Endpoint) Kick() {
+	if e.polling || e.dead {
+		return
+	}
+	e.polling = true
+	e.pollStep()
+}
+
+func (e *Endpoint) pollStep() {
+	if e.dead {
+		e.polling = false
+		return
+	}
+	if e.inflight >= e.MaxInflight {
+		// Resume when a completion frees a slot.
+		e.polling = false
+		return
+	}
+	e.port.ReadU16(e.pasid, e.lay.availIdxVA(), func(idx uint16, err error) {
+		if err != nil {
+			e.polling = false
+			e.fail(err)
+			return
+		}
+		if idx == e.availSeen {
+			// Idle: flush any batched notifications so the driver is
+			// never left waiting on a partial batch.
+			e.polling = false
+			e.flushNotify()
+			return
+		}
+		e.processSlot()
+	})
+}
+
+// processSlot consumes one available entry, dispatches the handler
+// without waiting for it, and continues the loop.
+func (e *Endpoint) processSlot() {
+	slot := e.availSeen % e.lay.Entries
+	e.availSeen++
+	e.port.ReadU16(e.pasid, e.lay.availRingVA(slot), func(head uint16, err error) {
+		if err != nil {
+			e.polling = false
+			e.fail(err)
+			return
+		}
+		if head >= e.lay.Entries {
+			e.polling = false
+			e.fail(fmt.Errorf("virtio: avail entry %d out of range", head))
+			return
+		}
+		// Read the two-descriptor chain in one DMA (pairs are adjacent).
+		e.port.Read(e.pasid, e.lay.descVA(head), 2*descSize, func(b []byte, err error) {
+			if err != nil {
+				e.polling = false
+				e.fail(err)
+				return
+			}
+			dreq := decodeDesc(b[:descSize])
+			dresp := decodeDesc(b[descSize:])
+			if dreq.Flags&flagNext == 0 || dresp.Flags&flagWrite == 0 || int(dreq.Len) > e.lay.CellSize {
+				e.polling = false
+				e.fail(fmt.Errorf("virtio: corrupt descriptor chain at %d", head))
+				return
+			}
+			e.port.Read(e.pasid, iommu.VirtAddr(dreq.Addr), int(dreq.Len), func(req []byte, err error) {
+				if err != nil {
+					e.polling = false
+					e.fail(err)
+					return
+				}
+				e.inflight++
+				dispatched := false
+				e.handler(req, func(resp []byte) {
+					if dispatched {
+						panic("virtio: handler completed twice")
+					}
+					dispatched = true
+					e.complete(head, dresp, resp)
+				})
+				// Keep draining while the handler runs.
+				e.pollStep()
+			})
+		})
+	})
+}
+
+// complete writes the response and publishes the used entry.
+func (e *Endpoint) complete(head uint16, dresp desc, resp []byte) {
+	if e.dead {
+		return
+	}
+	if len(resp) > int(dresp.Len) {
+		resp = resp[:dresp.Len]
+	}
+	publish := func() {
+		slot := e.usedIdx % e.lay.Entries
+		idx := e.usedIdx + 1
+		e.usedIdx = idx
+		e.port.Write(e.pasid, e.lay.usedRingVA(slot), encodeUsedElem(uint32(head), uint32(len(resp))), func(err error) {
+			if err != nil {
+				e.fail(err)
+			}
+		})
+		e.port.WriteU16(e.pasid, e.lay.usedIdxVA(), idx, func(err error) {
+			if err != nil {
+				e.fail(err)
+				return
+			}
+			e.stats.Processed++
+			e.inflight--
+			e.unnotified++
+			if e.NotifyBatch <= 1 || e.unnotified >= e.NotifyBatch {
+				e.flushNotify()
+			}
+			// Capacity freed: resume the poll loop if it parked.
+			e.Kick()
+		})
+	}
+	if len(resp) == 0 {
+		publish()
+		return
+	}
+	e.port.Write(e.pasid, iommu.VirtAddr(dresp.Addr), resp, func(err error) {
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		publish()
+	})
+}
+
+// flushNotify rings the driver's doorbell for any unannounced
+// completions.
+func (e *Endpoint) flushNotify() {
+	if e.unnotified == 0 || e.dead {
+		return
+	}
+	e.unnotified = 0
+	e.stats.Notifies++
+	e.port.Fabric().Ring(e.respBell, uint64(e.usedIdx))
+}
