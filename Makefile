@@ -1,0 +1,33 @@
+# Build/verification entry points. `make check` is the full gate used
+# before merging: vet, build, race-enabled tests, and a short fuzz run
+# of the wire-format decoder.
+
+GO ?= go
+
+.PHONY: build test vet race fuzz check bench tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fuzz the bus wire-format decoder for 10s (regression corpus under
+# internal/msg/testdata/fuzz is always replayed by plain `go test`).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/msg
+
+check: vet build race fuzz
+
+bench:
+	$(GO) test -run=^$$ -bench . -benchtime=100x .
+
+# Regenerate all experiment tables (E1-E14).
+tables:
+	$(GO) run ./cmd/nocpu-bench

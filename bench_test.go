@@ -12,6 +12,7 @@ import (
 
 	"nocpu/internal/bus"
 	"nocpu/internal/core"
+	"nocpu/internal/faultinject"
 	"nocpu/internal/iommu"
 	"nocpu/internal/kvs"
 	"nocpu/internal/msg"
@@ -694,6 +695,39 @@ func BenchmarkE13HugePages(b *testing.B) {
 				}
 			}
 			reportVirtual(b, start, sys)
+		})
+	}
+}
+
+// BenchmarkE14FaultRetry measures one KVS get under 5% bus-message loss
+// (setup runs fault-free, then the drop rule switches on). The P2P data
+// plane never crosses the bus so loss costs it nothing; every
+// kernel-mediated I/O is a bus round trip and pays a retransmission
+// timeout per lost message.
+func BenchmarkE14FaultRetry(b *testing.B) {
+	cases := []struct {
+		name     string
+		flavor   core.Flavor
+		mediated bool
+	}{
+		{"p2p-decentralized", core.Decentralized, false},
+		{"kernel-mediated", core.Centralized, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			plane := faultinject.New(14)
+			rig := newBenchRig(b, core.Options{Flavor: c.flavor, Seed: 14, FaultPlane: plane},
+				core.KVSOptions{QueueEntries: 128, Mediated: c.mediated})
+			rig.op(b, kvs.Request{Op: kvs.OpPut, Key: "k", Value: make([]byte, 512)})
+			plane.Add(faultinject.Rule{Layer: faultinject.LayerBus, Op: faultinject.Drop, Prob: 0.05})
+			b.ResetTimer()
+			start := rig.sys.Eng.Now()
+			for i := 0; i < b.N; i++ {
+				if s := rig.op(b, kvs.Request{Op: kvs.OpGet, Key: "k"}); s != kvs.StatusOK {
+					b.Fatalf("get status %d", s)
+				}
+			}
+			reportVirtual(b, start, rig.sys)
 		})
 	}
 }

@@ -23,6 +23,7 @@ package bus
 import (
 	"fmt"
 
+	"nocpu/internal/faultinject"
 	"nocpu/internal/iommu"
 	"nocpu/internal/msg"
 	"nocpu/internal/physmem"
@@ -66,6 +67,13 @@ type Stats struct {
 	Deliveries    uint64
 	Broadcasts    uint64
 	Dropped       uint64
+	// Nacks counts refusals reported back to the sender (previously these
+	// were silent drops; Dropped now covers only cases with no one to
+	// tell — unknown or dead senders, or in-flight loss).
+	Nacks uint64
+	// DupSuppressed counts envelopes discarded by the link-layer
+	// duplicate filter (only a faulty fabric produces these).
+	DupSuppressed uint64
 	PagesMapped   uint64
 	PagesUnmapped uint64
 	GrantsOK      uint64
@@ -129,6 +137,13 @@ type Bus struct {
 	pendingGrants map[uint32]pendingGrant
 	nextNonce     uint32
 
+	// plane is the optional fault injector; nil means pass-through.
+	plane *faultinject.Plane
+	// dedup filters fabric-injected duplicate envelopes by seq tag.
+	dedup msg.DedupWindow
+	// busSeq tags bus-originated messages.
+	busSeq uint32
+
 	stats Stats
 }
 
@@ -136,6 +151,29 @@ type ownerInfo struct {
 	dev   msg.DeviceID
 	pages int // 4 KiB units (huge regions store runs*512)
 	huge  bool
+	// frameSum fingerprints the backing frames so a replayed AllocResp
+	// (identical frames: idempotent success) is distinguishable from a
+	// conflicting double-alloc (different frames: error).
+	frameSum uint64
+}
+
+// frameFingerprint hashes a frame list (FNV-1a over the values).
+func frameFingerprint(frames []uint64, huge bool) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	for _, f := range frames {
+		mix(f)
+	}
+	if huge {
+		mix(1)
+	}
+	return h
 }
 
 type pendingGrant struct {
@@ -168,10 +206,17 @@ func New(eng *sim.Engine, cfg Config, tr *trace.Tracer) *Bus {
 // Stats returns a copy of the counters.
 func (b *Bus) Stats() Stats { return b.stats }
 
+// SetFaultPlane installs (or, with nil, removes) the fault injector.
+// Every message crossing the bus is judged exactly once: on the
+// device→bus hop for device traffic, on the bus→device hop for
+// bus-originated traffic.
+func (b *Bus) SetFaultPlane(p *faultinject.Plane) { b.plane = p }
+
 // Port is a device's attachment point to the bus.
 type Port struct {
-	bus *Bus
-	id  msg.DeviceID
+	bus     *Bus
+	id      msg.DeviceID
+	nextSeq uint32
 }
 
 // ID returns the attached device's bus address.
@@ -214,15 +259,32 @@ func (b *Bus) nameOf(id msg.DeviceID) string {
 
 // Send submits a message from the port's device. Transport: one hop to
 // the bus, FIFO bus processing, then (for unicast/broadcast) one hop to
-// each destination. Encoded size determines serialization time.
-func (p *Port) Send(dst msg.DeviceID, m msg.Message) {
+// each destination. Encoded size determines serialization time. The
+// returned value is the envelope's link-layer seq tag, which a NACK for
+// this message will echo.
+func (p *Port) Send(dst msg.DeviceID, m msg.Message) uint32 {
 	b := p.bus
-	env := msg.Envelope{Src: p.id, Dst: dst, Msg: m}
+	p.nextSeq++
+	env := msg.Envelope{Src: p.id, Dst: dst, Seq: p.nextSeq, Msg: m}
 	size := msg.EncodedSize(m)
 	wire := b.cfg.HopLatency + sim.Duration(float64(size)/b.cfg.BytesPerNs)
-	b.eng.After(wire, func() {
-		b.proc.Submit(b.cfg.ProcPerMsg, func() { b.process(env) })
-	})
+	d := b.plane.Filter(faultinject.LayerBus, b.eng.Now(), env.Src, dst, m.Kind())
+	if d.Op == faultinject.Drop {
+		return env.Seq // lost on the wire; the sender's timeout recovers
+	}
+	if d.Op == faultinject.Delay || d.Op == faultinject.Reorder {
+		wire += d.Delay
+	}
+	submit := func() {
+		b.eng.After(wire, func() {
+			b.proc.Submit(b.cfg.ProcPerMsg, func() { b.process(env) })
+		})
+	}
+	submit()
+	if d.Op == faultinject.Dup {
+		submit() // identical envelope, same seq: the dedup window eats it
+	}
+	return env.Seq
 }
 
 // process runs on the bus after the message has been received and the
@@ -233,7 +295,13 @@ func (b *Bus) process(env msg.Envelope) {
 
 	src, ok := b.devices[env.Src]
 	if !ok {
+		// No attachment to address a NACK to: silent drop.
 		b.stats.Dropped++
+		return
+	}
+
+	if b.dedup.Duplicate(env.Src, env.Seq) {
+		b.stats.DupSuppressed++
 		return
 	}
 
@@ -244,7 +312,8 @@ func (b *Bus) process(env msg.Envelope) {
 	}
 
 	// A dead device's messages are dropped (it should not be talking),
-	// except Hello/ResetDone which revive it, handled above.
+	// except Hello/ResetDone which revive it, handled above. No NACK: the
+	// bus considers the sender unreachable.
 	if !src.alive {
 		b.stats.Dropped++
 		return
@@ -262,8 +331,12 @@ func (b *Bus) process(env msg.Envelope) {
 	}
 
 	dst, ok := b.devices[env.Dst]
-	if !ok || !dst.alive {
-		b.stats.Dropped++
+	if !ok {
+		b.nack(src, env, msg.NackUnknownDst, "no such device")
+		return
+	}
+	if !dst.alive {
+		b.nack(src, env, msg.NackDeadDst, dst.name+" is failed")
 		return
 	}
 
@@ -275,8 +348,8 @@ func (b *Bus) process(env msg.Envelope) {
 	if ar, isAlloc := env.Msg.(*msg.AllocResp); isAlloc && b.memctrl != 0 {
 		if env.Src != b.memctrl {
 			// Only the registered controller may authorize mappings; a
-			// forged AllocResp is dropped.
-			b.stats.Dropped++
+			// forged AllocResp is refused.
+			b.nack(src, env, msg.NackUnauthorized, "only the memory controller may send alloc responses")
 			return
 		}
 		if ar.OK {
@@ -319,6 +392,12 @@ func (b *Bus) sortedDevices() []*attachment {
 	return out
 }
 
+// nack reports a refused message back to its (alive, attached) sender.
+func (b *Bus) nack(src *attachment, env msg.Envelope, code msg.NackCode, reason string) {
+	b.stats.Nacks++
+	b.sendFromBus(src, &msg.Nack{Of: env.Msg.Kind(), Seq: env.Seq, Dst: env.Dst, Code: code, Reason: reason})
+}
+
 // deliver schedules the final hop to one destination. Transmission time
 // occupies the shared medium (so broadcasts serialize per destination);
 // propagation overlaps.
@@ -329,6 +408,12 @@ func (b *Bus) deliver(env msg.Envelope, dst *attachment) {
 	b.egress.Submit(tx, func() {
 		b.eng.After(b.cfg.HopLatency, func() {
 			if !dst.alive {
+				// The destination died while the message was in flight.
+				// Tell a unicast sender if it can still be told.
+				if src, ok := b.devices[env.Src]; ok && src.alive && env.Dst != msg.Broadcast {
+					b.nack(src, env, msg.NackDeadDst, dst.name+" failed in flight")
+					return
+				}
 				b.stats.Dropped++
 				return
 			}
@@ -341,10 +426,19 @@ func (b *Bus) deliver(env msg.Envelope, dst *attachment) {
 func (b *Bus) sendFromBus(dst *attachment, m msg.Message) {
 	b.tr.Record(b.eng.Now(), "bus", dst.name, m.Kind().String(), summarize(m))
 	b.stats.Deliveries++
-	env := msg.Envelope{Src: msg.BusID, Dst: dst.id, Msg: m}
+	b.busSeq++
+	env := msg.Envelope{Src: msg.BusID, Dst: dst.id, Seq: b.busSeq, Msg: m}
 	tx := sim.Duration(float64(msg.EncodedSize(m)) / b.cfg.BytesPerNs)
-	b.egress.Submit(tx, func() {
-		b.eng.After(b.cfg.HopLatency, func() {
+	d := b.plane.Filter(faultinject.LayerBus, b.eng.Now(), msg.BusID, dst.id, m.Kind())
+	if d.Op == faultinject.Drop {
+		return
+	}
+	hop := b.cfg.HopLatency
+	if d.Op == faultinject.Delay || d.Op == faultinject.Reorder {
+		hop += d.Delay
+	}
+	final := func() {
+		b.eng.After(hop, func() {
 			// Reset must reach even dead devices — it is the revival path.
 			if !dst.alive {
 				if _, isReset := m.(*msg.Reset); !isReset {
@@ -354,6 +448,12 @@ func (b *Bus) sendFromBus(dst *attachment, m msg.Message) {
 			}
 			dst.handler(env)
 		})
+	}
+	b.egress.Submit(tx, func() {
+		final()
+		if d.Op == faultinject.Dup {
+			final() // same seq: the receiver's dedup window eats it
+		}
 	})
 }
 
@@ -370,6 +470,15 @@ func (b *Bus) handleBusMessage(src *attachment, env msg.Envelope) {
 	case *msg.Heartbeat:
 		if src.alive {
 			src.lastHB = b.eng.Now()
+		} else {
+			// A heartbeat from a device the bus marked failed means the
+			// device believes it is healthy — its ResetDone was lost on a
+			// faulty fabric. Re-issue the Reset so the lifecycle
+			// reconverges instead of leaving a permanent zombie. (A device
+			// mid-reset ignores the extra Reset; a genuinely dead device
+			// never heartbeats.)
+			b.stats.Resets++
+			b.sendFromBus(src, &msg.Reset{Reason: "bus: heartbeat from failed device"})
 		}
 	case *msg.GrantReq:
 		b.handleGrant(src, m)
@@ -378,7 +487,7 @@ func (b *Bus) handleBusMessage(src *attachment, env msg.Envelope) {
 	case *msg.AuthResp:
 		b.handleAuthResp(src, m)
 	default:
-		b.stats.Dropped++
+		b.nack(src, env, msg.NackUnknownKind, "bus cannot handle "+env.Msg.Kind().String())
 	}
 }
 
@@ -387,6 +496,16 @@ func (b *Bus) handleBusMessage(src *attachment, env msg.Envelope) {
 func (b *Bus) programMappings(dst *attachment, ar *msg.AllocResp) error {
 	if dst.mmu == nil {
 		return fmt.Errorf("device %s has no IOMMU", dst.name)
+	}
+	// A retried AllocReq can produce a second OK response for a region
+	// whose tables are already programmed (the first response was lost
+	// after the controller committed). Re-programming would fail with
+	// "already mapped"; recognize the replay — same device, same frames —
+	// and succeed idempotently. A response with different frames is a
+	// genuine conflict and falls through to the mapping error below.
+	if info, ok := b.owners[ownerKey{ar.App, ar.VA}]; ok && info.dev == dst.id &&
+		info.frameSum == frameFingerprint(ar.Frames, ar.Huge) {
+		return nil
 	}
 	pasid := iommu.PASID(ar.App)
 	if !dst.mmu.HasContext(pasid) {
@@ -409,7 +528,7 @@ func (b *Bus) programMappings(dst *attachment, ar *msg.AllocResp) error {
 			}
 		}
 		b.stats.PagesMapped += uint64(len(ar.Frames) * iommu.HugeFrames)
-		b.owners[ownerKey{ar.App, ar.VA}] = ownerInfo{dev: dst.id, pages: len(ar.Frames) * iommu.HugeFrames, huge: true}
+		b.owners[ownerKey{ar.App, ar.VA}] = ownerInfo{dev: dst.id, pages: len(ar.Frames) * iommu.HugeFrames, huge: true, frameSum: frameFingerprint(ar.Frames, true)}
 		return nil
 	}
 	for i, f := range ar.Frames {
@@ -423,7 +542,7 @@ func (b *Bus) programMappings(dst *attachment, ar *msg.AllocResp) error {
 		}
 	}
 	b.stats.PagesMapped += uint64(len(ar.Frames))
-	b.owners[ownerKey{ar.App, ar.VA}] = ownerInfo{dev: dst.id, pages: len(ar.Frames)}
+	b.owners[ownerKey{ar.App, ar.VA}] = ownerInfo{dev: dst.id, pages: len(ar.Frames), frameSum: frameFingerprint(ar.Frames, false)}
 	return nil
 }
 
@@ -514,6 +633,15 @@ func (b *Bus) handleGrant(src *attachment, m *msg.GrantReq) {
 		deny("requester does not own region")
 		return
 	}
+	// A retried GrantReq for a grant already in force succeeds without
+	// re-authorizing or re-mapping (the first response was lost).
+	for _, r := range b.grants[ownerKey{m.App, m.VA}] {
+		if r.target == m.Target {
+			b.stats.GrantsOK++
+			b.sendFromBus(src, &msg.GrantResp{App: m.App, OK: true, VA: m.VA, Target: m.Target})
+			return
+		}
+	}
 	tgt, ok := b.devices[m.Target]
 	if !ok || !tgt.alive {
 		deny("unknown or dead target device")
@@ -562,6 +690,15 @@ func (b *Bus) handleAuthResp(src *attachment, m *msg.AuthResp) {
 	if !ok || !tgt.alive || tgt.mmu == nil {
 		reply(false, "target vanished")
 		return
+	}
+	// Two authorizations for the same grant can race when the requester
+	// retried before the first AuthResp returned; the second mapping pass
+	// would fail on already-installed PTEs. Treat it as the success it is.
+	for _, r := range b.grants[ownerKey{m.App, m.VA}] {
+		if r.target == pg.req.Target {
+			reply(true, "")
+			return
+		}
 	}
 	pasid := iommu.PASID(m.App)
 	if !tgt.mmu.HasContext(pasid) {

@@ -105,6 +105,14 @@ type CPU struct {
 	kernelConns    map[uint32]*kernelFile            // mediated handles
 	nextHandle     uint32
 
+	// completedOpens is the kernel's at-most-once cache for the open
+	// syscall: a retransmitted OpenReq (lost response) replays the recorded
+	// verdict instead of re-running mmap/grant and leaking a second region.
+	completedOpens map[openKey]*msg.OpenResp
+
+	helloTimer *sim.Timer
+	helloTries int
+
 	// mmaps is the kernel's per-app region table for the explicit
 	// mmap/munmap syscalls (AllocReq/FreeReq addressed to the CPU).
 	mmaps map[mmapKey]mmapRec
@@ -130,7 +138,17 @@ type kernelFile struct {
 	handle uint32
 	app    msg.AppID
 	drv    *virtio.Driver
+	// At-most-once execution for mediated I/O (§4): completed caches
+	// recent responses by syscall seq so a retransmitted FileIOReq replays
+	// the result instead of re-applying the write; inflight suppresses
+	// duplicates of a request still in the device queue.
+	completed map[uint32]*msg.FileIOResp
+	inflight  map[uint32]bool
 }
+
+// ioWindow bounds the completed-response cache per handle; app seqs are
+// monotonic, so anything this far behind can no longer be retransmitted.
+const ioWindow = 256
 
 // New builds the CPU and attaches it to the bus and fabric.
 func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer, cfg Config) (*CPU, error) {
@@ -169,6 +187,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 		pendingConnect: make(map[uint32]func(*msg.ConnectResp)),
 		kernelConns:    make(map[uint32]*kernelFile),
 		mmaps:          make(map[mmapKey]mmapRec),
+		completedOpens: make(map[openKey]*msg.OpenResp),
 	}
 	c.dma = fab.NewPort(cfg.Name, c.mmu)
 	port, err := b.Attach(cfg.ID, cfg.Name, msg.RoleAccelerator, c.mmu, c.receive)
@@ -179,9 +198,28 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 	return c, nil
 }
 
-// Start boots the kernel (announces the CPU on the transport).
+// Start boots the kernel (announces the CPU on the transport). The Hello
+// retransmits with backoff until the bus acknowledges it (§4: enrollment
+// must survive a lossy bus); the timer never fires in a fault-free run.
 func (c *CPU) Start() {
+	c.helloTries = 0
+	c.sendHello()
+}
+
+const (
+	helloRetryBase = 2 * sim.Millisecond
+	helloRetryMax  = 5
+)
+
+func (c *CPU) sendHello() {
 	c.port.Send(msg.BusID, &msg.Hello{Role: msg.RoleAccelerator, Name: c.cfg.Name})
+	if c.helloTries >= helloRetryMax {
+		c.tr.Record(c.eng.Now(), c.cfg.Name, "", "hello-abandoned", fmt.Sprintf("after %d attempts", c.helloTries+1))
+		return
+	}
+	delay := helloRetryBase << uint(c.helloTries)
+	c.helloTries++
+	c.helloTimer = c.eng.After(delay, c.sendHello)
 }
 
 // Stats returns a copy of the counters.
@@ -217,7 +255,12 @@ func (c *CPU) receive(env msg.Envelope) {
 		c.sysMmap(env.Src, m)
 	case *msg.FreeReq:
 		c.sysMunmap(env.Src, m)
-	case *msg.HelloAck, *msg.DeviceFailed:
+	case *msg.HelloAck:
+		if c.helloTimer != nil {
+			c.helloTimer.Stop()
+			c.helloTimer = nil
+		}
+	case *msg.DeviceFailed:
 		// Kernel-level failure handling is out of scope for the baseline.
 	}
 }
@@ -271,6 +314,13 @@ func (c *CPU) vaFor(app msg.AppID, bytes uint64) uint64 {
 func (c *CPU) sysOpen(src msg.DeviceID, m *msg.OpenReq) {
 	c.stats.Syscalls++
 	c.cores.Submit(c.cfg.SyscallCost+c.cfg.RegistryCost, func() {
+		if done, ok := c.completedOpens[openKey{m.App, m.Service}]; ok {
+			// Retransmitted open (lost response): replay the recorded
+			// verdict rather than mmap a second region.
+			resp := *done
+			c.port.Send(src, &resp)
+			return
+		}
 		mediated := false
 		name := m.Service
 		if n, ok := cutPrefix(name, "mediated:"); ok {
@@ -328,10 +378,13 @@ func (c *CPU) onDeviceOpenResp(dev msg.DeviceID, m *msg.OpenResp) {
 			c.port.Send(st.origin, &msg.OpenResp{Service: st.service, App: m.App, OK: false, Reason: err.Error()})
 			return
 		}
-		c.port.Send(st.origin, &msg.OpenResp{
+		resp := &msg.OpenResp{
 			Service: st.service, App: m.App, OK: true,
 			ConnID: m.ConnID, SharedBytes: m.SharedBytes, Base: va,
-		})
+		}
+		c.completedOpens[openKey{m.App, st.service}] = resp
+		out := *resp
+		c.port.Send(st.origin, &out)
 	})
 }
 
@@ -428,12 +481,15 @@ func (c *CPU) openMediated(dev msg.DeviceID, st *openState, m *msg.OpenResp) {
 				return
 			}
 			drv.SetRequestBell(bell)
-			c.kernelConns[handle] = &kernelFile{handle: handle, app: m.App, drv: drv}
+			c.kernelConns[handle] = &kernelFile{handle: handle, app: m.App, drv: drv, completed: make(map[uint32]*msg.FileIOResp), inflight: make(map[uint32]bool)}
 			maxIO := cellSize - smartssd.ReqHeaderBytes
-			c.port.Send(st.origin, &msg.OpenResp{
+			resp := &msg.OpenResp{
 				Service: st.service, App: m.App, OK: true,
 				ConnID: handle, SharedBytes: uint64(maxIO),
-			})
+			}
+			c.completedOpens[openKey{m.App, st.service}] = resp
+			out := *resp
+			c.port.Send(st.origin, &out)
 		}
 		c.pendingConnect[m.ConnID] = connDone
 		c.port.Send(dev, &msg.ConnectReq{
@@ -461,6 +517,31 @@ func (c *CPU) sysFileIO(src msg.DeviceID, m *msg.FileIOReq) {
 		reject(smartssd.StatusBadRequest)
 		return
 	}
+	// At-most-once: replay a completed syscall's response; swallow a
+	// duplicate of one still in flight (its response goes out when the
+	// device completes).
+	if done, was := kf.completed[m.Seq]; was {
+		resp := *done
+		c.port.Send(src, &resp)
+		return
+	}
+	if kf.inflight[m.Seq] {
+		return
+	}
+	kf.inflight[m.Seq] = true
+	// complete records the final response for replay, then sends it.
+	complete := func(resp *msg.FileIOResp) {
+		delete(kf.inflight, m.Seq)
+		kf.completed[m.Seq] = resp
+		if m.Seq > ioWindow {
+			delete(kf.completed, m.Seq-ioWindow)
+		}
+		out := *resp
+		c.port.Send(src, &out)
+	}
+	fail := func(status smartssd.Status) {
+		complete(&msg.FileIOResp{App: m.App, Handle: m.Handle, Seq: m.Seq, Status: uint8(status)})
+	}
 	// Copy-in for writes (app buffer -> kernel page cache).
 	inCopy := sim.Duration(float64(len(m.Data)) / c.cfg.CopyBytesPerNs)
 	c.stats.BytesCopied += uint64(len(m.Data))
@@ -468,12 +549,12 @@ func (c *CPU) sysFileIO(src msg.DeviceID, m *msg.FileIOReq) {
 		req := smartssd.FileReq{Op: smartssd.FileOp(m.Op), Off: m.Off, Len: m.Len, Data: m.Data}
 		err := kf.drv.Submit(smartssd.EncodeFileReq(req), func(respBytes []byte, err error) {
 			if err != nil {
-				reject(smartssd.StatusIOError)
+				fail(smartssd.StatusIOError)
 				return
 			}
 			resp, derr := smartssd.DecodeFileResp(respBytes)
 			if derr != nil {
-				reject(smartssd.StatusIOError)
+				fail(smartssd.StatusIOError)
 				return
 			}
 			// Completion interrupt + copy-out (kernel -> app buffer).
@@ -481,14 +562,14 @@ func (c *CPU) sysFileIO(src msg.DeviceID, m *msg.FileIOReq) {
 			c.stats.BytesCopied += uint64(len(resp.Data))
 			c.stats.Interrupts++
 			c.cores.Submit(c.cfg.InterruptCost+outCopy, func() {
-				c.port.Send(src, &msg.FileIOResp{
+				complete(&msg.FileIOResp{
 					App: m.App, Handle: m.Handle, Seq: m.Seq,
 					Status: uint8(resp.Status), Size: resp.Size, Data: resp.Data,
 				})
 			})
 		})
 		if err != nil {
-			reject(smartssd.StatusIOError)
+			fail(smartssd.StatusIOError)
 		}
 	})
 }

@@ -25,6 +25,7 @@ import (
 	"nocpu/internal/bus"
 	"nocpu/internal/centralos"
 	"nocpu/internal/device"
+	"nocpu/internal/faultinject"
 	"nocpu/internal/interconnect"
 	"nocpu/internal/kvs"
 	"nocpu/internal/memctrl"
@@ -92,6 +93,10 @@ type Options struct {
 	WithAccel bool
 	// Accel configures it.
 	Accel accel.Config
+	// FaultPlane, when non-nil, injects faults on the bus and the
+	// interconnect (E14). Nil leaves the machine bit-identical to a build
+	// without injection.
+	FaultPlane *faultinject.Plane
 }
 
 // System is an assembled machine.
@@ -150,6 +155,10 @@ func New(opts Options) (*System, error) {
 	}
 	s.Fabric = interconnect.NewFabric(s.Eng, s.Mem, opts.Costs)
 	s.Bus = bus.New(s.Eng, opts.Bus, s.Tracer)
+	if opts.FaultPlane != nil {
+		s.Bus.SetFaultPlane(opts.FaultPlane)
+		s.Fabric.SetFaultPlane(opts.FaultPlane)
+	}
 	s.nextID = ControlID
 
 	hb := sim.Duration(0)

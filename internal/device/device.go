@@ -90,11 +90,13 @@ type Device struct {
 	fabPort *interconnect.Port
 	mmu     *iommu.IOMMU
 
-	state    State
-	hbSeq    uint64
-	hbTimer  *sim.Timer
-	services map[string]Service
-	svcOrder []string // deterministic discovery-answer order
+	state      State
+	hbSeq      uint64
+	hbTimer    *sim.Timer
+	helloTimer *sim.Timer
+	helloTries int
+	services   map[string]Service
+	svcOrder   []string // deterministic discovery-answer order
 
 	// handlers routes non-session messages (alloc responses, errors, ...)
 	// registered by the concrete device.
@@ -167,9 +169,10 @@ func (d *Device) Handle(k msg.Kind, fn func(env msg.Envelope)) {
 	d.handlers[k] = fn
 }
 
-// Send transmits a message on the system bus.
-func (d *Device) Send(dst msg.DeviceID, m msg.Message) {
-	d.busPort.Send(dst, m)
+// Send transmits a message on the system bus and returns the link-layer
+// sequence number the port stamped on it (for retry correlation).
+func (d *Device) Send(dst msg.DeviceID, m msg.Message) uint32 {
+	return d.busPort.Send(dst, m)
 }
 
 // Start powers the device on: self-test, then Hello, then heartbeats.
@@ -184,11 +187,40 @@ func (d *Device) Start() {
 
 func (d *Device) becomeAlive() {
 	d.state = StateAlive
-	d.Send(msg.BusID, &msg.Hello{Role: d.cfg.Role, Name: d.cfg.Name, Services: append([]string(nil), d.svcOrder...)})
+	d.helloTries = 0
+	d.sendHello()
 	d.scheduleHeartbeat()
 	if d.OnAlive != nil {
 		d.OnAlive()
 	}
+}
+
+// Hello retransmission (§4: enrollment must survive a lossy bus). The
+// retry timer is stopped by the HelloAck; in a fault-free run it never
+// fires, and a stopped timer leaves the event schedule bit-identical.
+const (
+	helloRetryBase = 2 * sim.Millisecond
+	helloRetryMax  = 5
+)
+
+func (d *Device) sendHello() {
+	d.Send(msg.BusID, &msg.Hello{Role: d.cfg.Role, Name: d.cfg.Name, Services: append([]string(nil), d.svcOrder...)})
+	if d.helloTries >= helloRetryMax {
+		// Budget exhausted: give up rather than retry forever (an
+		// unbounded timer would keep the simulation from draining). The
+		// device stays up; the bus simply never learned of it.
+		d.tr.Record(d.eng.Now(), d.cfg.Name, "", "hello-abandoned", fmt.Sprintf("after %d attempts", d.helloTries+1))
+		return
+	}
+	delay := helloRetryBase << uint(d.helloTries)
+	d.helloTries++
+	d.helloTimer = d.eng.After(delay, func() {
+		if d.state != StateAlive {
+			return
+		}
+		d.tr.Record(d.eng.Now(), d.cfg.Name, "", "hello-retry", fmt.Sprintf("attempt %d", d.helloTries+1))
+		d.sendHello()
+	})
 }
 
 func (d *Device) scheduleHeartbeat() {
@@ -211,6 +243,9 @@ func (d *Device) Kill() {
 	d.state = StateFailed
 	if d.hbTimer != nil {
 		d.hbTimer.Stop()
+	}
+	if d.helloTimer != nil {
+		d.helloTimer.Stop()
 	}
 	d.tr.Record(d.eng.Now(), d.cfg.Name, "", "killed", "")
 }
@@ -297,7 +332,10 @@ func (d *Device) receive(env msg.Envelope) {
 		d.Kill()
 		d.receive(env)
 	case *msg.HelloAck:
-		// No action.
+		if d.helloTimer != nil {
+			d.helloTimer.Stop()
+			d.helloTimer = nil
+		}
 	default:
 		if h, ok := d.handlers[env.Msg.Kind()]; ok {
 			h(env)

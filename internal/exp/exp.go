@@ -59,6 +59,7 @@ var registry = []entry{
 	{"E11", "NIC-side value cache ablation (KV-Direct-style extension)", E11ValueCache},
 	{"E12", "Demand paging: eager vs first-touch backing (§4 page faults)", E12DemandPaging},
 	{"E13", "IOMMU huge pages: setup cost and TLB reach", E13HugePages},
+	{"E14", "Fault injection: init and steady-state KVS under message loss", E14FaultTolerance},
 }
 
 // IDs lists all experiment identifiers in order.

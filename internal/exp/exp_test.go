@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 13 {
-		t.Fatalf("expected 13 experiments, have %v", ids)
+	if len(ids) != 14 {
+		t.Fatalf("expected 14 experiments, have %v", ids)
 	}
 	for i, id := range ids {
 		if want := fmt.Sprintf("E%d", i+1); id != want {
@@ -18,6 +18,36 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, err := Run("E99"); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestAllExperimentsSmoke runs every registered experiment end to end and
+// asserts each emits at least one non-empty table. The whole suite costs a
+// few wall-clock seconds (virtual time is simulated), so no gating.
+func TestAllExperimentsSmoke(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Errorf("result ID = %q, want %q", res.ID, id)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("experiment emitted no tables")
+			}
+			for ti, tb := range res.Tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %d (%q) has no rows", ti, tb.Title)
+				}
+			}
+			if !strings.Contains(res.String(), "### "+id) {
+				t.Error("rendered output missing experiment header")
+			}
+		})
 	}
 }
 

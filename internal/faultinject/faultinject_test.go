@@ -1,0 +1,136 @@
+package faultinject
+
+import (
+	"testing"
+
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+)
+
+func TestNilAndEmptyPlanesPass(t *testing.T) {
+	var nilPlane *Plane
+	if d := nilPlane.Filter(LayerBus, 0, 1, 2, msg.KindOpenReq); d.Op != Pass {
+		t.Fatalf("nil plane intervened: %+v", d)
+	}
+	if nilPlane.Enabled() {
+		t.Fatal("nil plane claims enabled")
+	}
+	if s := nilPlane.Stats(); s != (Stats{}) {
+		t.Fatalf("nil plane has stats: %+v", s)
+	}
+	empty := New(1)
+	if empty.Enabled() {
+		t.Fatal("rule-less plane claims enabled")
+	}
+	if d := empty.Filter(LayerBus, 0, 1, 2, msg.KindOpenReq); d.Op != Pass {
+		t.Fatalf("rule-less plane intervened: %+v", d)
+	}
+	if s := empty.Stats(); s.Inspected != 0 {
+		t.Fatal("disabled plane counted traffic")
+	}
+}
+
+func TestRuleFilters(t *testing.T) {
+	mk := func(r Rule) *Plane { return New(1).Add(r) }
+	cases := []struct {
+		name string
+		p    *Plane
+		l    Layer
+		now  sim.Time
+		src  msg.DeviceID
+		dst  msg.DeviceID
+		kind msg.Kind
+		want Op
+	}{
+		{"any matches", mk(Rule{Op: Drop}), LayerBus, 0, 1, 2, msg.KindOpenReq, Drop},
+		{"layer mismatch", mk(Rule{Layer: LayerLink, Op: Drop}), LayerBus, 0, 1, 2, msg.KindOpenReq, Pass},
+		{"layer match", mk(Rule{Layer: LayerLink, Op: Drop}), LayerLink, 0, 1, 2, msg.KindInvalid, Drop},
+		{"src mismatch", mk(Rule{Src: 7, Op: Drop}), LayerBus, 0, 1, 2, msg.KindOpenReq, Pass},
+		{"dst match", mk(Rule{Dst: 2, Op: Delay}), LayerBus, 0, 1, 2, msg.KindOpenReq, Delay},
+		{"kind mismatch", mk(Rule{Kind: msg.KindAllocReq, Op: Drop}), LayerBus, 0, 1, 2, msg.KindOpenReq, Pass},
+		{"kind ignored on link", mk(Rule{Layer: LayerLink, Kind: msg.KindAllocReq, Op: Drop}), LayerLink, 0, 1, 2, msg.KindInvalid, Drop},
+		{"before window", mk(Rule{After: 100, Op: Drop}), LayerBus, 50, 1, 2, msg.KindOpenReq, Pass},
+		{"inside window", mk(Rule{After: 100, Until: 200, Op: Drop}), LayerBus, 150, 1, 2, msg.KindOpenReq, Drop},
+		{"after window", mk(Rule{After: 100, Until: 200, Op: Drop}), LayerBus, 200, 1, 2, msg.KindOpenReq, Pass},
+	}
+	for _, c := range cases {
+		if d := c.p.Filter(c.l, c.now, c.src, c.dst, c.kind); d.Op != c.want {
+			t.Errorf("%s: got %v want %v", c.name, d.Op, c.want)
+		}
+	}
+}
+
+func TestCountBudget(t *testing.T) {
+	p := New(1).Add(Rule{Op: Drop, Count: 2})
+	got := 0
+	for i := 0; i < 5; i++ {
+		if p.Filter(LayerBus, 0, 1, 2, msg.KindOpenReq).Op == Drop {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Fatalf("Count=2 rule applied %d times", got)
+	}
+	if s := p.Stats(); s.Dropped != 2 || s.Inspected != 5 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestFirstMatchWinsAndConsumes(t *testing.T) {
+	// A probabilistic first rule that passes must NOT fall through to the
+	// second rule: rule order alone decides who judges a message.
+	p := New(1).
+		Add(Rule{Op: Drop, Prob: 0.5}).
+		Add(Rule{Op: Delay, Delay: 5})
+	delays := 0
+	for i := 0; i < 200; i++ {
+		if p.Filter(LayerBus, 0, 1, 2, msg.KindOpenReq).Op == Delay {
+			delays++
+		}
+	}
+	if delays != 0 {
+		t.Fatalf("probabilistic miss fell through to later rule %d times", delays)
+	}
+}
+
+func TestProbabilisticRateIsSeededAndPlausible(t *testing.T) {
+	run := func(seed uint64) int {
+		p := New(seed).Add(Rule{Op: Drop, Prob: 0.3})
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if p.Filter(LayerBus, 0, 1, 2, msg.KindOpenReq).Op == Drop {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("30%% rule dropped %d/1000", a)
+	}
+	if c := run(8); c == a {
+		t.Fatalf("different seeds agreed exactly (%d) — suspicious", c)
+	}
+}
+
+func TestDelayCarriesDuration(t *testing.T) {
+	p := New(1).Add(Rule{Op: Reorder, Delay: 42})
+	d := p.Filter(LayerBus, 0, 1, 2, msg.KindOpenReq)
+	if d.Op != Reorder || d.Delay != 42 {
+		t.Fatalf("decision %+v", d)
+	}
+}
+
+func TestCrashAtFiresAtVirtualTime(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(1)
+	var fired sim.Time
+	p.CrashAt(eng, 1000, func() { fired = eng.Now() })
+	eng.Run()
+	if fired != 1000 {
+		t.Fatalf("crash action fired at %d", fired)
+	}
+}

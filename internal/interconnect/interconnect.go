@@ -16,7 +16,9 @@ package interconnect
 import (
 	"fmt"
 
+	"nocpu/internal/faultinject"
 	"nocpu/internal/iommu"
+	"nocpu/internal/msg"
 	"nocpu/internal/physmem"
 	"nocpu/internal/sim"
 )
@@ -65,6 +67,9 @@ type Fabric struct {
 	// space is flat and never reused within a run.
 	nextBell DoorbellAddr
 	stats    FabricStats
+	// plane, when set, judges every doorbell and DMA (fault injection);
+	// nil is a pass-through.
+	plane *faultinject.Plane
 }
 
 // FabricStats counts data-plane traffic.
@@ -99,6 +104,18 @@ func (f *Fabric) Engine() *sim.Engine { return f.eng }
 // Stats returns a copy of the traffic counters.
 func (f *Fabric) Stats() FabricStats { return f.stats }
 
+// SetFaultPlane installs the fault injector on the data plane
+// (faultinject.LayerLink). A nil plane disables injection.
+func (f *Fabric) SetFaultPlane(p *faultinject.Plane) { f.plane = p }
+
+// InjectedError is the typed failure a DMA reports when the fault plane
+// lost the transfer; callers distinguish it from translation faults.
+type InjectedError struct{ Op string }
+
+func (e *InjectedError) Error() string {
+	return "interconnect: " + e.Op + " lost (injected fault)"
+}
+
 // RegisterDoorbell binds a handler to a doorbell address. Registering an
 // address twice is a wiring bug and panics.
 func (f *Fabric) RegisterDoorbell(addr DoorbellAddr, h DoorbellHandler) {
@@ -126,11 +143,27 @@ func (f *Fabric) UnregisterDoorbell(addr DoorbellAddr) { delete(f.bells, addr) }
 // in a dead register), matching hardware behaviour.
 func (f *Fabric) Ring(addr DoorbellAddr, value uint64) {
 	f.stats.Doorbells++
-	f.eng.After(f.costs.DoorbellLatency, func() {
+	lat := f.costs.DoorbellLatency
+	deliver := func() {
 		if h, ok := f.bells[addr]; ok {
 			h(value)
 		}
-	})
+	}
+	d := f.plane.Filter(faultinject.LayerLink, f.eng.Now(), 0, 0, msg.KindInvalid)
+	switch d.Op {
+	case faultinject.Drop:
+		// A doorbell is a posted write that always lands eventually; the
+		// closest physical fault is an arbitration stall. Demote Drop to a
+		// long delay so a queue cannot hang forever on a lost notification.
+		lat += d.Delay + 8*f.costs.DoorbellLatency
+	case faultinject.Delay, faultinject.Reorder:
+		lat += d.Delay
+	case faultinject.Dup:
+		// A doubled posted write: the handler runs twice (virtio handlers
+		// tolerate spurious notifications by re-scanning the ring).
+		f.eng.After(lat, deliver)
+	}
+	f.eng.After(lat, deliver)
 }
 
 // FaultHandler receives a translation fault delivered to the device (§4:
@@ -253,12 +286,27 @@ func (p *Port) read(pasid iommu.PASID, va iommu.VirtAddr, n int, done func([]byt
 			func(err error) { done(nil, err) })
 		return
 	}
+	d := p.fab.plane.Filter(faultinject.LayerLink, p.fab.eng.Now(), 0, 0, msg.KindInvalid)
+	if d.Op == faultinject.Drop {
+		// The transfer is lost on the link; surface a typed error after
+		// the propagation delay — §4: devices handle their own errors.
+		p.fab.eng.After(p.fab.costs.LinkLatency, func() { done(nil, &InjectedError{Op: "DMA read"}) })
+		return
+	}
 	wait := p.busy.Delay()
 	service := p.transferTime(n, len(exts), walks)
+	if d.Op == faultinject.Delay || d.Op == faultinject.Reorder {
+		service += d.Delay
+	}
 	p.fab.stats.DMAs++
 	p.fab.stats.BytesMoved += uint64(n)
 	p.fab.stats.TotalDMATime += service
 	p.fab.stats.TotalWaitTime += wait
+	if d.Op == faultinject.Dup {
+		// The duplicate transfer burns engine time and bandwidth; its data
+		// is identical, so only the cost is observable.
+		p.busy.Submit(service, func() {})
+	}
 	p.busy.Submit(service, func() {
 		buf := make([]byte, 0, n)
 		for _, e := range exts {
@@ -288,12 +336,23 @@ func (p *Port) write(pasid iommu.PASID, va iommu.VirtAddr, data []byte, done fun
 			done)
 		return
 	}
+	d := p.fab.plane.Filter(faultinject.LayerLink, p.fab.eng.Now(), 0, 0, msg.KindInvalid)
+	if d.Op == faultinject.Drop {
+		p.fab.eng.After(p.fab.costs.LinkLatency, func() { done(&InjectedError{Op: "DMA write"}) })
+		return
+	}
 	wait := p.busy.Delay()
 	service := p.transferTime(len(data), len(exts), walks)
+	if d.Op == faultinject.Delay || d.Op == faultinject.Reorder {
+		service += d.Delay
+	}
 	p.fab.stats.DMAs++
 	p.fab.stats.BytesMoved += uint64(len(data))
 	p.fab.stats.TotalDMATime += service
 	p.fab.stats.TotalWaitTime += wait
+	if d.Op == faultinject.Dup {
+		p.busy.Submit(service, func() {})
+	}
 	// Capture the payload now: the caller may reuse its buffer.
 	payload := make([]byte, len(data))
 	copy(payload, data)

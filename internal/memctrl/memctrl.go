@@ -66,8 +66,27 @@ type Controller struct {
 	table map[msg.AppID]map[uint64]*allocation
 	// appBytes tracks per-app usage for the quota.
 	appBytes map[msg.AppID]uint64
+	// freed remembers released regions so a retried FreeReq whose first
+	// response was lost gets OK instead of "no such region".
+	freed map[freeKey]freedRegion
 
 	stats Stats
+}
+
+type freeKey struct {
+	app msg.AppID
+	va  uint64
+}
+
+// freedRegion records the outcome of a completed free for idempotent
+// replay; it is evicted when the VA is reallocated. reqBytes is the byte
+// count the original request carried: a retransmission repeats it
+// exactly, while a later, distinct double free (different or unspecified
+// size) must still be denied.
+type freedRegion struct {
+	owner    msg.DeviceID
+	reqBytes uint64
+	bytes    uint64
 }
 
 // New builds and registers the controller on the bus. The device config's
@@ -88,6 +107,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 		proc:     sim.NewServer(eng),
 		table:    make(map[msg.AppID]map[uint64]*allocation),
 		appBytes: make(map[msg.AppID]uint64),
+		freed:    make(map[freeKey]freedRegion),
 	}
 	d.Handle(msg.KindAllocReq, c.onAlloc)
 	d.Handle(msg.KindFreeReq, c.onFree)
@@ -146,6 +166,25 @@ func (c *Controller) doAlloc(src msg.DeviceID, m *msg.AllocReq) *msg.AllocResp {
 	}
 	pages := pagesOf(m.Bytes)
 	bytes := uint64(pages) * physmem.PageSize
+	// Idempotent replay: a retried AllocReq for a region this requester
+	// already holds (same extent, same flavor) re-sends the original
+	// verdict — the first response was lost in flight, not the request's
+	// effect. The frames must be the same ones, or the requester and its
+	// IOMMU would disagree about the region's backing.
+	if a, ok := apps[m.VA]; ok && a.owner == src && a.huge == m.Huge {
+		want := bytes
+		if m.Huge {
+			runs := int((m.Bytes + iommu.HugePageSize - 1) / iommu.HugePageSize)
+			want = uint64(runs) * iommu.HugePageSize
+		}
+		if a.bytes == want {
+			out := make([]uint64, len(a.frames))
+			for i, f := range a.frames {
+				out[i] = uint64(f)
+			}
+			return &msg.AllocResp{App: m.App, OK: true, VA: m.VA, Frames: out, Perm: m.Perm, Huge: a.huge}
+		}
+	}
 	// Overlap check against this app's existing regions.
 	for base, a := range apps {
 		if m.VA < base+a.bytes && base < m.VA+bytes {
@@ -181,6 +220,7 @@ func (c *Controller) doAlloc(src msg.DeviceID, m *msg.AllocReq) *msg.AllocResp {
 			frames = append(frames, f)
 		}
 		apps[m.VA] = &allocation{owner: src, frames: frames, bytes: bytes, huge: true}
+		delete(c.freed, freeKey{m.App, m.VA})
 		c.appBytes[m.App] += bytes
 		c.stats.Allocs++
 		c.stats.BytesLive += bytes
@@ -207,6 +247,7 @@ func (c *Controller) doAlloc(src msg.DeviceID, m *msg.AllocReq) *msg.AllocResp {
 		frames = append(frames, f)
 	}
 	apps[m.VA] = &allocation{owner: src, frames: frames, bytes: bytes}
+	delete(c.freed, freeKey{m.App, m.VA})
 	c.appBytes[m.App] += bytes
 	c.stats.Allocs++
 	c.stats.BytesLive += bytes
@@ -232,6 +273,12 @@ func (c *Controller) doFree(src msg.DeviceID, m *msg.FreeReq) *msg.FreeResp {
 	}
 	a, ok := c.table[m.App][m.VA]
 	if !ok {
+		// Idempotent replay: the first FreeResp was lost and the requester
+		// retransmitted; the region is already gone because the first
+		// request took effect.
+		if fr, done := c.freed[freeKey{m.App, m.VA}]; done && fr.owner == src && fr.reqBytes == m.Bytes {
+			return &msg.FreeResp{App: m.App, OK: true, VA: m.VA, Bytes: fr.bytes}
+		}
 		return deny("no such region")
 	}
 	if a.owner != src {
@@ -252,6 +299,7 @@ func (c *Controller) doFree(src msg.DeviceID, m *msg.FreeReq) *msg.FreeResp {
 	}
 	delete(c.table[m.App], m.VA)
 	c.appBytes[m.App] -= a.bytes
+	c.freed[freeKey{m.App, m.VA}] = freedRegion{owner: src, reqBytes: m.Bytes, bytes: a.bytes}
 	c.stats.Frees++
 	c.stats.BytesLive -= a.bytes
 	return &msg.FreeResp{App: m.App, OK: true, VA: m.VA, Bytes: a.bytes}

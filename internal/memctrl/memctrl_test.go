@@ -199,6 +199,40 @@ func TestFreeFlow(t *testing.T) {
 	}
 }
 
+// TestFreeRetransmissionReplayed: a FreeReq identical to one already
+// completed (same owner, VA and byte count — what the NIC retry layer
+// resends when the FreeResp was lost) is answered OK by replay without a
+// second free, while TestFreeFlow's distinct double free stays denied.
+func TestFreeRetransmissionReplayed(t *testing.T) {
+	w := newWorld(t, 0, 1024)
+	nic := w.newRequester(t, 2, "nic")
+	w.eng.Run()
+	nic.dev.Send(1, &msg.AllocReq{App: 1, VA: 0x10000, Bytes: 2 * physmem.PageSize})
+	w.eng.Run()
+	nic.dev.Send(1, &msg.FreeReq{App: 1, VA: 0x10000, Bytes: 2 * physmem.PageSize})
+	w.eng.Run()
+	nic.dev.Send(1, &msg.FreeReq{App: 1, VA: 0x10000, Bytes: 2 * physmem.PageSize})
+	w.eng.Run()
+	if len(nic.frees) != 2 || !nic.frees[0].OK || !nic.frees[1].OK {
+		t.Fatalf("frees = %+v, want two OK responses", nic.frees)
+	}
+	if got := w.ctrl.Stats().Frees; got != 1 {
+		t.Errorf("controller performed %d frees, want 1 (replay must not double-free)", got)
+	}
+	// Reallocating the VA evicts the replay record: a stale retransmission
+	// arriving after that must not be confused with freeing the new region.
+	nic.dev.Send(1, &msg.AllocReq{App: 1, VA: 0x10000, Bytes: 2 * physmem.PageSize})
+	w.eng.Run()
+	if !nic.lastAlloc().OK {
+		t.Fatal("realloc failed")
+	}
+	nic.dev.Send(1, &msg.FreeReq{App: 1, VA: 0x10000, Bytes: 2 * physmem.PageSize})
+	w.eng.Run()
+	if got := w.ctrl.Stats().Frees; got != 2 {
+		t.Errorf("frees = %d, want 2 (free of reallocated region must be real, not replayed)", got)
+	}
+}
+
 func TestFreeByNonOwnerDenied(t *testing.T) {
 	w := newWorld(t, 0, 1024)
 	nic := w.newRequester(t, 2, "nic")

@@ -1,0 +1,47 @@
+package msg
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the wire decoder. Two properties:
+//
+//  1. Decode never panics and never over-allocates (the u64list bomb
+//     guard) — any input either yields an envelope or an error.
+//  2. Anything that decodes re-encodes to an envelope that decodes to
+//     the same value (decode→encode→decode fixpoint). Byte-identity is
+//     deliberately NOT required: the codec may canonicalize (e.g. a
+//     truncated-then-padded string length), but the value must be
+//     stable.
+//
+// The seed corpus in testdata/fuzz/FuzzDecode covers every message kind
+// including Nack and the sequence-tagged header.
+func FuzzDecode(f *testing.F) {
+	for _, m := range allMessages() {
+		f.Add(Envelope{Src: 1, Dst: 2, Seq: 9, Msg: m}.Encode())
+	}
+	// Adversarial seeds: empty, short header, bad kind, length bomb.
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 2, 0})
+	f.Add([]byte{1, 0, 2, 0, 0xEE, 0xEE, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		env, err := Decode(b)
+		if err != nil {
+			return
+		}
+		again, err2 := Decode(env.Encode())
+		if err2 != nil {
+			t.Fatalf("re-decode of valid envelope failed: %v", err2)
+		}
+		if again.Src != env.Src || again.Dst != env.Dst || again.Seq != env.Seq {
+			t.Fatalf("header not stable: %+v vs %+v", again, env)
+		}
+		if !reflect.DeepEqual(again.Msg, env.Msg) {
+			t.Fatalf("message not stable:\n got %+v\nwant %+v", again.Msg, env.Msg)
+		}
+	})
+}

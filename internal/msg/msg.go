@@ -121,6 +121,7 @@ const (
 	// Errors (§4).
 	KindErrorNotify  // device → consumers: resource suffered a fatal error
 	KindDeviceFailed // bus → broadcast: a device died
+	KindNack         // bus → sender: your message could not be delivered
 
 	kindMax
 )
@@ -140,6 +141,7 @@ var kindNames = map[Kind]string{
 	KindLoadReq: "load.req", KindLoadResp: "load.resp",
 	KindFileIOReq: "fileio.req", KindFileIOResp: "fileio.resp",
 	KindErrorNotify: "error.notify", KindDeviceFailed: "device.failed",
+	KindNack: "nack",
 }
 
 func (k Kind) String() string {
@@ -157,14 +159,20 @@ type Message interface {
 }
 
 // Envelope is a routed message.
+//
+// Seq is a link-layer sequence tag stamped by the sending port (0 means
+// untagged). Receivers use it to suppress duplicates the fabric may
+// inject (see DedupWindow); retransmitted requests carry fresh tags and
+// rely on application-level idempotency instead.
 type Envelope struct {
 	Src DeviceID
 	Dst DeviceID
+	Seq uint32
 	Msg Message
 }
 
-// Encode serializes the envelope: header (src, dst, kind, payload length)
-// followed by the payload.
+// Encode serializes the envelope: header (src, dst, kind, payload length,
+// sequence tag) followed by the payload.
 func (e Envelope) Encode() []byte {
 	var pw writer
 	e.Msg.encode(&pw)
@@ -173,6 +181,7 @@ func (e Envelope) Encode() []byte {
 	w.u16(uint16(e.Dst))
 	w.u16(uint16(e.Msg.Kind()))
 	w.u32(uint32(len(pw.buf)))
+	w.u32(e.Seq)
 	w.buf = append(w.buf, pw.buf...)
 	return w.buf
 }
@@ -184,6 +193,7 @@ func Decode(b []byte) (Envelope, error) {
 	dst := DeviceID(r.u16())
 	kind := Kind(r.u16())
 	n := r.u32()
+	seq := r.u32()
 	if r.err != nil {
 		return Envelope{}, fmt.Errorf("msg: short header: %w", r.err)
 	}
@@ -201,13 +211,15 @@ func Decode(b []byte) (Envelope, error) {
 	if r.off != len(r.buf) {
 		return Envelope{}, fmt.Errorf("msg: %d trailing bytes after %v", len(r.buf)-r.off, kind)
 	}
-	return Envelope{Src: src, Dst: dst, Msg: m}, nil
+	return Envelope{Src: src, Dst: dst, Seq: seq, Msg: m}, nil
 }
 
-// EncodedSize returns the wire size of a message without retaining the
-// encoding (used for transfer-time accounting).
+// EncodedSize returns the wire size a message is charged for in
+// transfer-time accounting. The link-layer sequence tag is excluded —
+// like an Ethernet preamble it is fabric framing, not payload — so bus
+// timing is independent of whether ports stamp tags.
 func EncodedSize(m Message) int {
 	var w writer
 	m.encode(&w)
-	return len(w.buf) + 10 // header
+	return len(w.buf) + 10 // header minus the link-layer seq tag
 }

@@ -41,19 +41,20 @@ func allMessages() []Message {
 		&FileIOResp{App: 3, Handle: 2, Seq: 9, Status: 0, Size: 123, Data: []byte{6, 7}},
 		&ErrorNotify{App: 3, Resource: "fs0/kv.dat", Code: 5, Detail: "flash die failed"},
 		&DeviceFailed{Device: 4},
+		&Nack{Of: KindOpenReq, Seq: 77, Dst: 4, Code: NackDeadDst, Reason: "dev4 is failed"},
 	}
 }
 
 func TestRoundTripEveryType(t *testing.T) {
 	for _, m := range allMessages() {
-		env := Envelope{Src: 1, Dst: 2, Msg: m}
+		env := Envelope{Src: 1, Dst: 2, Seq: 31, Msg: m}
 		b := env.Encode()
 		got, err := Decode(b)
 		if err != nil {
 			t.Errorf("%v: decode: %v", m.Kind(), err)
 			continue
 		}
-		if got.Src != 1 || got.Dst != 2 {
+		if got.Src != 1 || got.Dst != 2 || got.Seq != 31 {
 			t.Errorf("%v: routing lost: %+v", m.Kind(), got)
 		}
 		if !reflect.DeepEqual(got.Msg, m) {
@@ -151,8 +152,45 @@ func TestStringFieldProperty(t *testing.T) {
 func TestEncodedSize(t *testing.T) {
 	m := &Heartbeat{Seq: 1}
 	env := Envelope{Src: 1, Dst: 2, Msg: m}
-	if EncodedSize(m) != len(env.Encode()) {
+	// EncodedSize excludes the 4-byte link-layer seq tag from accounting.
+	if EncodedSize(m) != len(env.Encode())-4 {
 		t.Errorf("EncodedSize = %d, wire = %d", EncodedSize(m), len(env.Encode()))
+	}
+}
+
+func TestDedupWindow(t *testing.T) {
+	var d DedupWindow
+	if d.Duplicate(1, 0) || d.Duplicate(1, 0) {
+		t.Error("untagged envelopes must never be suppressed")
+	}
+	if d.Duplicate(1, 5) {
+		t.Error("first sighting of seq 5 flagged")
+	}
+	if !d.Duplicate(1, 5) {
+		t.Error("replay of seq 5 not flagged")
+	}
+	if d.Duplicate(2, 5) {
+		t.Error("windows must be per-peer")
+	}
+	// Out-of-order arrival inside the window is not a duplicate...
+	if d.Duplicate(1, 3) {
+		t.Error("older-but-unseen seq 3 flagged")
+	}
+	// ...but its replay is.
+	if !d.Duplicate(1, 3) {
+		t.Error("replay of seq 3 not flagged")
+	}
+	// Far ahead: window slides.
+	if d.Duplicate(1, 500) {
+		t.Error("seq 500 flagged")
+	}
+	// Fallen off the 64-entry window: stale, treated as duplicate.
+	if !d.Duplicate(1, 5) {
+		t.Error("stale seq below window accepted")
+	}
+	d.Forget(1)
+	if d.Duplicate(1, 5) {
+		t.Error("Forget did not clear the window")
 	}
 }
 

@@ -1,0 +1,65 @@
+package msg
+
+// DedupWindow suppresses duplicate envelopes by their link-layer
+// sequence tag. Each sender stamps outgoing envelopes from a private
+// monotonic counter; a receiver keeps one window per peer and discards
+// any tag it has already seen. Because a faulty fabric replays the
+// identical envelope (same tag) while a genuine retransmission is a new
+// send (fresh tag), the filter removes injected duplicates without ever
+// eating a retry.
+//
+// The window is a 64-bit bitmap trailing the highest tag seen, so severe
+// reordering beyond 64 messages in flight counts as a duplicate; control
+// traffic never gets near that depth, and a wrongly suppressed request
+// is recovered by the sender's timeout/retry anyway.
+type DedupWindow struct {
+	peers map[DeviceID]*seqWindow
+}
+
+type seqWindow struct {
+	max  uint32 // highest tag seen
+	bits uint64 // bit i set => tag max-i seen
+}
+
+// Duplicate reports whether (src, seq) was already seen, recording it if
+// not. Tag 0 means the envelope is untagged and is never suppressed.
+func (d *DedupWindow) Duplicate(src DeviceID, seq uint32) bool {
+	if seq == 0 {
+		return false
+	}
+	if d.peers == nil {
+		d.peers = make(map[DeviceID]*seqWindow)
+	}
+	w := d.peers[src]
+	if w == nil {
+		d.peers[src] = &seqWindow{max: seq, bits: 1}
+		return false
+	}
+	switch {
+	case seq > w.max:
+		shift := uint64(seq - w.max)
+		if shift >= 64 {
+			w.bits = 0
+		} else {
+			w.bits <<= shift
+		}
+		w.bits |= 1
+		w.max = seq
+		return false
+	case w.max-seq >= 64:
+		return true // fell off the window: treat as stale duplicate
+	default:
+		bit := uint64(1) << (w.max - seq)
+		if w.bits&bit != 0 {
+			return true
+		}
+		w.bits |= bit
+		return false
+	}
+}
+
+// Forget drops the window for src (e.g. after the peer resets and its
+// counter restarts).
+func (d *DedupWindow) Forget(src DeviceID) {
+	delete(d.peers, src)
+}

@@ -654,6 +654,46 @@ func (*DeviceFailed) Kind() Kind         { return KindDeviceFailed }
 func (m *DeviceFailed) encode(w *writer) { w.u16(uint16(m.Device)) }
 func (m *DeviceFailed) decode(r *reader) { m.Device = DeviceID(r.u16()) }
 
+// NackCode classifies why the bus refused to deliver a message.
+type NackCode uint8
+
+// Nack codes.
+const (
+	NackUnknownDst   NackCode = iota + 1 // destination never attached
+	NackDeadDst                          // destination marked failed
+	NackUnauthorized                     // message violated a bus policy check
+	NackUnknownKind                      // bus-addressed message it cannot handle
+)
+
+// Nack tells a sender its message was not delivered (replacing the bus's
+// previous silent drop, per §4's requirement that errors be reported to
+// the parties involved). Of/Seq identify the refused envelope so the
+// sender can correlate it with an in-flight request and retry early
+// instead of waiting for its timeout.
+type Nack struct {
+	Of     Kind     // kind of the refused message
+	Seq    uint32   // link-layer tag of the refused envelope
+	Dst    DeviceID // where it was headed
+	Code   NackCode
+	Reason string
+}
+
+func (*Nack) Kind() Kind { return KindNack }
+func (m *Nack) encode(w *writer) {
+	w.u16(uint16(m.Of))
+	w.u32(m.Seq)
+	w.u16(uint16(m.Dst))
+	w.u8(uint8(m.Code))
+	w.str(m.Reason)
+}
+func (m *Nack) decode(r *reader) {
+	m.Of = Kind(r.u16())
+	m.Seq = r.u32()
+	m.Dst = DeviceID(r.u16())
+	m.Code = NackCode(r.u8())
+	m.Reason = r.str()
+}
+
 // newMessage returns a zero value of the message type for kind, or nil
 // for an unknown kind.
 func newMessage(k Kind) Message {
@@ -716,6 +756,8 @@ func newMessage(k Kind) Message {
 		return &ErrorNotify{}
 	case KindDeviceFailed:
 		return &DeviceFailed{}
+	case KindNack:
+		return &Nack{}
 	}
 	return nil
 }

@@ -71,6 +71,11 @@ type NIC struct {
 	nextNonce       uint32
 	faultHandlerSet bool
 
+	// inflight maps each reliable request's last link-layer seq to its
+	// retrier so bus NACKs trigger fast retransmission (retry.go).
+	inflight   map[uint32]*retrier
+	retryStats RetryStats
+
 	// NetRequests counts network requests served.
 	NetRequests uint64
 }
@@ -117,6 +122,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 		pendingConnect:  make(map[uint32]func(*msg.ConnectResp)),
 		pendingClose:    make(map[uint32]func(*msg.CloseResp)),
 		pendingIO:       make(map[ioKey]func(*msg.FileIOResp)),
+		inflight:        make(map[uint32]*retrier),
 	}
 	d.Handle(msg.KindDiscoverResp, n.onDiscoverResp)
 	d.Handle(msg.KindOpenResp, n.onOpenResp)
@@ -127,6 +133,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 	d.Handle(msg.KindCloseResp, n.onCloseResp)
 	d.Handle(msg.KindFileIOResp, n.onFileIOResp)
 	d.Handle(msg.KindErrorNotify, n.onErrorNotify)
+	d.Handle(msg.KindNack, n.onNack)
 	d.OnAlive = n.onAlive
 	d.OnPeerFailed = n.onPeerFailed
 	return n, nil
@@ -134,6 +141,9 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 
 // Device exposes the chassis.
 func (n *NIC) Device() *device.Device { return n.dev }
+
+// RetryStats reports reliability-layer counters.
+func (n *NIC) RetryStats() RetryStats { return n.retryStats }
 
 // Start powers the NIC on.
 func (n *NIC) Start() { n.dev.Start() }

@@ -1,0 +1,210 @@
+package smartnic
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nocpu/internal/faultinject"
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+)
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{Timeout: 3 * sim.Millisecond, MaxTimeout: 24 * sim.Millisecond, MaxRetries: 5}
+	want := []sim.Duration{3, 6, 12, 24, 24, 24}
+	for i, w := range want {
+		if got := p.timeoutFor(i); got != w*sim.Millisecond {
+			t.Errorf("timeoutFor(%d) = %v, want %v", i, got, w*sim.Millisecond)
+		}
+	}
+	alt := p.withBase(sim.Millisecond)
+	if got := alt.timeoutFor(0); got != sim.Millisecond {
+		t.Errorf("withBase timeoutFor(0) = %v", got)
+	}
+	if alt.MaxRetries != p.MaxRetries {
+		t.Errorf("withBase changed MaxRetries")
+	}
+}
+
+// alloc issues one AllocShared and advances until its callback fires.
+func (m *machine) alloc(t *testing.T, rt *Runtime, bytes uint64) (uint64, error) {
+	t.Helper()
+	var va uint64
+	var rerr error
+	done := false
+	rt.AllocShared(mcID, bytes, func(v uint64, err error) { va, rerr, done = v, err, true })
+	deadline := m.eng.Now().Add(sim.Second)
+	for !done && m.eng.Now() < deadline {
+		m.eng.RunFor(100 * sim.Microsecond)
+	}
+	if !done {
+		t.Fatal("alloc callback never fired (retry layer hung)")
+	}
+	return va, rerr
+}
+
+// bootApp loads a test app and returns its runtime.
+func (m *machine) bootApp(t *testing.T, id msg.AppID) *Runtime {
+	t.Helper()
+	var rt *Runtime
+	app := &testApp{id: id, onBoot: func(r *Runtime) { rt = r }}
+	m.nic.AddApp(app)
+	m.run()
+	if rt == nil {
+		t.Fatal("app did not boot")
+	}
+	return rt
+}
+
+// TestRetryThroughMessageLoss drops the first AllocReq on the bus; the
+// request must still succeed via the timeout retransmission, invisibly to
+// the caller except for added latency.
+func TestRetryThroughMessageLoss(t *testing.T) {
+	m := newMachine(t)
+	plane := faultinject.New(1)
+	m.bus.SetFaultPlane(plane)
+	rt := m.bootApp(t, 1)
+
+	plane.Add(faultinject.Rule{
+		Layer: faultinject.LayerBus, Kind: msg.KindAllocReq, Op: faultinject.Drop, Count: 1,
+	})
+	va, err := m.alloc(t, rt, 64<<10)
+	if err != nil {
+		t.Fatalf("alloc failed despite retry layer: %v", err)
+	}
+	if va == 0 {
+		t.Fatal("zero VA")
+	}
+	st := m.nic.RetryStats()
+	if st.Retries == 0 {
+		t.Error("no retry recorded for a dropped request")
+	}
+	if st.Exhausted != 0 {
+		t.Errorf("exhausted = %d, want 0", st.Exhausted)
+	}
+	if got := plane.Stats().Dropped; got != 1 {
+		t.Errorf("plane dropped %d messages, want 1", got)
+	}
+}
+
+// TestRetryDroppedResponseIsIdempotent drops the first AllocResp instead:
+// the controller has already allocated, so the retransmitted request must
+// be answered by idempotent replay — same VA, no double allocation.
+func TestRetryDroppedResponseIsIdempotent(t *testing.T) {
+	m := newMachine(t)
+	plane := faultinject.New(2)
+	m.bus.SetFaultPlane(plane)
+	rt := m.bootApp(t, 1)
+
+	plane.Add(faultinject.Rule{
+		Layer: faultinject.LayerBus, Kind: msg.KindAllocResp, Op: faultinject.Drop, Count: 1,
+	})
+	va, err := m.alloc(t, rt, 64<<10)
+	if err != nil {
+		t.Fatalf("alloc failed: %v", err)
+	}
+	// A second, genuine allocation must get a fresh region (the replay
+	// cache must not leak into new requests).
+	va2, err := m.alloc(t, rt, 64<<10)
+	if err != nil {
+		t.Fatalf("second alloc failed: %v", err)
+	}
+	if va2 == va {
+		t.Errorf("second alloc returned the same VA %#x (replayed stale response)", va)
+	}
+	if st := m.mc.Stats(); st.Allocs != 2 {
+		t.Errorf("controller performed %d allocs, want 2 (dup request must replay, not re-allocate)", st.Allocs)
+	}
+}
+
+// TestRetryBudgetExhaustionTyped blackholes every AllocReq: the caller
+// must get a typed TimeoutError after MaxRetries+1 attempts, within the
+// deterministic backoff bound, and never hang.
+func TestRetryBudgetExhaustionTyped(t *testing.T) {
+	m := newMachine(t)
+	plane := faultinject.New(3)
+	m.bus.SetFaultPlane(plane)
+	rt := m.bootApp(t, 1)
+
+	plane.Add(faultinject.Rule{
+		Layer: faultinject.LayerBus, Kind: msg.KindAllocReq, Op: faultinject.Drop,
+	})
+	start := m.eng.Now()
+	_, err := m.alloc(t, rt, 64<<10)
+	if err == nil {
+		t.Fatal("alloc succeeded with every request dropped")
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T %q is not a TimeoutError", err, err)
+	}
+	if te.Attempts != rt.Retry.MaxRetries+1 {
+		t.Errorf("attempts = %d, want %d", te.Attempts, rt.Retry.MaxRetries+1)
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error text %q missing 'timed out'", err)
+	}
+	// Bound: sum of the capped exponential schedule, plus scheduling slop.
+	var bound sim.Duration
+	for i := 0; i <= rt.Retry.MaxRetries; i++ {
+		bound += rt.Retry.timeoutFor(i)
+	}
+	if elapsed := m.eng.Now().Sub(start); elapsed > bound+sim.Millisecond {
+		t.Errorf("failure took %v, beyond backoff bound %v", elapsed, bound)
+	}
+	if st := m.nic.RetryStats(); st.Exhausted != 1 {
+		t.Errorf("exhausted = %d, want 1", st.Exhausted)
+	}
+}
+
+// TestNackFastRetry sends an alloc to a device ID that does not exist:
+// the bus NACKs (unknown destination) instead of silently dropping, and
+// the retrier's NACK fast path resends ahead of the full timeout,
+// ultimately failing typed with the NACK reason attached — and much
+// sooner than blind timeouts would.
+func TestNackFastRetry(t *testing.T) {
+	m := newMachine(t)
+	rt := m.bootApp(t, 1)
+
+	start := m.eng.Now()
+	_, oerr := func() (uint64, error) {
+		var va uint64
+		var rerr error
+		done := false
+		rt.AllocShared(msg.DeviceID(99), 64<<10, func(v uint64, err error) { va, rerr, done = v, err, true })
+		deadline := m.eng.Now().Add(sim.Second)
+		for !done && m.eng.Now() < deadline {
+			m.eng.RunFor(100 * sim.Microsecond)
+		}
+		if !done {
+			t.Fatal("alloc callback never fired")
+		}
+		return va, rerr
+	}()
+	if oerr == nil {
+		t.Fatal("alloc to nonexistent device succeeded")
+	}
+	var te *TimeoutError
+	if !errors.As(oerr, &te) {
+		t.Fatalf("error %T %q is not a TimeoutError", oerr, oerr)
+	}
+	if te.LastNack == "" || !strings.Contains(oerr.Error(), "nack") {
+		t.Errorf("error %q does not carry the NACK reason", oerr)
+	}
+	st := m.nic.RetryStats()
+	if st.NackFast == 0 {
+		t.Error("NACK fast-path retries not recorded")
+	}
+	if st.NackFast != st.Retries {
+		t.Errorf("retries = %d, nack-fast = %d: unknown-destination retries should all be NACK-driven", st.Retries, st.NackFast)
+	}
+	// NACK-driven failure must beat the blind-timeout schedule.
+	var blind sim.Duration
+	for i := 0; i <= rt.Retry.MaxRetries; i++ {
+		blind += rt.Retry.timeoutFor(i)
+	}
+	if elapsed := m.eng.Now().Sub(start); elapsed >= blind {
+		t.Errorf("NACK path took %v, not faster than blind timeouts (%v)", elapsed, blind)
+	}
+}

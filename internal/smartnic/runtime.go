@@ -26,8 +26,13 @@ type Runtime struct {
 	// OnResourceError receives §4 error notifications from providers.
 	OnResourceError func(*msg.ErrorNotify)
 
-	// DiscoverTimeout bounds how long a discovery waits for an answer.
+	// DiscoverTimeout bounds how long one discovery attempt waits for an
+	// answer (retransmissions back off from here per Retry).
 	DiscoverTimeout sim.Duration
+
+	// Retry bounds timeouts and retransmission for every control request
+	// (retry.go).
+	Retry RetryPolicy
 
 	// Demand-paging state (see demand.go).
 	lazy          []lazyRegion
@@ -42,6 +47,7 @@ func newRuntime(n *NIC, app msg.AppID) *Runtime {
 		app:             app,
 		nextVA:          0x1000_0000, // leave low VAs unused to catch bugs
 		DiscoverTimeout: 10 * sim.Millisecond,
+		Retry:           DefaultRetryPolicy,
 		pendingFaults:   make(map[uint64][]func(error)),
 	}
 }
@@ -64,22 +70,24 @@ func (rt *Runtime) reserveVA(bytes uint64) uint64 {
 }
 
 // Discover broadcasts a service query (§3 step 1) and waits for the first
-// provider (§3 step 2) or the timeout.
+// provider (§3 step 2), retransmitting the same nonce on timeout so late
+// answers to any attempt count.
 func (rt *Runtime) Discover(query string, cb func(provider msg.DeviceID, service string, err error)) {
 	n := rt.nic
 	n.nextNonce++
 	nonce := n.nextNonce
-	timer := n.dev.Engine().After(rt.DiscoverTimeout, func() {
-		if _, still := n.pendingDiscover[nonce]; still {
-			delete(n.pendingDiscover, nonce)
-			cb(0, "", fmt.Errorf("smartnic: discovery of %q timed out", query))
-		}
+	r := n.newRetrier(rt.Retry.withBase(rt.DiscoverTimeout), fmt.Sprintf("discovery of %q", query), msg.Broadcast, func() uint32 {
+		return n.dev.Send(msg.Broadcast, &msg.DiscoverReq{Query: query, Nonce: nonce})
 	})
+	r.onFail = func(err error) {
+		delete(n.pendingDiscover, nonce)
+		cb(0, "", err)
+	}
 	n.pendingDiscover[nonce] = func(src msg.DeviceID, m *msg.DiscoverResp) {
-		timer.Stop()
+		r.stop()
 		cb(src, m.Service, nil)
 	}
-	n.dev.Send(msg.Broadcast, &msg.DiscoverReq{Query: query, Nonce: nonce})
+	r.start()
 }
 
 // AllocShared asks the memory controller for shared memory mapped into
@@ -88,14 +96,23 @@ func (rt *Runtime) Discover(query string, cb func(provider msg.DeviceID, service
 func (rt *Runtime) AllocShared(memctrl msg.DeviceID, bytes uint64, cb func(va uint64, err error)) {
 	n := rt.nic
 	va := rt.reserveVA(bytes)
-	n.pendingAlloc[allocKey{rt.app, va}] = func(m *msg.AllocResp) {
+	k := allocKey{rt.app, va}
+	r := n.newRetrier(rt.Retry, fmt.Sprintf("alloc of %d bytes", bytes), memctrl, func() uint32 {
+		return n.dev.Send(memctrl, &msg.AllocReq{App: rt.app, VA: va, Bytes: bytes, Perm: uint8(iommu.PermRW)})
+	})
+	r.onFail = func(err error) {
+		delete(n.pendingAlloc, k)
+		cb(0, err)
+	}
+	n.pendingAlloc[k] = func(m *msg.AllocResp) {
+		r.stop()
 		if !m.OK {
 			cb(0, fmt.Errorf("smartnic: alloc failed: %s", m.Reason))
 			return
 		}
 		cb(va, nil)
 	}
-	n.dev.Send(memctrl, &msg.AllocReq{App: rt.app, VA: va, Bytes: bytes, Perm: uint8(iommu.PermRW)})
+	r.start()
 }
 
 // AllocSharedHuge is AllocShared with 2 MiB mappings: the controller
@@ -110,41 +127,68 @@ func (rt *Runtime) AllocSharedHuge(memctrl msg.DeviceID, bytes uint64, cb func(v
 		va += iommu.HugePageSize - rem
 	}
 	rt.nextVA = va + (runs+1)*iommu.HugePageSize
-	n.pendingAlloc[allocKey{rt.app, va}] = func(m *msg.AllocResp) {
+	k := allocKey{rt.app, va}
+	r := n.newRetrier(rt.Retry, fmt.Sprintf("huge alloc of %d bytes", bytes), memctrl, func() uint32 {
+		return n.dev.Send(memctrl, &msg.AllocReq{App: rt.app, VA: va, Bytes: bytes, Perm: uint8(iommu.PermRW), Huge: true})
+	})
+	r.onFail = func(err error) {
+		delete(n.pendingAlloc, k)
+		cb(0, err)
+	}
+	n.pendingAlloc[k] = func(m *msg.AllocResp) {
+		r.stop()
 		if !m.OK {
 			cb(0, fmt.Errorf("smartnic: huge alloc failed: %s", m.Reason))
 			return
 		}
 		cb(va, nil)
 	}
-	n.dev.Send(memctrl, &msg.AllocReq{App: rt.app, VA: va, Bytes: bytes, Perm: uint8(iommu.PermRW), Huge: true})
+	r.start()
 }
 
 // Free returns a shared region to the controller.
 func (rt *Runtime) Free(memctrl msg.DeviceID, va, bytes uint64, cb func(error)) {
 	n := rt.nic
-	n.pendingFree[allocKey{rt.app, va}] = func(m *msg.FreeResp) {
+	k := allocKey{rt.app, va}
+	r := n.newRetrier(rt.Retry, fmt.Sprintf("free of va %#x", va), memctrl, func() uint32 {
+		return n.dev.Send(memctrl, &msg.FreeReq{App: rt.app, VA: va, Bytes: bytes})
+	})
+	r.onFail = func(err error) {
+		delete(n.pendingFree, k)
+		cb(err)
+	}
+	n.pendingFree[k] = func(m *msg.FreeResp) {
+		r.stop()
 		if !m.OK {
 			cb(fmt.Errorf("smartnic: free failed: %s", m.Reason))
 			return
 		}
 		cb(nil)
 	}
-	n.dev.Send(memctrl, &msg.FreeReq{App: rt.app, VA: va, Bytes: bytes})
+	r.start()
 }
 
 // Grant asks the bus to extend one of this app's regions to another
 // device (§3 step 7, first half).
 func (rt *Runtime) Grant(va, bytes uint64, target msg.DeviceID, cb func(error)) {
 	n := rt.nic
-	n.pendingGrant[grantKey{rt.app, va, target}] = func(m *msg.GrantResp) {
+	k := grantKey{rt.app, va, target}
+	r := n.newRetrier(rt.Retry, fmt.Sprintf("grant of va %#x to dev%d", va, target), msg.BusID, func() uint32 {
+		return n.dev.Send(msg.BusID, &msg.GrantReq{App: rt.app, VA: va, Bytes: bytes, Target: target, Perm: uint8(iommu.PermRW)})
+	})
+	r.onFail = func(err error) {
+		delete(n.pendingGrant, k)
+		cb(err)
+	}
+	n.pendingGrant[k] = func(m *msg.GrantResp) {
+		r.stop()
 		if !m.OK {
 			cb(fmt.Errorf("smartnic: grant to %v denied: %s", target, m.Reason))
 			return
 		}
 		cb(nil)
 	}
-	n.dev.Send(msg.BusID, &msg.GrantReq{App: rt.app, VA: va, Bytes: bytes, Target: target, Perm: uint8(iommu.PermRW)})
+	r.start()
 }
 
 // Connection is an established service connection with its virtqueue.
@@ -182,7 +226,16 @@ func (rt *Runtime) OpenService(memctrl msg.DeviceID, query string, token uint64,
 			return
 		}
 		// Step 3-4: open.
-		n.pendingOpen[openKey{rt.app, service}] = func(or *msg.OpenResp) {
+		ok := openKey{rt.app, service}
+		ro := n.newRetrier(rt.Retry, fmt.Sprintf("open of %q", service), provider, func() uint32 {
+			return n.dev.Send(provider, &msg.OpenReq{Service: service, App: rt.app, Token: token})
+		})
+		ro.onFail = func(err error) {
+			delete(n.pendingOpen, ok)
+			fail("open", err)
+		}
+		n.pendingOpen[ok] = func(or *msg.OpenResp) {
+			ro.stop()
 			if !or.OK {
 				fail("open", fmt.Errorf("%s", or.Reason))
 				return
@@ -215,7 +268,24 @@ func (rt *Runtime) OpenService(memctrl msg.DeviceID, query string, token uint64,
 						return
 					}
 					// Step 7b: program the provider's queue.
+					rc := n.newRetrier(rt.Retry, fmt.Sprintf("connect of %q conn %d", service, or.ConnID), provider, func() uint32 {
+						return n.dev.Send(provider, &msg.ConnectReq{
+							Service:      service,
+							ConnID:       or.ConnID,
+							App:          rt.app,
+							RingVA:       uint64(layout.Base),
+							RingEntries:  entries,
+							DataVA:       uint64(layout.DataVA),
+							DataBytes:    uint64(layout.DataBytes()),
+							RespDoorbell: uint64(drv.RespBell),
+						})
+					})
+					rc.onFail = func(err error) {
+						delete(n.pendingConnect, or.ConnID)
+						fail("connect", err)
+					}
 					n.pendingConnect[or.ConnID] = func(cr *msg.ConnectResp) {
+						rc.stop()
 						if !cr.OK {
 							fail("connect", fmt.Errorf("%s", cr.Reason))
 							return
@@ -236,20 +306,11 @@ func (rt *Runtime) OpenService(memctrl msg.DeviceID, query string, token uint64,
 							Queue:    drv,
 						}, nil)
 					}
-					n.dev.Send(provider, &msg.ConnectReq{
-						Service:      service,
-						ConnID:       or.ConnID,
-						App:          rt.app,
-						RingVA:       uint64(layout.Base),
-						RingEntries:  entries,
-						DataVA:       uint64(layout.DataVA),
-						DataBytes:    uint64(layout.DataBytes()),
-						RespDoorbell: uint64(drv.RespBell),
-					})
+					rc.start()
 				})
 			})
 		}
-		n.dev.Send(provider, &msg.OpenReq{Service: service, App: rt.app, Token: token})
+		ro.start()
 	})
 }
 
@@ -266,7 +327,17 @@ func cellSizeFromQuote(quote uint64, entries uint16) int {
 // Close tears down the connection (service side and local doorbell).
 func (c *Connection) Close(cb func(error)) {
 	n := c.rt.nic
+	r := n.newRetrier(c.rt.Retry, fmt.Sprintf("close of conn %d", c.ConnID), c.Provider, func() uint32 {
+		return n.dev.Send(c.Provider, &msg.CloseReq{Service: c.Service, ConnID: c.ConnID, App: c.rt.app})
+	})
+	r.onFail = func(err error) {
+		delete(n.pendingClose, c.ConnID)
+		// The provider is unreachable; release the local half regardless.
+		n.dev.Fabric().UnregisterDoorbell(c.Queue.RespBell)
+		cb(err)
+	}
 	n.pendingClose[c.ConnID] = func(m *msg.CloseResp) {
+		r.stop()
 		n.dev.Fabric().UnregisterDoorbell(c.Queue.RespBell)
 		if !m.OK {
 			cb(fmt.Errorf("smartnic: close refused"))
@@ -274,5 +345,5 @@ func (c *Connection) Close(cb func(error)) {
 		}
 		cb(nil)
 	}
-	n.dev.Send(c.Provider, &msg.CloseReq{Service: c.Service, ConnID: c.ConnID, App: c.rt.app})
+	r.start()
 }

@@ -52,7 +52,16 @@ func (rt *Runtime) OpenFileCentralDirect(kernel msg.DeviceID, name string, token
 	fail := func(stage string, err error) {
 		cb(nil, fmt.Errorf("smartnic: central open %q: %s: %w", name, stage, err))
 	}
-	n.pendingOpen[openKey{rt.app, service}] = func(or *msg.OpenResp) {
+	ok := openKey{rt.app, service}
+	ro := n.newRetrier(rt.Retry, fmt.Sprintf("central open of %q", service), kernel, func() uint32 {
+		return n.dev.Send(kernel, &msg.OpenReq{Service: service, App: rt.app, Token: token})
+	})
+	ro.onFail = func(err error) {
+		delete(n.pendingOpen, ok)
+		fail("open", err)
+	}
+	n.pendingOpen[ok] = func(or *msg.OpenResp) {
+		ro.stop()
 		if !or.OK {
 			fail("open", fmt.Errorf("%s", or.Reason))
 			return
@@ -64,7 +73,24 @@ func (rt *Runtime) OpenFileCentralDirect(kernel msg.DeviceID, name string, token
 			fail("driver", derr)
 			return
 		}
+		rc := n.newRetrier(rt.Retry, fmt.Sprintf("central connect of conn %d", or.ConnID), kernel, func() uint32 {
+			return n.dev.Send(kernel, &msg.ConnectReq{
+				Service:      service,
+				ConnID:       or.ConnID,
+				App:          rt.app,
+				RingVA:       uint64(layout.Base),
+				RingEntries:  entries,
+				DataVA:       uint64(layout.DataVA),
+				DataBytes:    uint64(layout.DataBytes()),
+				RespDoorbell: uint64(drv.RespBell),
+			})
+		})
+		rc.onFail = func(err error) {
+			delete(n.pendingConnect, or.ConnID)
+			fail("connect", err)
+		}
 		n.pendingConnect[or.ConnID] = func(cr *msg.ConnectResp) {
+			rc.stop()
 			if !cr.OK {
 				fail("connect", fmt.Errorf("%s", cr.Reason))
 				return
@@ -81,18 +107,9 @@ func (rt *Runtime) OpenFileCentralDirect(kernel msg.DeviceID, name string, token
 			}}, nil)
 		}
 		// The connect syscall also goes through the kernel.
-		n.dev.Send(kernel, &msg.ConnectReq{
-			Service:      service,
-			ConnID:       or.ConnID,
-			App:          rt.app,
-			RingVA:       uint64(layout.Base),
-			RingEntries:  entries,
-			DataVA:       uint64(layout.DataVA),
-			DataBytes:    uint64(layout.DataBytes()),
-			RespDoorbell: uint64(drv.RespBell),
-		})
+		rc.start()
 	}
-	n.dev.Send(kernel, &msg.OpenReq{Service: service, App: rt.app, Token: token})
+	ro.start()
 }
 
 // OpenFileMediated performs a traditional-stack open: the kernel owns the
@@ -101,14 +118,23 @@ func (rt *Runtime) OpenFileCentralDirect(kernel msg.DeviceID, name string, token
 func (rt *Runtime) OpenFileMediated(kernel msg.DeviceID, name string, token uint64, cb func(FileAPI, error)) {
 	n := rt.nic
 	service := "mediated:" + name
-	n.pendingOpen[openKey{rt.app, service}] = func(or *msg.OpenResp) {
+	ok := openKey{rt.app, service}
+	r := n.newRetrier(rt.Retry, fmt.Sprintf("mediated open of %q", service), kernel, func() uint32 {
+		return n.dev.Send(kernel, &msg.OpenReq{Service: service, App: rt.app, Token: token})
+	})
+	r.onFail = func(err error) {
+		delete(n.pendingOpen, ok)
+		cb(nil, err)
+	}
+	n.pendingOpen[ok] = func(or *msg.OpenResp) {
+		r.stop()
 		if !or.OK {
 			cb(nil, fmt.Errorf("smartnic: mediated open %q: %s", name, or.Reason))
 			return
 		}
 		cb(&mediatedFile{rt: rt, kernel: kernel, handle: or.ConnID, maxIO: int(or.SharedBytes)}, nil)
 	}
-	n.dev.Send(kernel, &msg.OpenReq{Service: service, App: rt.app, Token: token})
+	r.start()
 }
 
 // ioKey correlates mediated I/O completions.
@@ -134,17 +160,29 @@ func (m *mediatedFile) call(op smartssd.FileOp, off uint64, n uint32, data []byt
 	nic := m.rt.nic
 	m.seq++
 	seq := m.seq
-	nic.pendingIO[ioKey{m.rt.app, m.handle, seq}] = func(resp *msg.FileIOResp) {
+	k := ioKey{m.rt.app, m.handle, seq}
+	// Safe to retransmit: the kernel deduplicates FileIOReq by (handle,
+	// seq) and replays the recorded response, so a lost FileIOResp does
+	// not re-apply a write.
+	r := nic.newRetrier(m.rt.Retry, fmt.Sprintf("mediated %v (seq %d)", op, seq), m.kernel, func() uint32 {
+		return nic.dev.Send(m.kernel, &msg.FileIOReq{
+			App: m.rt.app, Handle: m.handle, Seq: seq,
+			Op: uint8(op), Off: off, Len: n, Data: data,
+		})
+	})
+	r.onFail = func(err error) {
+		delete(nic.pendingIO, k)
+		cb(nil, err)
+	}
+	nic.pendingIO[k] = func(resp *msg.FileIOResp) {
+		r.stop()
 		if smartssd.Status(resp.Status) != smartssd.StatusOK {
 			cb(nil, fmt.Errorf("smartnic: mediated %v failed with status %d", op, resp.Status))
 			return
 		}
 		cb(resp, nil)
 	}
-	nic.dev.Send(m.kernel, &msg.FileIOReq{
-		App: m.rt.app, Handle: m.handle, Seq: seq,
-		Op: uint8(op), Off: off, Len: n, Data: data,
-	})
+	r.start()
 }
 
 func (m *mediatedFile) Read(off uint64, n int, cb func([]byte, error)) {

@@ -40,11 +40,16 @@ type Config struct {
 // conn is one open file-service connection (one service instance; §2.1
 // requires per-instance contexts and isolation between them).
 type conn struct {
-	id     uint32
-	app    msg.AppID
-	client msg.DeviceID
-	file   *File
-	ep     *virtio.Endpoint
+	id      uint32
+	app     msg.AppID
+	client  msg.DeviceID
+	service string
+	file    *File
+	ep      *virtio.Endpoint
+	// estab is the ConnectReq that built ep; an identical retransmission
+	// (lost ConnectResp) is answered OK again instead of being rejected as
+	// "already connected".
+	estab msg.ConnectReq
 }
 
 // SSD is the smart SSD device.
@@ -59,6 +64,10 @@ type SSD struct {
 	booted   bool // formatted once
 	conns    map[uint32]*conn
 	nextConn uint32
+	// closed remembers torn-down connections (id → closer) so a retried
+	// CloseReq whose first response was lost gets OK, not "no such
+	// connection".
+	closed map[uint32]msg.DeviceID
 
 	// ServedOps counts file-protocol requests completed.
 	ServedOps uint64
@@ -84,9 +93,10 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 		return nil, err
 	}
 	s := &SSD{
-		dev:   d,
-		cfg:   cfg,
-		conns: make(map[uint32]*conn),
+		dev:    d,
+		cfg:    cfg,
+		conns:  make(map[uint32]*conn),
+		closed: make(map[uint32]msg.DeviceID),
 	}
 	s.flash = newFlash(eng, cfg.Geometry, cfg.Timing)
 	s.ftl = newFTL(eng, s.flash, cfg.OPRatio)
@@ -271,6 +281,15 @@ func (fs *fileService) Open(src msg.DeviceID, req *msg.OpenReq) *msg.OpenResp {
 	if want, guarded := s.cfg.Tokens[name]; guarded && want != req.Token {
 		return deny("authentication failed")
 	}
+	// Idempotent replay: the opener retrying because an OpenResp was lost
+	// gets its existing, not-yet-connected instance back rather than a
+	// second one it would leak.
+	for _, c := range s.conns {
+		if c.client == src && c.app == req.App && c.service == req.Service && c.ep == nil {
+			shared := virtio.SharedBytes(128, s.cfg.CellSize)
+			return &msg.OpenResp{Service: req.Service, App: req.App, OK: true, ConnID: c.id, SharedBytes: shared}
+		}
+	}
 	f, exists := s.fs.Lookup(name)
 	if !exists {
 		if !s.cfg.CreateOnOpen && !createRequested {
@@ -294,7 +313,7 @@ func (fs *fileService) Open(src msg.DeviceID, req *msg.OpenReq) *msg.OpenResp {
 	}
 	s.nextConn++
 	id := s.nextConn
-	s.conns[id] = &conn{id: id, app: req.App, client: src, file: f}
+	s.conns[id] = &conn{id: id, app: req.App, client: src, service: req.Service, file: f}
 	// Quote the shared memory for a default-geometry queue; the requester
 	// may choose a smaller ring in ConnectReq.
 	shared := virtio.SharedBytes(128, s.cfg.CellSize)
@@ -315,6 +334,10 @@ func (fs *fileService) Connect(src msg.DeviceID, req *msg.ConnectReq) *msg.Conne
 		return deny("connection belongs to another client")
 	}
 	if c.ep != nil {
+		if *req == c.estab {
+			// Retransmitted ConnectReq (lost response): same verdict.
+			return &msg.ConnectResp{ConnID: req.ConnID, OK: true, Reason: fmt.Sprintf("reqbell=%d", c.ep.ReqBell)}
+		}
 		return deny("already connected")
 	}
 	if req.RingEntries == 0 || req.DataBytes == 0 {
@@ -342,6 +365,7 @@ func (fs *fileService) Connect(src msg.DeviceID, req *msg.ConnectReq) *msg.Conne
 		delete(s.conns, c.id)
 	}
 	c.ep = ep
+	c.estab = *req
 	// Tell the requester which doorbell to kick.
 	return &msg.ConnectResp{ConnID: req.ConnID, OK: true, Reason: fmt.Sprintf("reqbell=%d", ep.ReqBell)}
 }
@@ -350,12 +374,17 @@ func (fs *fileService) Close(src msg.DeviceID, req *msg.CloseReq) *msg.CloseResp
 	s := fs.ssd
 	c, ok := s.conns[req.ConnID]
 	if !ok || c.client != src {
+		if closer, was := s.closed[req.ConnID]; was && closer == src {
+			// Retransmitted CloseReq (lost response): already done.
+			return &msg.CloseResp{ConnID: req.ConnID, OK: true}
+		}
 		return &msg.CloseResp{ConnID: req.ConnID, OK: false}
 	}
 	if c.ep != nil {
 		s.dev.Fabric().UnregisterDoorbell(c.ep.ReqBell)
 	}
 	delete(s.conns, req.ConnID)
+	s.closed[req.ConnID] = src
 	return &msg.CloseResp{ConnID: req.ConnID, OK: true}
 }
 
