@@ -1,10 +1,10 @@
 # Build/verification entry points. `make check` is the full gate used
-# before merging: vet, build, race-enabled tests, and a short fuzz run
-# of the wire-format decoder.
+# before merging: vet, the nocpu-lint analyzer suite, build, race-enabled
+# tests, and a short fuzz run of the wire-format decoder.
 
 GO ?= go
 
-.PHONY: build test vet race fuzz check bench tables
+.PHONY: build test vet lint race fuzz check bench tables
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Custom determinism/decentralization analyzers (internal/lint), run via
+# the go vet -vettool protocol. See internal/lint/lint.go for the rules
+# and the //lint:allow escape hatch.
+lint:
+	$(GO) build -o bin/nocpu-lint ./cmd/nocpu-lint
+	$(GO) vet -vettool=bin/nocpu-lint ./...
+
 race:
 	$(GO) test -race ./...
 
@@ -23,7 +30,7 @@ race:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/msg
 
-check: vet build race fuzz
+check: vet lint build race fuzz
 
 bench:
 	$(GO) test -run=^$$ -bench . -benchtime=100x .

@@ -1,0 +1,233 @@
+// nocpu-lint is the driver for the nocpu-lint analyzer suite
+// (internal/lint). It speaks the `go vet -vettool` protocol, so the
+// suite runs as
+//
+//	go vet -vettool=$(path to nocpu-lint) ./...
+//
+// and findings come back as ordinary vet diagnostics. The protocol has
+// two calls: `nocpu-lint -V=full` prints an identity line the go
+// command uses as a cache key, and `nocpu-lint <file>.cfg` analyzes one
+// package described by a JSON vet config (file set, import map, and
+// export-data locations for every dependency). Dependencies are loaded
+// from compiler export data via go/importer, so no code outside the
+// standard library is required.
+//
+// Analysis is restricted to this module's packages: for anything else
+// (standard library dependencies vetted for their side of the protocol)
+// the driver just writes the expected empty facts file and exits
+// cleanly.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"nocpu/internal/lint"
+	"nocpu/internal/lint/analysis"
+)
+
+// vetConfig is the subset of the go command's vet JSON config the
+// driver needs. Unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	flag.Var(versionFlag{}, "V", "print version and exit (the go command probes this)")
+	// The go command's second probe: `nocpu-lint -flags` must describe
+	// the supported flags as JSON so vet can validate user flags.
+	if len(os.Args) > 1 && os.Args[1] == "-flags" {
+		printFlagsJSON()
+		os.Exit(0)
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: nocpu-lint <vetconfig>.cfg ...  (run via go vet -vettool)")
+		os.Exit(1)
+	}
+	exit := 0
+	for _, cfgPath := range flag.Args() {
+		found, err := runConfig(cfgPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocpu-lint: %v\n", err)
+			exit = 1
+		}
+		if found && exit == 0 {
+			exit = 2 // the go vet convention for "diagnostics reported"
+		}
+	}
+	os.Exit(exit)
+}
+
+// runConfig analyzes one package unit and reports whether diagnostics
+// were found.
+func runConfig(cfgPath string) (bool, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return false, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return false, fmt.Errorf("%s: %w", cfgPath, err)
+	}
+	// The go command expects a facts file for every vetted unit. The
+	// suite derives no cross-package facts, so an empty one satisfies
+	// the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return false, err
+		}
+	}
+	if cfg.VetxOnly || !inModule(cfg.ImportPath) {
+		return false, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return false, nil
+			}
+			return false, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	tconf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return false, nil
+		}
+		return false, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags, err := analysis.Run(lint.Analyzers(), fset, files, pkg, info)
+	if err != nil {
+		return false, fmt.Errorf("analyzing %s: %w", cfg.ImportPath, err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Rule)
+	}
+	return len(diags) > 0, nil
+}
+
+// inModule reports whether the vetted unit is one of ours. Test
+// variants arrive as "path [path.test]" and the synthesized test main
+// as "path.test"; the underlying path decides.
+func inModule(importPath string) bool {
+	path := importPath
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	if strings.HasSuffix(path, ".test") {
+		return false
+	}
+	return path == "nocpu" || strings.HasPrefix(path, "nocpu/")
+}
+
+// printFlagsJSON emits the flag inventory in the schema cmd/go expects
+// from a vet tool (the same shape x/tools' analysisflags prints).
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		panic(err)
+	}
+	os.Stdout.Write(data)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// versionFlag implements -V=full the way x/tools' unitchecker does: the
+// go command caches vet results keyed on this line, and hashing the
+// executable keeps the cache honest across rebuilds of the tool.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}

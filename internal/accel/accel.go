@@ -14,6 +14,7 @@ package accel
 import (
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"strings"
 
 	"nocpu/internal/bus"
@@ -140,8 +141,13 @@ func (a *Accel) Start() { a.dev.Start() }
 func (a *Accel) Stats() Stats { return a.stats }
 
 func (a *Accel) dropConns() {
-	for id, c := range a.conns {
-		if c.ep != nil {
+	ids := make([]uint32, 0, len(a.conns))
+	for id := range a.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if c := a.conns[id]; c.ep != nil {
 			a.dev.Fabric().UnregisterDoorbell(c.ep.ReqBell)
 		}
 		delete(a.conns, id)

@@ -22,6 +22,7 @@ package bus
 
 import (
 	"fmt"
+	"sort"
 
 	"nocpu/internal/faultinject"
 	"nocpu/internal/iommu"
@@ -577,12 +578,19 @@ func (b *Bus) unmapEverywhere(owner *attachment, fr *msg.FreeResp) {
 	if owner.mmu != nil {
 		work += b.unmapRegion(owner.mmu, pasid, fr.VA, info.pages, info.huge)
 	}
-	// Any grants whose range falls inside the freed region.
-	for gkey, recs := range b.grants {
+	// Any grants whose range falls inside the freed region. The unmap
+	// submissions below schedule simulator events, so iterate the grant
+	// table in key order, not map order.
+	var gkeys []ownerKey
+	for gkey := range b.grants {
 		if gkey.app != fr.App || gkey.va < fr.VA || gkey.va >= regionEnd {
 			continue
 		}
-		for _, rec := range recs {
+		gkeys = append(gkeys, gkey)
+	}
+	sort.Slice(gkeys, func(i, j int) bool { return gkeys[i].va < gkeys[j].va })
+	for _, gkey := range gkeys {
+		for _, rec := range b.grants[gkey] {
 			a, ok := b.devices[rec.target]
 			if !ok || a.mmu == nil {
 				continue
@@ -805,8 +813,16 @@ func (b *Bus) failDevice(a *attachment, reason string) {
 	a.alive = false
 	b.stats.DevicesFailed++
 	// Fail any grant still waiting on the dead party (requester, target,
-	// or the authorizing controller): the requester must not hang.
-	for nonce, pg := range b.pendingGrants {
+	// or the authorizing controller): the requester must not hang. The
+	// denials schedule delivery events, so drain in nonce order (nonces
+	// are issued sequentially), not map order.
+	nonces := make([]uint32, 0, len(b.pendingGrants))
+	for nonce := range b.pendingGrants {
+		nonces = append(nonces, nonce)
+	}
+	sort.Slice(nonces, func(i, j int) bool { return nonces[i] < nonces[j] })
+	for _, nonce := range nonces {
+		pg := b.pendingGrants[nonce]
 		if pg.src != a.id && pg.req.Target != a.id && b.memctrl != a.id {
 			continue
 		}

@@ -1,0 +1,207 @@
+// Package analysistest runs a lint analyzer over a testdata package and
+// checks its diagnostics against `// want` expectations, mirroring the
+// x/tools harness of the same name on the standard library alone.
+//
+// Test packages live under <testdata>/src/<importpath>/ and are loaded
+// with full parsing and type checking. Imports resolve, in order, to
+// another testdata package (loaded recursively, so enum definitions
+// like a local `msg` package get real constant info) or to an empty
+// stub package. Stubs leave selector uses like time.Now unresolved;
+// the resulting type errors are ignored, which is fine because the
+// analyzers only need the package-qualifier binding the checker records
+// regardless.
+//
+// Expectations are comments of the form
+//
+//	code() // want `regexp` `another regexp`
+//
+// one backquoted regexp per expected diagnostic on that line. Run fails
+// the test for any unmatched expectation and any unexpected diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"nocpu/internal/lint/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads <dir>/src/<pkgpath>, applies the analyzer, and compares
+// diagnostics against the package's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	l := newLoader(dir)
+	pkg, files, err := l.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, l.fset, files, pkg, l.info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	checkWants(t, l.fset, files, diags)
+}
+
+type loader struct {
+	dir   string
+	fset  *token.FileSet
+	pkgs  map[string]*types.Package
+	files map[string][]*ast.File
+	info  *types.Info
+}
+
+func newLoader(dir string) *loader {
+	return &loader{
+		dir:   dir,
+		fset:  token.NewFileSet(),
+		pkgs:  make(map[string]*types.Package),
+		files: make(map[string][]*ast.File),
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+}
+
+// load parses and type-checks one testdata package (memoized).
+func (l *loader) load(pkgpath string) (*types.Package, []*ast.File, error) {
+	if pkg, ok := l.pkgs[pkgpath]; ok {
+		return pkg, l.files[pkgpath], nil
+	}
+	srcdir := filepath.Join(l.dir, "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(srcdir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(srcdir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", srcdir)
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			return l.importPkg(path)
+		}),
+		Error: func(error) {}, // stub imports leave dangling selectors; ignore
+	}
+	pkg, _ := conf.Check(pkgpath, l.fset, files, l.info)
+	l.pkgs[pkgpath] = pkg
+	l.files[pkgpath] = files
+	return pkg, files, nil
+}
+
+// importPkg resolves an import to a testdata package or an empty stub.
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(l.dir, "src", filepath.FromSlash(path))); err == nil {
+		pkg, _, err := l.load(path)
+		return pkg, err
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one unmatched want regexp.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// checkWants matches diagnostics against want comments, failing the
+// test on any mismatch in either direction.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", posn.Filename, posn.Line, m[1], err)
+					}
+					wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, rx: rx, raw: m[1]})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == posn.Filename && w.line == posn.Line && w.rx.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", posn, d.Rule, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

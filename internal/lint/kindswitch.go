@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"nocpu/internal/lint/analysis"
+)
+
+// Kindswitch keeps every switch over the bus-protocol discriminator
+// (msg.Kind) — and every map literal keyed by it, such as the
+// kind-name table — exhaustive. Dispatch over message kinds appears in
+// the wire codec, fault-injection filters and provider replay paths;
+// when a new kind is added, every one of those sites must make an
+// explicit decision, otherwise the new message is silently dropped (or
+// misprinted) at runtime. A `default:` clause does not count as
+// coverage: it is the unknown-future-kind path, not a decision about a
+// kind that is already declared.
+//
+// Constants that are unexported or contain "Invalid" in their name are
+// sentinels, not protocol kinds, and are not required.
+var Kindswitch = &analysis.Analyzer{
+	Name: "kindswitch",
+	Doc:  "require switches and map literals over msg.Kind to cover every declared kind",
+	Run:  runKindswitch,
+}
+
+func runKindswitch(pass *analysis.Pass) error {
+	if !simScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkKindSwitch(pass, n)
+			case *ast.CompositeLit:
+				checkKindMapLit(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// kindType returns the named type if t is msg.Kind (a named type called
+// "Kind" declared in a package named "msg").
+func kindType(t types.Type) (*types.Named, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kind" || obj.Pkg() == nil || obj.Pkg().Name() != "msg" {
+		return nil, false
+	}
+	return named, true
+}
+
+// requiredKinds lists the protocol constants of the Kind type, from its
+// defining package's scope (which export data preserves for imports).
+func requiredKinds(named *types.Named) map[string]bool {
+	out := make(map[string]bool)
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if !c.Exported() || strings.Contains(name, "Invalid") {
+			continue // sentinel, not a wire kind
+		}
+		out[name] = true
+	}
+	return out
+}
+
+func checkKindSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	named, ok := kindType(t)
+	if !ok {
+		return
+	}
+	missing := requiredKinds(named)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := constName(pass, e); ok {
+				delete(missing, name)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(),
+			"switch over msg.Kind does not cover %s; a kind this dispatch ignores is dropped silently at runtime — handle it explicitly (a default: clause does not count as a decision)",
+			nameList(missing))
+	}
+}
+
+func checkKindMapLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	named, ok := kindType(m.Key())
+	if !ok {
+		return
+	}
+	missing := requiredKinds(named)
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if name, ok := constName(pass, kv.Key); ok {
+			delete(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(lit.Pos(),
+			"map literal keyed by msg.Kind has no entry for %s; the new kind would fall through to the table's fallback", nameList(missing))
+	}
+}
+
+// constName resolves a case/key expression to the name of the constant
+// it references.
+func constName(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+		return c.Name(), true
+	}
+	return "", false
+}
+
+func nameList(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

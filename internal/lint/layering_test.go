@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nocpu/internal/lint"
+	"nocpu/internal/lint/analysistest"
+)
+
+func TestLayeringDeviceTier(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Layering, "nocpu/internal/smartnic")
+}
+
+func TestLayeringMsgLeaf(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Layering, "nocpu/internal/msg")
+}
+
+func TestLayeringUnregistered(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Layering, "nocpu/internal/newpkg")
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nocpu/internal/lint"
+	"nocpu/internal/lint/analysistest"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Maporder, "maporder/a")
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"nocpu/internal/lint/analysis"
+)
+
+// Nodeterminism forbids every source of nondeterminism the simulator has
+// sanctioned replacements for. Simulation code gets time from the
+// virtual clock (sim.Engine.Now / After / At), randomness from a seeded
+// sim.Rand, and runs single-threaded inside the event loop — so wall
+// clocks, ambient RNGs and concurrency primitives are all bugs waiting
+// to break the golden-trace tests, and are reported here instead.
+//
+// Test files are exempt: host-side test timeouts and t.Parallel are
+// about the machine running the tests, not the machine being simulated.
+var Nodeterminism = &analysis.Analyzer{
+	Name: "nodeterminism",
+	Doc:  "forbid wall-clock time, ambient randomness and concurrency in simulation code",
+	Run:  runNodeterminism,
+}
+
+// bannedImports are packages simulation code must not import at all.
+var bannedImports = map[string]string{
+	"math/rand":    "use the seeded sim.Rand owned by the component",
+	"math/rand/v2": "use the seeded sim.Rand owned by the component",
+	"crypto/rand":  "use the seeded sim.Rand owned by the component",
+	"sync":         "the event loop is single-threaded by design; schedule events instead",
+	"sync/atomic":  "the event loop is single-threaded by design; schedule events instead",
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time. The
+// type names (time.Duration in host-facing flag parsing, say) are not
+// banned — only calls that read or wait on the host clock.
+var bannedTimeFuncs = map[string]string{
+	"Now":       "use sim.Engine.Now",
+	"Since":     "use sim.Time.Sub on virtual timestamps",
+	"Until":     "use sim.Time.Sub on virtual timestamps",
+	"Sleep":     "use sim.Engine.After to schedule a continuation",
+	"After":     "use sim.Engine.After",
+	"AfterFunc": "use sim.Engine.After",
+	"Tick":      "use a self-rescheduling sim.Engine.After event",
+	"NewTicker": "use a self-rescheduling sim.Engine.After event",
+	"NewTimer":  "use sim.Engine.After; the returned sim.Timer can be stopped",
+}
+
+func runNodeterminism(pass *analysis.Pass) error {
+	if !simScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if why, bad := bannedImports[path]; bad {
+				pass.Reportf(imp.Pos(), "import of %s is nondeterministic in simulation code: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine inside the single-threaded event loop: determinism requires one thread; model concurrency as scheduled events")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select inside the single-threaded event loop: channel timing is scheduler-dependent; model it as scheduled events")
+			case *ast.SelectorExpr:
+				if pkg, ok := importedPkg(pass, n.X); ok && pkg == "time" {
+					if why, bad := bannedTimeFuncs[n.Sel.Name]; bad {
+						pass.Reportf(n.Pos(), "time.%s reads the host wall clock; %s", n.Sel.Name, why)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// importedPkg resolves expr to an imported package's path when expr is a
+// package qualifier.
+func importedPkg(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path(), true
+	}
+	return "", false
+}
+
+// isTestFile reports whether the file is a _test.go file.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}

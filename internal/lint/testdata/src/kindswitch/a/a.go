@@ -1,0 +1,63 @@
+// Package a exercises the kindswitch analyzer against the miniature
+// msg package.
+package a
+
+import "msg"
+
+func dispatch(k msg.Kind) string {
+	switch k { // want `switch over msg\.Kind does not cover KindClose, KindData`
+	case msg.KindHello:
+		return "hello"
+	}
+
+	// Exhaustive: every wire kind decided, sentinels not required.
+	switch k {
+	case msg.KindHello, msg.KindData:
+		return "payload"
+	case msg.KindClose:
+		return "close"
+	}
+
+	// A default clause is the unknown-future-kind path, not a decision
+	// about KindClose.
+	switch k { // want `switch over msg\.Kind does not cover KindClose`
+	case msg.KindHello, msg.KindData:
+		return "known"
+	default:
+		return "unknown"
+	}
+}
+
+func tagless(k msg.Kind) bool {
+	// Tagless switches compare booleans; kindswitch leaves them alone.
+	switch {
+	case k == msg.KindHello:
+		return true
+	}
+	return false
+}
+
+func otherEnum(r msg.Role) string {
+	// A different enum in the msg package is not the discriminator.
+	switch r {
+	case msg.RoleNIC:
+		return "nic"
+	}
+	return ""
+}
+
+var partialNames = map[msg.Kind]string{ // want `map literal keyed by msg\.Kind has no entry for KindClose`
+	msg.KindHello: "hello",
+	msg.KindData:  "data",
+}
+
+var fullNames = map[msg.Kind]string{
+	msg.KindHello: "hello",
+	msg.KindData:  "data",
+	msg.KindClose: "close",
+}
+
+//lint:allow kindswitch legacy dispatcher kept for the migration test
+var suppressedNames = map[msg.Kind]string{
+	msg.KindHello: "hello",
+}

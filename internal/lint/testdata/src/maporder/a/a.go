@@ -1,0 +1,115 @@
+// Package a exercises the maporder analyzer.
+package a
+
+type tracer struct{}
+
+func (tracer) Record(string) {}
+
+var tr tracer
+
+func sink(string) {}
+
+// emitInOrder is the classic golden-hash killer: output in map order.
+func emitInOrder(m map[string]int) {
+	for k := range m {
+		sink(k) // want `call to sink inside range over map m runs in map iteration order`
+	}
+}
+
+func methodSink(m map[string]int) {
+	for k := range m {
+		tr.Record(k) // want `call to tr\.Record inside range over map m runs in map iteration order`
+	}
+}
+
+func nestedInIf(m map[string]int) {
+	for k, v := range m {
+		if v > 0 {
+			sink(k) // want `call to sink inside range over map m runs in map iteration order`
+		}
+	}
+}
+
+func callInCondition(m map[string]int, f func(string) bool) {
+	for k := range m {
+		if f(k) { // want `call to f inside range over map m runs in map iteration order`
+			continue
+		}
+	}
+}
+
+// collectAndSort is the sanctioned pattern: pure accumulation, sort,
+// then emit.
+func collectAndSort(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		sink(k)
+	}
+}
+
+func sortStrings([]string) {}
+
+// folds are order-independent accumulation: allowed.
+func folds(m map[string]uint64) uint64 {
+	var total, biggest uint64
+	for _, v := range m {
+		total += v
+		if v > biggest {
+			biggest = v
+		}
+	}
+	return total + biggest
+}
+
+// conversionsAreNotCalls: type conversions inside the body are fine.
+func conversionsAreNotCalls(m map[string]int) int64 {
+	var sum int64
+	for _, v := range m {
+		sum += int64(v)
+	}
+	return sum
+}
+
+// mutateSameMap: delete/assign on maps is allowed.
+func mutateSameMap(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		} else {
+			m[k] = v - 1
+		}
+	}
+}
+
+// earlyReturn of call-free values is allowed (set membership).
+func earlyReturn(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+func suppressed(m map[string]int) {
+	for k := range m {
+		sink(k) //lint:allow maporder sink is an order-insensitive set insert
+	}
+}
+
+func goStmt(m map[string]int) {
+	for k := range m {
+		go sink(k) // want `starting a goroutine inside range over map m runs in map iteration order`
+	}
+}
+
+// sliceRangesAreFine: the analyzer only judges maps.
+func sliceRangesAreFine(s []string) {
+	for _, k := range s {
+		sink(k)
+	}
+}

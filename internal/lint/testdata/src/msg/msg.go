@@ -1,0 +1,26 @@
+// Package msg is a miniature of the real bus vocabulary for the
+// kindswitch tests: same package name, same discriminator shape.
+package msg
+
+// Kind discriminates message types on the wire.
+type Kind uint16
+
+// Kinds. KindInvalid and kindMax are sentinels, not wire kinds.
+const (
+	KindInvalid Kind = iota
+	KindHello
+	KindData
+	KindClose
+	kindMax
+)
+
+var _ = kindMax
+
+// Role is a different enum in the same package; kindswitch ignores it.
+type Role uint8
+
+// Roles.
+const (
+	RoleNIC Role = iota + 1
+	RoleSSD
+)

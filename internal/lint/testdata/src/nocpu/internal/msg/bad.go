@@ -1,0 +1,8 @@
+// Package msg exercises the leaf rule: the bus vocabulary must not
+// import anything in-module.
+package msg
+
+import (
+	_ "nocpu/internal/sim" // want `breaks the leaf rule`
+	_ "fmt"
+)

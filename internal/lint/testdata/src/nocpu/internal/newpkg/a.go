@@ -1,0 +1,6 @@
+// Package newpkg is not registered in the architecture DAG.
+package newpkg
+
+import (
+	_ "nocpu/internal/msg" // want `package nocpu/internal/newpkg is not registered in the architecture DAG`
+)

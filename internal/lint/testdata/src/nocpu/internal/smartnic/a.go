@@ -1,0 +1,12 @@
+// Package smartnic exercises the layering analyzer's device-tier rules
+// under the real package path.
+package smartnic
+
+import (
+	_ "nocpu/internal/bus" // in the DAG: devices may talk to the bus
+	_ "nocpu/internal/centralos" // want `breaks the §2 decentralization boundary`
+	_ "nocpu/internal/exp" // want `breaks the §2 decentralization boundary`
+	_ "nocpu/internal/kvs" // want `import edge nocpu/internal/smartnic -> nocpu/internal/kvs is not in the architecture DAG`
+	_ "nocpu/internal/msg" // in the DAG
+	_ "sort" // stdlib is never layering's business
+)

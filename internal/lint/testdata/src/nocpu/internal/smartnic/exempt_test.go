@@ -1,0 +1,7 @@
+// Test files may wire up any harness they need: layering skips them.
+package smartnic
+
+import (
+	_ "nocpu/internal/centralos"
+	_ "nocpu/internal/exp"
+)

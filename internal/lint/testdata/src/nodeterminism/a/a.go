@@ -1,0 +1,40 @@
+// Package a exercises the nodeterminism analyzer.
+package a
+
+import (
+	"crypto/rand" // want `import of crypto/rand is nondeterministic in simulation code`
+	mrand "math/rand" // want `import of math/rand is nondeterministic in simulation code`
+	"sync" // want `import of sync is nondeterministic in simulation code`
+	"time"
+)
+
+func wallClock() {
+	_ = time.Now()          // want `time\.Now reads the host wall clock; use sim\.Engine\.Now`
+	time.Sleep(1)           // want `time\.Sleep reads the host wall clock`
+	_ = time.Since(time.Time{}) // want `time\.Since reads the host wall clock`
+	_ = time.NewTicker(1)   // want `time\.NewTicker reads the host wall clock`
+	_ = time.After(1)       // want `time\.After reads the host wall clock`
+}
+
+func allowedTimeNames(d time.Duration) time.Duration {
+	// Referring to time's types and constants is fine; only clock reads
+	// are banned.
+	return d * time.Millisecond
+}
+
+func suppressed() {
+	_ = time.Now() //lint:allow nodeterminism host-side progress logging in the CLI wrapper
+	//lint:allow nodeterminism directive on the line above also suppresses
+	_ = time.Now()
+	// A directive for a different rule does not suppress this one.
+	_ = time.Now() //lint:allow maporder wrong rule // want `time\.Now reads the host wall clock`
+}
+
+func concurrency() {
+	go wallClock()   // want `goroutine inside the single-threaded event loop`
+	select {}        // want `select inside the single-threaded event loop`
+	var mu sync.Mutex
+	_ = mu
+	_ = mrand.Int()
+	_ = rand.Reader
+}

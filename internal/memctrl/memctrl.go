@@ -13,6 +13,7 @@ package memctrl
 
 import (
 	"fmt"
+	"sort"
 
 	"nocpu/internal/bus"
 	"nocpu/internal/device"
@@ -137,6 +138,18 @@ func pagesOf(bytes uint64) int {
 	return int((bytes + physmem.PageSize - 1) / physmem.PageSize)
 }
 
+// sortedBases iterates an app's regions in base-address order: the loops
+// below reply from inside the loop body, so which region decides must not
+// depend on map iteration order.
+func sortedBases(regions map[uint64]*allocation) []uint64 {
+	bases := make([]uint64, 0, len(regions))
+	for base := range regions {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases
+}
+
 func (c *Controller) onAlloc(env msg.Envelope) {
 	m := env.Msg.(*msg.AllocReq)
 	c.proc.Submit(c.cfg.OpCost, func() {
@@ -186,8 +199,8 @@ func (c *Controller) doAlloc(src msg.DeviceID, m *msg.AllocReq) *msg.AllocResp {
 		}
 	}
 	// Overlap check against this app's existing regions.
-	for base, a := range apps {
-		if m.VA < base+a.bytes && base < m.VA+bytes {
+	for _, base := range sortedBases(apps) {
+		if a := apps[base]; m.VA < base+a.bytes && base < m.VA+bytes {
 			return deny(fmt.Sprintf("overlaps existing region at %#x", base))
 		}
 	}
@@ -200,8 +213,8 @@ func (c *Controller) doAlloc(src msg.DeviceID, m *msg.AllocReq) *msg.AllocResp {
 		runs := int((m.Bytes + iommu.HugePageSize - 1) / iommu.HugePageSize)
 		bytes = uint64(runs) * iommu.HugePageSize
 		// Re-check overlap with the rounded-up extent.
-		for base, a := range apps {
-			if m.VA < base+a.bytes && base < m.VA+bytes {
+		for _, base := range sortedBases(apps) {
+			if a := apps[base]; m.VA < base+a.bytes && base < m.VA+bytes {
 				return deny(fmt.Sprintf("overlaps existing region at %#x", base))
 			}
 		}
@@ -326,7 +339,9 @@ func (c *Controller) doAuth(src msg.DeviceID, m *msg.AuthReq) *msg.AuthResp {
 		return deny("malformed range")
 	}
 	// Find the allocation containing [VA, VA+Bytes).
-	for base, a := range c.table[m.App] {
+	regions := c.table[m.App]
+	for _, base := range sortedBases(regions) {
+		a := regions[base]
 		if m.VA >= base && m.VA+m.Bytes <= base+a.bytes {
 			if a.huge {
 				// Huge regions are granted in whole 2 MiB runs only.

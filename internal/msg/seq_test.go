@@ -1,0 +1,136 @@
+package msg_test
+
+import (
+	"sort"
+	"testing"
+
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+)
+
+type arrival struct {
+	src msg.DeviceID
+	seq uint32
+}
+
+// TestDedupWindowProperty drives the dedup window with randomized (but
+// seeded, hence reproducible) schedules of sends, fabric replays, and
+// bounded reordering, and checks the filter's contract: within the
+// 64-tag window every tag is delivered exactly once no matter how often
+// it is replayed or how the deliveries interleave, untagged envelopes
+// (tag 0) always pass, and per-peer windows are independent.
+func TestDedupWindowProperty(t *testing.T) {
+	// reorderSpan bounds how far an arrival may drift from its in-order
+	// position. Two tags can end up at most 2*reorderSpan-1 positions
+	// out of order, and a tag value spans at least one position, so the
+	// window never has to look back further than 2*reorderSpan < 64.
+	const (
+		trials      = 200
+		peerCount   = 3
+		sendsPer    = 150
+		reorderSpan = 24
+	)
+	for trial := 0; trial < trials; trial++ {
+		rng := sim.NewRand(uint64(trial)*2654435761 + 1)
+		var w msg.DedupWindow
+
+		// Build per-peer schedules: each tag 1..sendsPer appears 1-3
+		// times (the original send plus fabric replays), plus a few
+		// untagged envelopes, then each schedule is shuffled within a
+		// bounded distance so no tag arrives more than reorderSpan
+		// places from its in-order position.
+		queues := make([][]uint32, peerCount)
+		untagged := make(map[msg.DeviceID]int)
+		for p := 0; p < peerCount; p++ {
+			src := msg.DeviceID(p + 1)
+			type keyed struct {
+				tag uint32
+				key int
+			}
+			var ks []keyed
+			for s := 1; s <= sendsPer; s++ {
+				copies := 1 + rng.Intn(3)
+				for c := 0; c < copies; c++ {
+					ks = append(ks, keyed{uint32(s), len(ks) + rng.Intn(reorderSpan)})
+				}
+				if rng.Intn(8) == 0 {
+					ks = append(ks, keyed{0, len(ks) + rng.Intn(reorderSpan)})
+					untagged[src]++
+				}
+			}
+			// Bounded disorder: jitter each arrival's sort key by less
+			// than reorderSpan, then stable-sort. Replay copies of a tag
+			// drift apart, which is exactly the replay-under-reordering
+			// case the window must absorb.
+			sort.SliceStable(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+			for _, k := range ks {
+				queues[p] = append(queues[p], k.tag)
+			}
+		}
+		// Interleave the peers' schedules by randomly merging the queues
+		// front-first: per-peer order is preserved, per-peer state must
+		// be independent of the interleaving.
+		delivered := make(map[arrival]int)
+		remaining := 0
+		for _, q := range queues {
+			remaining += len(q)
+		}
+		for remaining > 0 {
+			p := rng.Intn(peerCount)
+			if len(queues[p]) == 0 {
+				continue
+			}
+			a := arrival{msg.DeviceID(p + 1), queues[p][0]}
+			queues[p] = queues[p][1:]
+			remaining--
+			if !w.Duplicate(a.src, a.seq) {
+				delivered[a]++
+			}
+		}
+		for p := 0; p < peerCount; p++ {
+			src := msg.DeviceID(p + 1)
+			for s := 1; s <= sendsPer; s++ {
+				if got := delivered[arrival{src, uint32(s)}]; got != 1 {
+					t.Fatalf("trial %d: peer %d tag %d delivered %d times, want exactly 1", trial, src, s, got)
+				}
+			}
+			if got := delivered[arrival{src, 0}]; got != untagged[src] {
+				t.Fatalf("trial %d: peer %d untagged delivered %d times, want all %d", trial, src, got, untagged[src])
+			}
+		}
+	}
+}
+
+// TestDedupWindowStaleTag pins the documented fail-safe: a tag that has
+// fallen more than 64 behind the peer's highest counts as a duplicate
+// (the sender's retry recovers a wrongly suppressed request).
+func TestDedupWindowStaleTag(t *testing.T) {
+	var w msg.DedupWindow
+	if w.Duplicate(1, 100) {
+		t.Fatal("first tag suppressed")
+	}
+	if w.Duplicate(1, 100-63) {
+		t.Fatal("tag at the trailing edge of the window suppressed")
+	}
+	if !w.Duplicate(1, 100-64) {
+		t.Fatal("tag beyond the 64-deep window not treated as stale duplicate")
+	}
+}
+
+// TestDedupWindowForget pins the reset path: after Forget the peer's
+// restarted counter reuses old tags and they must deliver again.
+func TestDedupWindowForget(t *testing.T) {
+	var w msg.DedupWindow
+	for seq := uint32(1); seq <= 10; seq++ {
+		if w.Duplicate(1, seq) {
+			t.Fatalf("fresh tag %d suppressed", seq)
+		}
+	}
+	if !w.Duplicate(1, 5) {
+		t.Fatal("replayed tag 5 not suppressed before Forget")
+	}
+	w.Forget(1)
+	if w.Duplicate(1, 5) {
+		t.Fatal("tag 5 suppressed after Forget: restarted peer's tags must deliver")
+	}
+}

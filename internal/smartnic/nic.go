@@ -11,6 +11,7 @@ package smartnic
 
 import (
 	"fmt"
+	"sort"
 
 	"nocpu/internal/bus"
 	"nocpu/internal/device"
@@ -164,15 +165,26 @@ func (n *NIC) AddApp(a App) *Runtime {
 }
 
 func (n *NIC) onAlive() {
-	for id, a := range n.apps {
-		a.Boot(n.rts[id])
+	for _, id := range n.sortedAppIDs() {
+		n.apps[id].Boot(n.rts[id])
 	}
 }
 
 func (n *NIC) onPeerFailed(dev msg.DeviceID) {
-	for _, a := range n.apps {
-		a.PeerFailed(dev)
+	for _, id := range n.sortedAppIDs() {
+		n.apps[id].PeerFailed(dev)
 	}
+}
+
+// sortedAppIDs iterates apps in id order: Boot and PeerFailed schedule
+// simulator events, so delivery order must not depend on map iteration.
+func (n *NIC) sortedAppIDs() []msg.AppID {
+	ids := make([]msg.AppID, 0, len(n.apps))
+	for id := range n.apps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Deliver injects a network request addressed to an app (called by the

@@ -2,6 +2,7 @@ package smartssd
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"nocpu/internal/bus"
@@ -145,12 +146,22 @@ func (s *SSD) BreakFlash() { s.flash.broken = true }
 func (s *SSD) RepairFlash() { s.flash.broken = false }
 
 func (s *SSD) dropConns() {
-	for id, c := range s.conns {
-		if c.ep != nil {
+	for _, id := range s.sortedConnIDs() {
+		if c := s.conns[id]; c.ep != nil {
 			s.dev.Fabric().UnregisterDoorbell(c.ep.ReqBell)
 		}
 		delete(s.conns, id)
 	}
+}
+
+// sortedConnIDs iterates connections in id order for determinism.
+func (s *SSD) sortedConnIDs() []uint32 {
+	ids := make([]uint32, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // onAlive runs at first boot (format+mount) and after every recovery
@@ -284,8 +295,8 @@ func (fs *fileService) Open(src msg.DeviceID, req *msg.OpenReq) *msg.OpenResp {
 	// Idempotent replay: the opener retrying because an OpenResp was lost
 	// gets its existing, not-yet-connected instance back rather than a
 	// second one it would leak.
-	for _, c := range s.conns {
-		if c.client == src && c.app == req.App && c.service == req.Service && c.ep == nil {
+	for _, id := range s.sortedConnIDs() {
+		if c := s.conns[id]; c.client == src && c.app == req.App && c.service == req.Service && c.ep == nil {
 			shared := virtio.SharedBytes(128, s.cfg.CellSize)
 			return &msg.OpenResp{Service: req.Service, App: req.App, OK: true, ConnID: c.id, SharedBytes: shared}
 		}

@@ -2,6 +2,7 @@ package virtio
 
 import (
 	"fmt"
+	"sort"
 
 	"nocpu/internal/interconnect"
 	"nocpu/internal/iommu"
@@ -107,7 +108,13 @@ func (d *Driver) fail(err error) {
 	}
 	d.dead = true
 	d.stats.Errors++
-	for head, cb := range d.pending {
+	heads := make([]uint16, 0, len(d.pending))
+	for head := range d.pending {
+		heads = append(heads, head)
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	for _, head := range heads {
+		cb := d.pending[head]
 		delete(d.pending, head)
 		cb(nil, fmt.Errorf("virtio: queue failed: %w", err))
 	}
