@@ -1,10 +1,11 @@
 # Build/verification entry points. `make check` is the full gate used
 # before merging: vet, the nocpu-lint analyzer suite, build, race-enabled
-# tests, and a short fuzz run of the wire-format decoder.
+# tests, a short fuzz run of the wire-format decoder, and the E15 chaos
+# tier (seeded crash schedules under race).
 
 GO ?= go
 
-.PHONY: build test vet lint race fuzz check bench tables
+.PHONY: build test vet lint race fuzz chaos check bench tables
 
 build:
 	$(GO) build ./...
@@ -30,11 +31,18 @@ race:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/msg
 
-check: vet lint build race fuzz
+# Chaos tier (E15): seeded crash schedules over every machine flavor
+# under the race detector, plus the chaos-harness unit tests. Seeds are
+# fixed in the tests, so failures reproduce bit-for-bit.
+chaos:
+	$(GO) test -race -run 'TestE15' ./internal/exp
+	$(GO) test -race ./internal/chaos
+
+check: vet lint build race fuzz chaos
 
 bench:
 	$(GO) test -run=^$$ -bench . -benchtime=100x .
 
-# Regenerate all experiment tables (E1-E14).
+# Regenerate all experiment tables (E1-E15).
 tables:
 	$(GO) run ./cmd/nocpu-bench

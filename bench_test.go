@@ -744,3 +744,34 @@ func BenchmarkE10BusSensitivity(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE15CrashRejoin measures one full crash-restart-rejoin cycle
+// of the SSD under a 500µs bus watchdog: silent death, watchdog
+// detection, bus Reset, device reboot, Hello with a bumped incarnation,
+// rejoin. This is the recovery loop the E15 chaos schedules exercise at
+// scale; vns/op is the virtual time of the whole cycle.
+func BenchmarkE15CrashRejoin(b *testing.B) {
+	rig := newBenchRig(b,
+		core.Options{Flavor: core.Decentralized, Seed: 15, Watchdog: 500 * sim.Microsecond},
+		core.KVSOptions{QueueEntries: 128})
+	sys := rig.sys
+	b.ResetTimer()
+	start := sys.Eng.Now()
+	for i := 0; i < b.N; i++ {
+		sys.SSD().Kill()
+		deadline := sys.Eng.Now().Add(sim.Second)
+		for sys.Bus.Alive(core.FirstSSD) && sys.Eng.Now() < deadline {
+			sys.Eng.RunFor(10 * sim.Microsecond)
+		}
+		for !sys.Bus.Alive(core.FirstSSD) && sys.Eng.Now() < deadline {
+			sys.Eng.RunFor(10 * sim.Microsecond)
+		}
+		if !sys.Bus.Alive(core.FirstSSD) {
+			b.Fatal("ssd never rejoined")
+		}
+	}
+	if got := sys.Bus.Stats().Rejoins; got < uint64(b.N) {
+		b.Fatalf("rejoins = %d, want >= %d", got, b.N)
+	}
+	reportVirtual(b, start, sys)
+}

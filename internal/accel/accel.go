@@ -128,6 +128,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 	}
 	d.AddService(&xformService{a: a})
 	d.OnReset = func() { a.dropConns() }
+	d.OnPeerFailed = a.onPeerFailed
 	return a, nil
 }
 
@@ -141,17 +142,37 @@ func (a *Accel) Start() { a.dev.Start() }
 func (a *Accel) Stats() Stats { return a.stats }
 
 func (a *Accel) dropConns() {
-	ids := make([]uint32, 0, len(a.conns))
-	for id := range a.conns {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for _, id := range a.sortedConnIDs() {
 		if c := a.conns[id]; c.ep != nil {
 			a.dev.Fabric().UnregisterDoorbell(c.ep.ReqBell)
 		}
 		delete(a.conns, id)
 	}
+}
+
+// onPeerFailed drops connections whose client died; a revived client opens
+// fresh connections rather than resuming these.
+func (a *Accel) onPeerFailed(peer msg.DeviceID) {
+	for _, id := range a.sortedConnIDs() {
+		c := a.conns[id]
+		if c.client != peer {
+			continue
+		}
+		if c.ep != nil {
+			a.dev.Fabric().UnregisterDoorbell(c.ep.ReqBell)
+		}
+		delete(a.conns, id)
+	}
+}
+
+// sortedConnIDs iterates connections in id order for determinism.
+func (a *Accel) sortedConnIDs() []uint32 {
+	ids := make([]uint32, 0, len(a.conns))
+	for id := range a.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // xformService answers "xform:<name>" queries and sessions.

@@ -64,10 +64,19 @@ var DefaultConfig = Config{
 
 // Stats counts bus activity for the experiments.
 type Stats struct {
-	Messages      uint64
-	Deliveries    uint64
-	Broadcasts    uint64
-	Dropped       uint64
+	Messages   uint64
+	Deliveries uint64
+	Broadcasts uint64
+	// Dropped counts messages lost with no one to tell: unknown senders
+	// and deliveries that died in flight. Traffic refused because its
+	// sender is marked failed (or is a stale incarnation) is counted in
+	// DeadSenderDropped instead, so the experiments can tell wire loss
+	// from lifecycle fencing.
+	Dropped uint64
+	// DeadSenderDropped counts envelopes fenced because the bus considers
+	// the sender dead or because they were stamped by a previous
+	// incarnation of a since-revived device.
+	DeadSenderDropped uint64
 	// Nacks counts refusals reported back to the sender (previously these
 	// were silent drops; Dropped now covers only cases with no one to
 	// tell — unknown or dead senders, or in-flight loss).
@@ -81,6 +90,9 @@ type Stats struct {
 	GrantsDenied  uint64
 	DevicesFailed uint64
 	Resets        uint64
+	// Rejoins counts devices that re-enrolled (Hello or ResetDone) after
+	// having been marked failed.
+	Rejoins uint64
 }
 
 // Handler receives messages delivered to a device.
@@ -94,6 +106,13 @@ type attachment struct {
 	mmu     *iommu.IOMMU
 	alive   bool
 	lastHB  sim.Time
+	// inc is the highest incarnation stamp seen from this device; lower
+	// stamps are fenced as messages from a dead previous life.
+	inc uint32
+	// failed/failedAt record that (and when) failDevice last marked the
+	// device dead, for rejoin accounting and outage measurement.
+	failed   bool
+	failedAt sim.Time
 	// mmuEngine models the device-side IOMMU command interface: table
 	// programming serializes per device but runs in parallel across
 	// devices (the bus only dispatches commands).
@@ -218,10 +237,25 @@ type Port struct {
 	bus     *Bus
 	id      msg.DeviceID
 	nextSeq uint32
+	inc     uint32
 }
 
 // ID returns the attached device's bus address.
 func (p *Port) ID() msg.DeviceID { return p.id }
+
+// Incarnation returns the port's current incarnation (0 until the first
+// crash recovery).
+func (p *Port) Incarnation() uint32 { return p.inc }
+
+// NewIncarnation begins the device's next life after a crash: outgoing
+// envelopes are stamped with the bumped incarnation and the link-layer
+// sequence counter restarts (the bus forgets the old dedup window when
+// it adopts the new incarnation). Pure port state — no bus traffic.
+func (p *Port) NewIncarnation() uint32 {
+	p.inc++
+	p.nextSeq = 0
+	return p.inc
+}
 
 // Attach connects a device to the bus. The IOMMU handle is how the bus —
 // and only the bus — programs the device's translations. A device with
@@ -266,7 +300,7 @@ func (b *Bus) nameOf(id msg.DeviceID) string {
 func (p *Port) Send(dst msg.DeviceID, m msg.Message) uint32 {
 	b := p.bus
 	p.nextSeq++
-	env := msg.Envelope{Src: p.id, Dst: dst, Seq: p.nextSeq, Msg: m}
+	env := msg.Envelope{Src: p.id, Dst: dst, Seq: p.nextSeq, Inc: p.inc, Msg: m}
 	size := msg.EncodedSize(m)
 	wire := b.cfg.HopLatency + sim.Duration(float64(size)/b.cfg.BytesPerNs)
 	d := b.plane.Filter(faultinject.LayerBus, b.eng.Now(), env.Src, dst, m.Kind())
@@ -301,6 +335,20 @@ func (b *Bus) process(env msg.Envelope) {
 		return
 	}
 
+	// Incarnation fencing. A device revived after a crash stamps its
+	// envelopes with a bumped incarnation: adopt it on first sight (and
+	// forget the dedup window — the new life's sequence counter restarts
+	// at 1, which the old window would swallow as stale duplicates).
+	// Anything still stamped with an older incarnation was sent by the
+	// pre-crash life and may describe state that died with it: fence it.
+	if env.Inc > src.inc {
+		src.inc = env.Inc
+		b.dedup.Forget(env.Src)
+	} else if env.Inc < src.inc {
+		b.stats.DeadSenderDropped++
+		return
+	}
+
 	if b.dedup.Duplicate(env.Src, env.Seq) {
 		b.stats.DupSuppressed++
 		return
@@ -316,7 +364,7 @@ func (b *Bus) process(env msg.Envelope) {
 	// except Hello/ResetDone which revive it, handled above. No NACK: the
 	// bus considers the sender unreachable.
 	if !src.alive {
-		b.stats.Dropped++
+		b.stats.DeadSenderDropped++
 		return
 	}
 
@@ -462,10 +510,12 @@ func (b *Bus) sendFromBus(dst *attachment, m msg.Message) {
 func (b *Bus) handleBusMessage(src *attachment, env msg.Envelope) {
 	switch m := env.Msg.(type) {
 	case *msg.Hello:
+		b.noteRejoin(src)
 		src.alive = true
 		src.lastHB = b.eng.Now()
 		b.sendFromBus(src, &msg.HelloAck{})
 	case *msg.ResetDone:
+		b.noteRejoin(src)
 		src.alive = true
 		src.lastHB = b.eng.Now()
 	case *msg.Heartbeat:
@@ -487,9 +537,51 @@ func (b *Bus) handleBusMessage(src *attachment, env msg.Envelope) {
 		b.handleRevoke(src, m)
 	case *msg.AuthResp:
 		b.handleAuthResp(src, m)
+	case *msg.StateQuery:
+		b.sendFromBus(src, b.stateRespFor(src, m.Nonce))
 	default:
 		b.nack(src, env, msg.NackUnknownKind, "bus cannot handle "+env.Msg.Kind().String())
 	}
+}
+
+// noteRejoin records a re-enrollment (Hello or ResetDone from a device
+// the bus had marked failed) for the recovery experiments.
+func (b *Bus) noteRejoin(a *attachment) {
+	if !a.failed {
+		return
+	}
+	a.failed = false
+	b.stats.Rejoins++
+	b.tr.Record(b.eng.Now(), "bus", a.name, "device.rejoined",
+		fmt.Sprintf("inc=%d outage=%v", a.inc, b.eng.Now().Sub(a.failedAt)))
+}
+
+// stateRespFor answers a revived device's StateQuery from the bus's own
+// management tables: every region the device still owns, with the
+// grantees currently mapped into it, in (app, va) order.
+func (b *Bus) stateRespFor(a *attachment, nonce uint32) *msg.StateResp {
+	var keys []ownerKey
+	for key, info := range b.owners {
+		if info.dev == a.id {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].app != keys[j].app {
+			return keys[i].app < keys[j].app
+		}
+		return keys[i].va < keys[j].va
+	})
+	resp := &msg.StateResp{Nonce: nonce}
+	for _, key := range keys {
+		info := b.owners[key]
+		reg := msg.OwnedRegion{App: key.app, VA: key.va, Pages: uint32(info.pages), Huge: info.huge}
+		for _, rec := range b.grants[key] {
+			reg.Grantees = append(reg.Grantees, rec.target)
+		}
+		resp.Regions = append(resp.Regions, reg)
+	}
+	return resp
 }
 
 // programMappings installs an AllocResp's frames into the requester's
@@ -811,6 +903,8 @@ func (b *Bus) scheduleWatchdog() {
 // (§4 "Error Handling").
 func (b *Bus) failDevice(a *attachment, reason string) {
 	a.alive = false
+	a.failed = true
+	a.failedAt = b.eng.Now()
 	b.stats.DevicesFailed++
 	// Fail any grant still waiting on the dead party (requester, target,
 	// or the authorizing controller): the requester must not hang. The

@@ -141,8 +141,11 @@ func TestMessagesFromDeadDeviceDropped(t *testing.T) {
 	if b.countKind(msg.KindHeartbeat) != 0 {
 		t.Error("message from never-booted device delivered")
 	}
-	if h.bus.Stats().Dropped == 0 {
-		t.Error("drop not counted")
+	if h.bus.Stats().DeadSenderDropped == 0 {
+		t.Error("dead-sender drop not counted")
+	}
+	if h.bus.Stats().Dropped != 0 {
+		t.Error("dead-sender drop leaked into wire-loss counter")
 	}
 }
 

@@ -26,6 +26,7 @@ package centralos
 
 import (
 	"fmt"
+	"sort"
 
 	"nocpu/internal/bus"
 	"nocpu/internal/interconnect"
@@ -57,6 +58,13 @@ type Config struct {
 	// QueueEntries sizes the kernel's own device queues.
 	QueueEntries uint16
 	IOMMU        iommu.Config
+	// HeartbeatEvery makes the kernel heartbeat on the management
+	// transport, so a bus watchdog can detect a kernel panic. 0 (the
+	// default) sends none — required for machines without a watchdog.
+	HeartbeatEvery sim.Duration
+	// ResetDelay is the kernel reboot time after a bus Reset (the
+	// baseline's recovery path). 0 disables recovery: a Reset is ignored.
+	ResetDelay sim.Duration
 }
 
 // DefaultConfig models a competent kernel on a server CPU.
@@ -77,6 +85,7 @@ type Stats struct {
 	Interrupts  uint64
 	PagesMapped uint64
 	BytesCopied uint64
+	Reboots     uint64
 }
 
 // CPU is the kernel device.
@@ -108,10 +117,15 @@ type CPU struct {
 	// completedOpens is the kernel's at-most-once cache for the open
 	// syscall: a retransmitted OpenReq (lost response) replays the recorded
 	// verdict instead of re-running mmap/grant and leaking a second region.
-	completedOpens map[openKey]*msg.OpenResp
+	// The verdict keeps the origin NIC so the kernel can push ErrorNotify
+	// to affected apps when the backing device dies.
+	completedOpens map[openKey]*openVerdict
 
 	helloTimer *sim.Timer
 	helloTries int
+	hbTimer    *sim.Timer
+	hbSeq      uint64
+	alive      bool
 
 	// mmaps is the kernel's per-app region table for the explicit
 	// mmap/munmap syscalls (AllocReq/FreeReq addressed to the CPU).
@@ -132,11 +146,19 @@ type openState struct {
 	token    uint64
 }
 
+// openVerdict is a completed open: the cached response plus the NIC it
+// was delivered to.
+type openVerdict struct {
+	resp   *msg.OpenResp
+	origin msg.DeviceID
+}
+
 // kernelFile is the kernel's own connection to a device file (mediated
 // mode): the queue's driver half lives on the CPU.
 type kernelFile struct {
 	handle uint32
 	app    msg.AppID
+	dev    msg.DeviceID // the device serving the queue
 	drv    *virtio.Driver
 	// At-most-once execution for mediated I/O (§4): completed caches
 	// recent responses by syscall seq so a retransmitted FileIOReq replays
@@ -187,7 +209,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 		pendingConnect: make(map[uint32]func(*msg.ConnectResp)),
 		kernelConns:    make(map[uint32]*kernelFile),
 		mmaps:          make(map[mmapKey]mmapRec),
-		completedOpens: make(map[openKey]*msg.OpenResp),
+		completedOpens: make(map[openKey]*openVerdict),
 	}
 	c.dma = fab.NewPort(cfg.Name, c.mmu)
 	port, err := b.Attach(cfg.ID, cfg.Name, msg.RoleAccelerator, c.mmu, c.receive)
@@ -202,8 +224,10 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 // retransmits with backoff until the bus acknowledges it (§4: enrollment
 // must survive a lossy bus); the timer never fires in a fault-free run.
 func (c *CPU) Start() {
+	c.alive = true
 	c.helloTries = 0
 	c.sendHello()
+	c.scheduleHeartbeat()
 }
 
 const (
@@ -212,7 +236,7 @@ const (
 )
 
 func (c *CPU) sendHello() {
-	c.port.Send(msg.BusID, &msg.Hello{Role: msg.RoleAccelerator, Name: c.cfg.Name})
+	c.port.Send(msg.BusID, &msg.Hello{Role: msg.RoleAccelerator, Name: c.cfg.Name, Incarnation: c.port.Incarnation()})
 	if c.helloTries >= helloRetryMax {
 		c.tr.Record(c.eng.Now(), c.cfg.Name, "", "hello-abandoned", fmt.Sprintf("after %d attempts", c.helloTries+1))
 		return
@@ -224,6 +248,137 @@ func (c *CPU) sendHello() {
 
 // Stats returns a copy of the counters.
 func (c *CPU) Stats() Stats { return c.stats }
+
+// Alive reports whether the kernel is running.
+func (c *CPU) Alive() bool { return c.alive }
+
+// scheduleHeartbeat arms the kernel's liveness beacon when configured.
+func (c *CPU) scheduleHeartbeat() {
+	if c.cfg.HeartbeatEvery <= 0 {
+		return
+	}
+	c.hbTimer = c.eng.After(c.cfg.HeartbeatEvery, func() {
+		if !c.alive {
+			return
+		}
+		c.hbSeq++
+		c.port.Send(msg.BusID, &msg.Heartbeat{Seq: c.hbSeq})
+		c.scheduleHeartbeat()
+	})
+}
+
+// Kill simulates a kernel panic (fault injection): the CPU stops
+// answering syscalls and heartbeats until the bus watchdog resets it.
+func (c *CPU) Kill() {
+	c.alive = false
+	if c.helloTimer != nil {
+		c.helloTimer.Stop()
+		c.helloTimer = nil
+	}
+	if c.hbTimer != nil {
+		c.hbTimer.Stop()
+		c.hbTimer = nil
+	}
+}
+
+// onBusReset runs the baseline's recovery: after ResetDelay the kernel
+// reboots with a new incarnation.
+func (c *CPU) onBusReset(m *msg.Reset) {
+	if c.cfg.ResetDelay <= 0 {
+		// No recovery path configured (the pre-crash-work machines).
+		return
+	}
+	c.Kill()
+	c.eng.After(c.cfg.ResetDelay, c.reboot)
+}
+
+// reboot is the kernel's crash-recovery path — and the baseline's
+// structural weakness the paper argues against (§2.3: the kernel is a
+// single point of failure). Everything the kernel held in RAM is gone:
+// syscall continuations, mediated queues, the at-most-once open cache,
+// the per-app region and mmap tables. Reinitializing the translation
+// units it drives (as a booting kernel must) tears down every live
+// context, so even direct-mode data planes that never touched the CPU die
+// with it and every application reconnects from scratch. Contrast with
+// the decentralized machine, where a device crash is contained to that
+// device's resources. Physical frames reachable only through the lost
+// tables leak until a full power cycle; the reproduction accepts that
+// (bounded by crashes per run) rather than pretending the kernel can
+// recover state it no longer has.
+func (c *CPU) reboot() {
+	c.port.NewIncarnation()
+	for _, id := range c.sortedIOMMUs() {
+		flushContexts(c.iommus[id])
+	}
+	flushContexts(c.mmu)
+	for _, h := range c.sortedHandles() {
+		c.kernelConns[h].drv.Quiesce()
+	}
+	c.kernelConns = make(map[uint32]*kernelFile)
+	c.pendingOpen = make(map[openKey]*openState)
+	c.pendingConnect = make(map[uint32]func(*msg.ConnectResp))
+	c.completedOpens = make(map[openKey]*openVerdict)
+	c.mmaps = make(map[mmapKey]mmapRec)
+	c.appVA = make(map[msg.AppID]uint64)
+	c.stats.Reboots++
+	c.tr.Record(c.eng.Now(), c.cfg.Name, "", "kernel.reboot", fmt.Sprintf("inc=%d", c.port.Incarnation()))
+	c.alive = true
+	c.helloTries = 0
+	c.sendHello()
+	c.scheduleHeartbeat()
+}
+
+// flushContexts destroys every live PASID context on one unit.
+func flushContexts(u *iommu.IOMMU) {
+	for _, p := range u.PASIDs() {
+		_ = u.DestroyContext(p)
+	}
+}
+
+func (c *CPU) sortedIOMMUs() []msg.DeviceID {
+	ids := make([]msg.DeviceID, 0, len(c.iommus))
+	for id := range c.iommus {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (c *CPU) sortedHandles() []uint32 {
+	hs := make([]uint32, 0, len(c.kernelConns))
+	for h := range c.kernelConns {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return hs
+}
+
+func (c *CPU) sortedOpenKeys(m map[openKey]*openState) []openKey {
+	ks := make([]openKey, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sortOpenKeys(ks)
+	return ks
+}
+
+func (c *CPU) sortedCompletedKeys() []openKey {
+	ks := make([]openKey, 0, len(c.completedOpens))
+	for k := range c.completedOpens {
+		ks = append(ks, k)
+	}
+	sortOpenKeys(ks)
+	return ks
+}
+
+func sortOpenKeys(ks []openKey) {
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].app != ks[j].app {
+			return ks[i].app < ks[j].app
+		}
+		return ks[i].service < ks[j].service
+	})
+}
 
 // AttachDeviceIOMMU gives the kernel its MMIO handle to a device's
 // translation unit.
@@ -238,6 +393,17 @@ func (c *CPU) RegisterFile(name string, dev msg.DeviceID) {
 
 // receive handles all traffic addressed to the CPU.
 func (c *CPU) receive(env msg.Envelope) {
+	if r, ok := env.Msg.(*msg.Reset); ok {
+		// A Reset reaches even a dead CPU (the bus lets it through so the
+		// watchdog can revive what it failed).
+		c.onBusReset(r)
+		return
+	}
+	if !c.alive {
+		// A panicked kernel answers nothing; requesters retry until the
+		// reboot completes.
+		return
+	}
 	switch m := env.Msg.(type) {
 	case *msg.OpenReq:
 		c.sysOpen(env.Src, m)
@@ -261,7 +427,61 @@ func (c *CPU) receive(env msg.Envelope) {
 			c.helloTimer = nil
 		}
 	case *msg.DeviceFailed:
-		// Kernel-level failure handling is out of scope for the baseline.
+		c.onPeerFailed(m.Device)
+	}
+}
+
+// onPeerFailed purges kernel state involving a dead device. Open flows
+// waiting on it are dropped (the app's retrier re-runs them after the
+// device recovers); mediated queues into it are quiesced, and the
+// at-most-once open cache forgets verdicts that named it so a post-reset
+// reopen re-runs the real work instead of replaying a dead connection.
+func (c *CPU) onPeerFailed(dev msg.DeviceID) {
+	for _, k := range c.sortedOpenKeys(c.pendingOpen) {
+		if st := c.pendingOpen[k]; st.origin == dev {
+			delete(c.pendingOpen, k)
+		}
+	}
+	for _, k := range c.sortedCompletedKeys() {
+		v := c.completedOpens[k]
+		name := v.resp.Service
+		mediated := false
+		if n, ok := cutPrefix(name, "mediated:"); ok {
+			name, mediated = n, true
+		} else if n, ok := cutPrefix(name, "file:"); ok {
+			name = n
+		}
+		if v.origin == dev {
+			// The consumer's NIC died: after its reboot the app's reopen
+			// is a genuinely new open (new rings, new doorbells), not a
+			// retransmission, so the cached verdict must not replay.
+			delete(c.completedOpens, k)
+			if kf, ok := c.kernelConns[v.resp.ConnID]; mediated && ok && kf.app == k.app {
+				kf.drv.Quiesce()
+				delete(c.kernelConns, v.resp.ConnID)
+			}
+			continue
+		}
+		if c.registry[name] == dev {
+			delete(c.completedOpens, k)
+			// §4: tell the consumer its resource died. The app's runtime
+			// cannot see this itself — its file handle names the kernel,
+			// not the storage device behind it.
+			c.port.Send(v.origin, &msg.ErrorNotify{
+				App: k.app, Resource: v.resp.Service, Code: 1,
+				Detail: fmt.Sprintf("device %d serving %q failed", dev, name),
+			})
+		}
+	}
+	// Mediated handles ride kernel→device queues; when the device died the
+	// endpoint half is gone for good (it drops connections on reset).
+	for _, h := range c.sortedHandles() {
+		kf := c.kernelConns[h]
+		if kf.dev != dev {
+			continue
+		}
+		kf.drv.Quiesce()
+		delete(c.kernelConns, h)
 	}
 }
 
@@ -317,7 +537,7 @@ func (c *CPU) sysOpen(src msg.DeviceID, m *msg.OpenReq) {
 		if done, ok := c.completedOpens[openKey{m.App, m.Service}]; ok {
 			// Retransmitted open (lost response): replay the recorded
 			// verdict rather than mmap a second region.
-			resp := *done
+			resp := *done.resp
 			c.port.Send(src, &resp)
 			return
 		}
@@ -382,7 +602,7 @@ func (c *CPU) onDeviceOpenResp(dev msg.DeviceID, m *msg.OpenResp) {
 			Service: st.service, App: m.App, OK: true,
 			ConnID: m.ConnID, SharedBytes: m.SharedBytes, Base: va,
 		}
-		c.completedOpens[openKey{m.App, st.service}] = resp
+		c.completedOpens[openKey{m.App, st.service}] = &openVerdict{resp: resp, origin: st.origin}
 		out := *resp
 		c.port.Send(st.origin, &out)
 	})
@@ -481,13 +701,13 @@ func (c *CPU) openMediated(dev msg.DeviceID, st *openState, m *msg.OpenResp) {
 				return
 			}
 			drv.SetRequestBell(bell)
-			c.kernelConns[handle] = &kernelFile{handle: handle, app: m.App, drv: drv, completed: make(map[uint32]*msg.FileIOResp), inflight: make(map[uint32]bool)}
+			c.kernelConns[handle] = &kernelFile{handle: handle, app: m.App, dev: dev, drv: drv, completed: make(map[uint32]*msg.FileIOResp), inflight: make(map[uint32]bool)}
 			maxIO := cellSize - smartssd.ReqHeaderBytes
 			resp := &msg.OpenResp{
 				Service: st.service, App: m.App, OK: true,
 				ConnID: handle, SharedBytes: uint64(maxIO),
 			}
-			c.completedOpens[openKey{m.App, st.service}] = resp
+			c.completedOpens[openKey{m.App, st.service}] = &openVerdict{resp: resp, origin: st.origin}
 			out := *resp
 			c.port.Send(st.origin, &out)
 		}

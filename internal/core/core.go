@@ -170,7 +170,8 @@ func New(opts Options) (*System, error) {
 	case Decentralized:
 		mcCfg := memctrl.Config{Device: device.Config{
 			ID: s.claimID(), Name: "memctrl", HeartbeatEvery: hb,
-			SelfTest: 1 * sim.Microsecond,
+			SelfTest:   1 * sim.Microsecond,
+			ResetDelay: 100 * sim.Microsecond,
 		}}
 		s.Memctrl, err = memctrl.New(s.Eng, s.Bus, s.Fabric, s.Tracer, mcCfg)
 		if err != nil {

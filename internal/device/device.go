@@ -143,6 +143,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 func (d *Device) ID() msg.DeviceID             { return d.cfg.ID }
 func (d *Device) Name() string                 { return d.cfg.Name }
 func (d *Device) State() State                 { return d.state }
+func (d *Device) Incarnation() uint32          { return d.busPort.Incarnation() }
 func (d *Device) Engine() *sim.Engine          { return d.eng }
 func (d *Device) Fabric() *interconnect.Fabric { return d.fabric }
 func (d *Device) DMA() *interconnect.Port      { return d.fabPort }
@@ -205,7 +206,7 @@ const (
 )
 
 func (d *Device) sendHello() {
-	d.Send(msg.BusID, &msg.Hello{Role: d.cfg.Role, Name: d.cfg.Name, Services: append([]string(nil), d.svcOrder...)})
+	d.Send(msg.BusID, &msg.Hello{Role: d.cfg.Role, Name: d.cfg.Name, Services: append([]string(nil), d.svcOrder...), Incarnation: d.busPort.Incarnation()})
 	if d.helloTries >= helloRetryMax {
 		// Budget exhausted: give up rather than retry forever (an
 		// unbounded timer would keep the simulation from draining). The
@@ -275,6 +276,11 @@ func (d *Device) receive(env msg.Envelope) {
 			d.tr.Record(d.eng.Now(), d.cfg.Name, "", "resetting", "")
 			d.state = StateInit
 			d.eng.After(d.cfg.ResetDelay, func() {
+				// The revived device is a new incarnation: everything it
+				// sends from here on is stamped so the bus can fence the
+				// old life's in-flight messages. Pure port state — the
+				// restart itself adds no bus traffic.
+				d.busPort.NewIncarnation()
 				if d.OnReset != nil {
 					d.OnReset()
 				}

@@ -60,6 +60,7 @@ var registry = []entry{
 	{"E12", "Demand paging: eager vs first-touch backing (§4 page faults)", E12DemandPaging},
 	{"E13", "IOMMU huge pages: setup cost and TLB reach", E13HugePages},
 	{"E14", "Fault injection: init and steady-state KVS under message loss", E14FaultTolerance},
+	{"E15", "Crash-restart-rejoin: chaos schedules over both control planes", E15CrashRecovery},
 }
 
 // IDs lists all experiment identifiers in order.

@@ -17,6 +17,7 @@ package iommu
 
 import (
 	"fmt"
+	"sort"
 
 	"nocpu/internal/physmem"
 )
@@ -179,6 +180,18 @@ func (u *IOMMU) Stats() Stats { return u.st }
 
 // Contexts returns the number of live PASID contexts.
 func (u *IOMMU) Contexts() int { return len(u.ctx) }
+
+// PASIDs lists the live contexts in ascending order — the enumeration a
+// (re)booting kernel needs to reinitialize translation hardware it drives
+// by MMIO.
+func (u *IOMMU) PASIDs() []PASID {
+	out := make([]PASID, 0, len(u.ctx))
+	for p := range u.ctx {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // HasContext reports whether the PASID has an address space.
 func (u *IOMMU) HasContext(p PASID) bool {

@@ -94,6 +94,12 @@ type Store struct {
 	cache      *valueCache      // nil when disabled
 	snap       smartnic.FileAPI // nil when snapshots disabled
 
+	// epoch counts Boot calls. The NIC re-Boots the store after a crash
+	// recovery; timers armed by the previous life capture their epoch and
+	// bail if the store has since been reborn, so a stale reconnect can
+	// never race the new life's own connect sequence.
+	epoch uint64
+
 	// OnReady fires whenever the store (re)connects and finishes
 	// recovery; err != nil reports a failed boot.
 	OnReady func(error)
@@ -132,9 +138,21 @@ func (s *Store) Stats() Stats { return s.stats }
 func (s *Store) Keys() int { return len(s.index) }
 
 // Boot implements smartnic.App: run the Figure-2 sequence, then recover
-// the index from the data file.
+// the index from the data file. On a re-Boot (the NIC crashed and
+// rejoined) every piece of NIC-resident state is volatile and starts
+// over; only the log on the SSD survives, and recover() rebuilds from it.
 func (s *Store) Boot(rt *smartnic.Runtime) {
+	s.epoch++
 	s.rt = rt
+	s.ready = false
+	s.compacting = false
+	s.fc = nil
+	s.snap = nil
+	s.index = make(map[string]loc)
+	s.fileEnd = 0
+	if s.cache != nil {
+		s.cache.clear()
+	}
 	rt.OnResourceError = func(e *msg.ErrorNotify) {
 		// The provider reset our resource (§4): drop to unavailable and
 		// reconnect.
@@ -218,8 +236,9 @@ func (s *Store) finishConnect() {
 }
 
 func (s *Store) scheduleReconnect() {
+	epoch := s.epoch
 	s.rt.Engine().After(s.cfg.RetryEvery, func() {
-		if s.ready {
+		if epoch != s.epoch || s.ready {
 			return
 		}
 		s.connect()

@@ -28,7 +28,7 @@ var Layering = &analysis.Analyzer{
 // allowed. The tiers, bottom-up:
 //
 //	leaves   msg, sim, physmem            (import nothing in-module)
-//	infra    trace, metrics, iommu, faultinject, netsim,
+//	infra    trace, metrics, iommu, faultinject, netsim, chaos,
 //	         interconnect, virtio, bus
 //	devices  device, smartssd, smartnic, memctrl, accel
 //	kernel   centralos                    (baseline; may drive smartssd)
@@ -54,6 +54,7 @@ var layerDAG = map[string][]string{
 	"nocpu/internal/iommu":       {"nocpu/internal/physmem"},
 	"nocpu/internal/faultinject": {"nocpu/internal/msg", "nocpu/internal/sim"},
 	"nocpu/internal/netsim":      {"nocpu/internal/metrics", "nocpu/internal/sim"},
+	"nocpu/internal/chaos":       {"nocpu/internal/faultinject", "nocpu/internal/sim"},
 	"nocpu/internal/interconnect": {
 		"nocpu/internal/faultinject", "nocpu/internal/iommu", "nocpu/internal/msg",
 		"nocpu/internal/physmem", "nocpu/internal/sim",
@@ -118,11 +119,11 @@ var layerDAG = map[string][]string{
 
 	// Experiment harness.
 	"nocpu/internal/exp": {
-		"nocpu/internal/bus", "nocpu/internal/core", "nocpu/internal/faultinject",
-		"nocpu/internal/iommu", "nocpu/internal/kvs", "nocpu/internal/metrics",
-		"nocpu/internal/msg", "nocpu/internal/netsim", "nocpu/internal/physmem",
-		"nocpu/internal/sim", "nocpu/internal/smartnic", "nocpu/internal/smartssd",
-		"nocpu/internal/trace",
+		"nocpu/internal/bus", "nocpu/internal/chaos", "nocpu/internal/core",
+		"nocpu/internal/faultinject", "nocpu/internal/iommu", "nocpu/internal/kvs",
+		"nocpu/internal/metrics", "nocpu/internal/msg", "nocpu/internal/netsim",
+		"nocpu/internal/physmem", "nocpu/internal/sim", "nocpu/internal/smartnic",
+		"nocpu/internal/smartssd", "nocpu/internal/trace",
 	},
 
 	// The linter itself (host tooling).

@@ -113,7 +113,39 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 	d.Handle(msg.KindAllocReq, c.onAlloc)
 	d.Handle(msg.KindFreeReq, c.onFree)
 	d.Handle(msg.KindAuthReq, c.onAuth)
+	d.OnReset = c.onReset
 	return c, nil
+}
+
+// onReset recovers from a controller crash. The allocation table and the
+// free-replay log live in the controller's persistent table memory (§2.4's
+// discrete controller keeps its state with the DRAM it manages, not with
+// any host) — losing them would leak every live frame forever, since no
+// other component knows the frame lists. What a crash does destroy is the
+// volatile derived state: the per-app accounting is rebuilt here by
+// walking the table, and any request in the processing queue died with the
+// engine (requesters retransmit; alloc and free replays are idempotent).
+func (c *Controller) onReset() {
+	c.appBytes = make(map[msg.AppID]uint64)
+	var live uint64
+	for _, app := range c.sortedApps() {
+		for _, base := range sortedBases(c.table[app]) {
+			a := c.table[app][base]
+			c.appBytes[app] += a.bytes
+			live += a.bytes
+		}
+	}
+	c.stats.BytesLive = live
+}
+
+// sortedApps iterates the table's apps in id order for determinism.
+func (c *Controller) sortedApps() []msg.AppID {
+	apps := make([]msg.AppID, 0, len(c.table))
+	for app := range c.table {
+		apps = append(apps, app)
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+	return apps
 }
 
 // Device exposes the chassis (Start, state).

@@ -1,0 +1,154 @@
+package msg
+
+// Regenerates the FuzzDecode seed corpus under testdata/fuzz/FuzzDecode.
+// The corpus stores raw wire bytes, so any envelope-header change (such
+// as the incarnation stamp) invalidates the per-kind seeds; run
+//
+//	NOCPU_REGEN_CORPUS=1 go test -run TestRegenerateFuzzCorpus ./internal/msg
+//
+// after a wire-format change and commit the result. The format-agnostic
+// adversarial seeds (empty input, short header, unknown kind) are
+// regenerated too so the whole directory stays reproducible from this
+// one function.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func corpusEntry(b []byte) string {
+	return "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+}
+
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("NOCPU_REGEN_CORPUS") == "" {
+		t.Skip("set NOCPU_REGEN_CORPUS=1 to rewrite testdata/fuzz/FuzzDecode")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, b []byte) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(corpusEntry(b)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One valid encoding per message kind, from the round-trip fixtures.
+	for i, m := range allMessages() {
+		env := Envelope{Src: 1, Dst: 2, Seq: 9, Inc: 1, Msg: m}
+		write(fmt.Sprintf("seed-%02d-%s", i, m.Kind()), env.Encode())
+	}
+
+	// Adversarial seeds: structurally interesting inputs the mutator
+	// should start from.
+	write("seed-nack-of-nack", Envelope{Src: 1, Dst: 2, Seq: 3,
+		Msg: &Nack{Of: KindNack, Seq: 2, Dst: 3, Code: NackDeadDst, Reason: "nacked nack"}}.Encode())
+
+	// A Nack whose reason-string length claims more bytes than exist
+	// (payload-length field adjusted to match, so the string reader is
+	// what fails).
+	{
+		var pw writer
+		pw.u16(uint16(KindOpenReq))
+		pw.u32(7)
+		pw.u16(4)
+		pw.u8(uint8(NackDeadDst))
+		pw.u16(200) // reason claims 200 bytes...
+		pw.buf = append(pw.buf, []byte("shrt")...)
+		var w writer
+		w.u16(1)
+		w.u16(2)
+		w.u16(uint16(KindNack))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-nack-truncated", w.buf)
+	}
+
+	write("seed-heartbeat-maxseq", Envelope{Src: 1, Dst: BusID, Seq: 0xFFFFFFFF, Inc: 0xFFFFFFFF,
+		Msg: &Heartbeat{Seq: ^uint64(0)}}.Encode())
+
+	{
+		long := make([]byte, 300)
+		for i := range long {
+			long[i] = 'r'
+		}
+		write("seed-reset-longreason", Envelope{Src: BusID, Dst: 4, Seq: 1,
+			Msg: &Reset{Reason: string(long)}}.Encode())
+	}
+
+	write("seed-resetdone-trailing", append(Envelope{Src: 4, Dst: BusID, Seq: 1, Inc: 2,
+		Msg: &ResetDone{}}.Encode(), 0xAA))
+
+	// New-form adversarial seeds (incarnation field, state reconciliation).
+	// A Hello whose trailing incarnation field is truncated mid-u32: the
+	// payload length admits 2 extra bytes, the optional-field reader wants 4.
+	{
+		var pw writer
+		pw.u8(uint8(RoleNIC))
+		pw.str("nic0")
+		pw.u16(0)
+		pw.buf = append(pw.buf, 0x02, 0x00) // half an incarnation
+		var w writer
+		w.u16(1)
+		w.u16(uint16(BusID))
+		w.u16(uint16(KindHello))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(1)
+		w.u32(1)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-hello-inc-truncated", w.buf)
+	}
+
+	// A StateResp claiming 0xFFF0 regions in a 6-byte payload: the
+	// region-count bomb guard must refuse without allocating.
+	{
+		var pw writer
+		pw.u32(1)
+		pw.u16(0xFFF0)
+		var w writer
+		w.u16(uint16(BusID))
+		w.u16(3)
+		w.u16(uint16(KindStateResp))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-stateresp-bomb", w.buf)
+	}
+
+	// Format-agnostic adversarial seeds.
+	write("seed-empty", []byte{})
+	write("seed-shorthdr", []byte{1, 0, 2, 0})
+	{
+		env := Envelope{Src: 1, Dst: 2, Seq: 1, Msg: &Heartbeat{Seq: 1}}.Encode()
+		env[4], env[5] = 0xEE, 0xEE
+		write("seed-badkind", env)
+	}
+	{
+		// AllocResp frame-count bomb: claimed 0xFFFFFFF0 frames, no data.
+		var pw writer
+		pw.u32(1)
+		pw.u8(1)
+		pw.u16(0)
+		pw.u64(0)
+		pw.u32(0xFFFFFFF0)
+		var w writer
+		w.u16(1)
+		w.u16(2)
+		w.u16(uint16(KindAllocResp))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-bomb", w.buf)
+	}
+}

@@ -25,8 +25,14 @@ func FuzzDecode(f *testing.F) {
 	// Adversarial seeds: empty, short header, bad kind, length bomb.
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 2, 0})
-	f.Add([]byte{1, 0, 2, 0, 0xEE, 0xEE, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 0, 2, 0, 0xEE, 0xEE, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+	// New wire forms: a rejoin Hello carrying its trailing incarnation
+	// field, and a state-reconciliation answer with grantee lists.
+	f.Add(Envelope{Src: 1, Dst: BusID, Seq: 2, Inc: 1,
+		Msg: &Hello{Role: RoleNIC, Name: "nic0", Incarnation: 1}}.Encode())
+	f.Add(Envelope{Src: BusID, Dst: 1, Seq: 3,
+		Msg: &StateResp{Nonce: 1, Regions: []OwnedRegion{{App: 1, VA: 0x1000, Pages: 1, Grantees: []DeviceID{2}}}}}.Encode())
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		env, err := Decode(b)
@@ -37,7 +43,7 @@ func FuzzDecode(f *testing.F) {
 		if err2 != nil {
 			t.Fatalf("re-decode of valid envelope failed: %v", err2)
 		}
-		if again.Src != env.Src || again.Dst != env.Dst || again.Seq != env.Seq {
+		if again.Src != env.Src || again.Dst != env.Dst || again.Seq != env.Seq || again.Inc != env.Inc {
 			t.Fatalf("header not stable: %+v vs %+v", again, env)
 		}
 		if !reflect.DeepEqual(again.Msg, env.Msg) {

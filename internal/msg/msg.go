@@ -123,6 +123,13 @@ const (
 	KindDeviceFailed // bus → broadcast: a device died
 	KindNack         // bus → sender: your message could not be delivered
 
+	// Crash recovery (§4). A device revived by a bus Reset asks the bus
+	// which of its resources survived the outage; the bus answers from
+	// its management tables (ownerships and grants are bus state, so no
+	// other device needs to be consulted).
+	KindStateQuery // revived device → bus: which of my regions survived?
+	KindStateResp  // bus → device: surviving regions and their grantees
+
 	kindMax
 )
 
@@ -142,6 +149,7 @@ var kindNames = map[Kind]string{
 	KindFileIOReq: "fileio.req", KindFileIOResp: "fileio.resp",
 	KindErrorNotify: "error.notify", KindDeviceFailed: "device.failed",
 	KindNack: "nack",
+	KindStateQuery: "state.query", KindStateResp: "state.resp",
 }
 
 func (k Kind) String() string {
@@ -164,15 +172,22 @@ type Message interface {
 // untagged). Receivers use it to suppress duplicates the fabric may
 // inject (see DedupWindow); retransmitted requests carry fresh tags and
 // rely on application-level idempotency instead.
+//
+// Inc is the sender's incarnation (boot count), also stamped by the
+// port. A device revived after a crash bumps its incarnation, letting
+// the bus fence any of the previous life's messages still in flight —
+// their payloads may describe state that died with the old incarnation.
+// 0 means the sender has never crashed.
 type Envelope struct {
 	Src DeviceID
 	Dst DeviceID
 	Seq uint32
+	Inc uint32
 	Msg Message
 }
 
 // Encode serializes the envelope: header (src, dst, kind, payload length,
-// sequence tag) followed by the payload.
+// sequence tag, incarnation) followed by the payload.
 func (e Envelope) Encode() []byte {
 	var pw writer
 	e.Msg.encode(&pw)
@@ -182,6 +197,7 @@ func (e Envelope) Encode() []byte {
 	w.u16(uint16(e.Msg.Kind()))
 	w.u32(uint32(len(pw.buf)))
 	w.u32(e.Seq)
+	w.u32(e.Inc)
 	w.buf = append(w.buf, pw.buf...)
 	return w.buf
 }
@@ -194,6 +210,7 @@ func Decode(b []byte) (Envelope, error) {
 	kind := Kind(r.u16())
 	n := r.u32()
 	seq := r.u32()
+	inc := r.u32()
 	if r.err != nil {
 		return Envelope{}, fmt.Errorf("msg: short header: %w", r.err)
 	}
@@ -211,15 +228,16 @@ func Decode(b []byte) (Envelope, error) {
 	if r.off != len(r.buf) {
 		return Envelope{}, fmt.Errorf("msg: %d trailing bytes after %v", len(r.buf)-r.off, kind)
 	}
-	return Envelope{Src: src, Dst: dst, Seq: seq, Msg: m}, nil
+	return Envelope{Src: src, Dst: dst, Seq: seq, Inc: inc, Msg: m}, nil
 }
 
 // EncodedSize returns the wire size a message is charged for in
-// transfer-time accounting. The link-layer sequence tag is excluded —
-// like an Ethernet preamble it is fabric framing, not payload — so bus
-// timing is independent of whether ports stamp tags.
+// transfer-time accounting. The link-layer sequence tag and incarnation
+// stamp are excluded — like an Ethernet preamble they are fabric
+// framing, not payload — so bus timing is independent of whether ports
+// stamp tags.
 func EncodedSize(m Message) int {
 	var w writer
 	m.encode(&w)
-	return len(w.buf) + 10 // header minus the link-layer seq tag
+	return len(w.buf) + 10 // header minus the link-layer seq + inc tags
 }

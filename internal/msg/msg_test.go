@@ -11,7 +11,7 @@ import (
 // this list (see TestEveryKindCovered).
 func allMessages() []Message {
 	return []Message{
-		&Hello{Role: RoleStorage, Name: "ssd0", Services: []string{"file:kv.dat", "loader"}},
+		&Hello{Role: RoleStorage, Name: "ssd0", Services: []string{"file:kv.dat", "loader"}, Incarnation: 3},
 		&HelloAck{},
 		&Heartbeat{Seq: 42},
 		&Reset{Reason: "watchdog"},
@@ -42,6 +42,11 @@ func allMessages() []Message {
 		&ErrorNotify{App: 3, Resource: "fs0/kv.dat", Code: 5, Detail: "flash die failed"},
 		&DeviceFailed{Device: 4},
 		&Nack{Of: KindOpenReq, Seq: 77, Dst: 4, Code: NackDeadDst, Reason: "dev4 is failed"},
+		&StateQuery{Nonce: 19},
+		&StateResp{Nonce: 19, Regions: []OwnedRegion{
+			{App: 3, VA: 0x10000, Pages: 4, Grantees: []DeviceID{2, 5}},
+			{App: 3, VA: 0x40000, Pages: 512, Huge: true},
+		}},
 	}
 }
 
@@ -152,9 +157,75 @@ func TestStringFieldProperty(t *testing.T) {
 func TestEncodedSize(t *testing.T) {
 	m := &Heartbeat{Seq: 1}
 	env := Envelope{Src: 1, Dst: 2, Msg: m}
-	// EncodedSize excludes the 4-byte link-layer seq tag from accounting.
-	if EncodedSize(m) != len(env.Encode())-4 {
+	// EncodedSize excludes the link-layer seq tag and incarnation stamp
+	// (4 bytes each) from accounting.
+	if EncodedSize(m) != len(env.Encode())-8 {
 		t.Errorf("EncodedSize = %d, wire = %d", EncodedSize(m), len(env.Encode()))
+	}
+	// The incarnation stamp itself must not change accounted size either.
+	stamped := Envelope{Src: 1, Dst: 2, Seq: 9, Inc: 4, Msg: m}
+	if EncodedSize(m) != len(stamped.Encode())-8 {
+		t.Error("incarnation stamp leaked into EncodedSize accounting")
+	}
+}
+
+// TestHelloIncarnationBackwardCompat checks that the incarnation field
+// is a trailing optional: a pre-incarnation encoding (no trailing u32)
+// still decodes, and a first-boot Hello encodes without the field.
+func TestHelloIncarnationBackwardCompat(t *testing.T) {
+	old := &Hello{Role: RoleNIC, Name: "nic0", Services: []string{"net"}}
+	var pw writer
+	pw.u8(uint8(old.Role))
+	pw.str(old.Name)
+	pw.u16(1)
+	pw.str("net")
+	var w writer
+	w.u16(1)
+	w.u16(uint16(BusID))
+	w.u16(uint16(KindHello))
+	w.u32(uint32(len(pw.buf)))
+	w.u32(7) // seq
+	w.u32(0) // inc
+	w.buf = append(w.buf, pw.buf...)
+	env, err := Decode(w.buf)
+	if err != nil {
+		t.Fatalf("legacy Hello rejected: %v", err)
+	}
+	if got := env.Msg.(*Hello); got.Incarnation != 0 || got.Name != "nic0" {
+		t.Errorf("legacy Hello decoded wrong: %+v", got)
+	}
+	// Zero incarnation encodes to the legacy wire form exactly.
+	firstBoot := Envelope{Src: 1, Dst: BusID, Seq: 7, Msg: old}
+	if got := firstBoot.Encode(); string(got) != string(w.buf) {
+		t.Errorf("first-boot Hello not byte-identical to legacy form:\n got %x\nwant %x", got, w.buf)
+	}
+	// Nonzero incarnation round-trips.
+	rej := &Hello{Role: RoleNIC, Name: "nic0", Services: []string{"net"}, Incarnation: 2}
+	env, err = Decode(Envelope{Src: 1, Dst: BusID, Seq: 8, Msg: rej}.Encode())
+	if err != nil {
+		t.Fatalf("rejoin Hello rejected: %v", err)
+	}
+	if got := env.Msg.(*Hello).Incarnation; got != 2 {
+		t.Errorf("Incarnation = %d, want 2", got)
+	}
+}
+
+// TestStateRespBomb mirrors TestU64ListBomb for the region list: a
+// claimed huge region count with a tiny payload must error cleanly.
+func TestStateRespBomb(t *testing.T) {
+	var pw writer
+	pw.u32(1)      // Nonce
+	pw.u16(0xFFF0) // claimed region count
+	var w writer
+	w.u16(1)
+	w.u16(2)
+	w.u16(uint16(KindStateResp))
+	w.u32(uint32(len(pw.buf)))
+	w.u32(0)
+	w.u32(0)
+	w.buf = append(w.buf, pw.buf...)
+	if _, err := Decode(w.buf); err == nil {
+		t.Error("region-count bomb accepted")
 	}
 }
 
@@ -209,6 +280,8 @@ func TestU64ListBomb(t *testing.T) {
 	hdr.u16(2)
 	hdr.u16(uint16(KindAllocResp))
 	hdr.u32(uint32(len(payload)))
+	hdr.u32(0) // seq
+	hdr.u32(0) // inc
 	hdr.buf = append(hdr.buf, payload...)
 	if _, err := Decode(hdr.buf); err == nil {
 		t.Error("length bomb accepted")

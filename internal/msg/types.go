@@ -7,10 +7,17 @@ package msg
 // Hello announces a device after it passes self-test (§2.2 "System
 // Initialization"). Services lists what it exposes, but the bus does not
 // index them: discovery stays broadcast-based (no global state).
+//
+// Incarnation is the device's boot count: 0 on first power-on, bumped
+// by every crash recovery. It is a trailing optional field — encoded
+// only when nonzero — so a first-boot Hello is byte-identical to the
+// pre-incarnation wire form and old encodings still decode (with
+// Incarnation 0).
 type Hello struct {
-	Role     Role
-	Name     string
-	Services []string
+	Role        Role
+	Name        string
+	Services    []string
+	Incarnation uint32
 }
 
 func (*Hello) Kind() Kind { return KindHello }
@@ -20,6 +27,9 @@ func (m *Hello) encode(w *writer) {
 	w.u16(uint16(len(m.Services)))
 	for _, s := range m.Services {
 		w.str(s)
+	}
+	if m.Incarnation != 0 {
+		w.u32(m.Incarnation)
 	}
 }
 func (m *Hello) decode(r *reader) {
@@ -35,6 +45,9 @@ func (m *Hello) decode(r *reader) {
 		for i := range m.Services {
 			m.Services[i] = r.str()
 		}
+	}
+	if r.err == nil && r.off < len(r.buf) {
+		m.Incarnation = r.u32()
 	}
 }
 
@@ -694,6 +707,79 @@ func (m *Nack) decode(r *reader) {
 	m.Reason = r.str()
 }
 
+// StateQuery asks the bus which of the querying device's resources
+// survived its crash (§4 recovery). The bus alone keeps the management
+// tables (ownerships, grants), so a revived device reconciles against
+// the bus rather than polling every peer.
+type StateQuery struct{ Nonce uint32 }
+
+func (*StateQuery) Kind() Kind         { return KindStateQuery }
+func (m *StateQuery) encode(w *writer) { w.u32(m.Nonce) }
+func (m *StateQuery) decode(r *reader) { m.Nonce = r.u32() }
+
+// OwnedRegion is one surviving allocation reported in a StateResp: an
+// app region the queried device still owns, with the devices currently
+// holding grants on it.
+type OwnedRegion struct {
+	App      AppID
+	VA       uint64
+	Pages    uint32 // 4 KiB units
+	Huge     bool
+	Grantees []DeviceID
+}
+
+// StateResp is the bus's answer to a StateQuery, listing the surviving
+// regions in (app, va) order.
+type StateResp struct {
+	Nonce   uint32
+	Regions []OwnedRegion
+}
+
+func (*StateResp) Kind() Kind { return KindStateResp }
+func (m *StateResp) encode(w *writer) {
+	w.u32(m.Nonce)
+	w.u16(uint16(len(m.Regions)))
+	for _, reg := range m.Regions {
+		w.u32(uint32(reg.App))
+		w.u64(reg.VA)
+		w.u32(reg.Pages)
+		w.bool(reg.Huge)
+		w.u16(uint16(len(reg.Grantees)))
+		for _, g := range reg.Grantees {
+			w.u16(uint16(g))
+		}
+	}
+}
+func (m *StateResp) decode(r *reader) {
+	m.Nonce = r.u32()
+	n := int(r.u16())
+	if r.err != nil || n > len(r.buf) {
+		r.err = errShort // claimed count exceeds remaining bytes: bomb
+		return
+	}
+	if n > 0 {
+		m.Regions = make([]OwnedRegion, n)
+		for i := range m.Regions {
+			reg := &m.Regions[i]
+			reg.App = AppID(r.u32())
+			reg.VA = r.u64()
+			reg.Pages = r.u32()
+			reg.Huge = r.bool()
+			g := int(r.u16())
+			if r.err != nil || g > len(r.buf) {
+				r.err = errShort
+				return
+			}
+			if g > 0 {
+				reg.Grantees = make([]DeviceID, g)
+				for j := range reg.Grantees {
+					reg.Grantees[j] = DeviceID(r.u16())
+				}
+			}
+		}
+	}
+}
+
 // newMessage returns a zero value of the message type for kind, or nil
 // for an unknown kind.
 func newMessage(k Kind) Message {
@@ -758,6 +844,10 @@ func newMessage(k Kind) Message {
 		return &DeviceFailed{}
 	case KindNack:
 		return &Nack{}
+	case KindStateQuery:
+		return &StateQuery{}
+	case KindStateResp:
+		return &StateResp{}
 	}
 	return nil
 }

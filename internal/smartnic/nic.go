@@ -69,8 +69,13 @@ type NIC struct {
 	pendingConnect  map[uint32]func(*msg.ConnectResp)
 	pendingClose    map[uint32]func(*msg.CloseResp)
 	pendingIO       map[ioKey]func(*msg.FileIOResp)
+	pendingState    map[uint32]func(*msg.StateResp)
 	nextNonce       uint32
 	faultHandlerSet bool
+
+	// lastMemctrl remembers the controller the apps allocate through so
+	// rejoin() can free the previous incarnation's surviving regions.
+	lastMemctrl msg.DeviceID
 
 	// inflight maps each reliable request's last link-layer seq to its
 	// retrier so bus NACKs trigger fast retransmission (retry.go).
@@ -123,6 +128,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 		pendingConnect:  make(map[uint32]func(*msg.ConnectResp)),
 		pendingClose:    make(map[uint32]func(*msg.CloseResp)),
 		pendingIO:       make(map[ioKey]func(*msg.FileIOResp)),
+		pendingState:    make(map[uint32]func(*msg.StateResp)),
 		inflight:        make(map[uint32]*retrier),
 	}
 	d.Handle(msg.KindDiscoverResp, n.onDiscoverResp)
@@ -135,7 +141,9 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 	d.Handle(msg.KindFileIOResp, n.onFileIOResp)
 	d.Handle(msg.KindErrorNotify, n.onErrorNotify)
 	d.Handle(msg.KindNack, n.onNack)
+	d.Handle(msg.KindStateResp, n.onStateResp)
 	d.OnAlive = n.onAlive
+	d.OnReset = n.onReset
 	d.OnPeerFailed = n.onPeerFailed
 	return n, nil
 }
@@ -165,9 +173,13 @@ func (n *NIC) AddApp(a App) *Runtime {
 }
 
 func (n *NIC) onAlive() {
-	for _, id := range n.sortedAppIDs() {
-		n.apps[id].Boot(n.rts[id])
+	if n.dev.Incarnation() > 0 {
+		// Coming back from a crash: reconcile with the bus before the apps
+		// boot (recovery.go).
+		n.rejoin()
+		return
 	}
+	n.bootApps()
 }
 
 func (n *NIC) onPeerFailed(dev msg.DeviceID) {

@@ -39,13 +39,21 @@ type Runtime struct {
 	lazyMemctrl   msg.DeviceID
 	lazyAllocs    int
 	pendingFaults map[uint64][]func(error)
+
+	// conns tracks the app's open connections so a crash reset can quiesce
+	// their virtqueues (recovery.go).
+	conns []*Connection
 }
+
+// vaBase is where each app's bump allocator starts; low VAs stay unused to
+// catch bugs.
+const vaBase = 0x1000_0000
 
 func newRuntime(n *NIC, app msg.AppID) *Runtime {
 	return &Runtime{
 		nic:             n,
 		app:             app,
-		nextVA:          0x1000_0000, // leave low VAs unused to catch bugs
+		nextVA:          vaBase,
 		DiscoverTimeout: 10 * sim.Millisecond,
 		Retry:           DefaultRetryPolicy,
 		pendingFaults:   make(map[uint64][]func(error)),
@@ -95,6 +103,7 @@ func (rt *Runtime) Discover(query string, cb func(provider msg.DeviceID, service
 // before the response arrives (§3 step 6).
 func (rt *Runtime) AllocShared(memctrl msg.DeviceID, bytes uint64, cb func(va uint64, err error)) {
 	n := rt.nic
+	n.lastMemctrl = memctrl
 	va := rt.reserveVA(bytes)
 	k := allocKey{rt.app, va}
 	r := n.newRetrier(rt.Retry, fmt.Sprintf("alloc of %d bytes", bytes), memctrl, func() uint32 {
@@ -120,6 +129,7 @@ func (rt *Runtime) AllocShared(memctrl msg.DeviceID, bytes uint64, cb func(va ui
 // cutting table-programming cost ~512x and extending TLB reach (E13).
 func (rt *Runtime) AllocSharedHuge(memctrl msg.DeviceID, bytes uint64, cb func(va uint64, err error)) {
 	n := rt.nic
+	n.lastMemctrl = memctrl
 	// Round the reservation so the next region stays huge-aligned.
 	runs := (bytes + iommu.HugePageSize - 1) / iommu.HugePageSize
 	va := rt.nextVA
@@ -296,7 +306,7 @@ func (rt *Runtime) OpenService(memctrl msg.DeviceID, query string, token uint64,
 							return
 						}
 						drv.SetRequestBell(bell)
-						cb(&Connection{
+						conn := &Connection{
 							rt:       rt,
 							Provider: provider,
 							Service:  service,
@@ -304,7 +314,9 @@ func (rt *Runtime) OpenService(memctrl msg.DeviceID, query string, token uint64,
 							VA:       va,
 							Bytes:    shared,
 							Queue:    drv,
-						}, nil)
+						}
+						rt.conns = append(rt.conns, conn)
+						cb(conn, nil)
 					}
 					rc.start()
 				})
@@ -334,11 +346,13 @@ func (c *Connection) Close(cb func(error)) {
 		delete(n.pendingClose, c.ConnID)
 		// The provider is unreachable; release the local half regardless.
 		n.dev.Fabric().UnregisterDoorbell(c.Queue.RespBell)
+		c.rt.forgetConn(c)
 		cb(err)
 	}
 	n.pendingClose[c.ConnID] = func(m *msg.CloseResp) {
 		r.stop()
 		n.dev.Fabric().UnregisterDoorbell(c.Queue.RespBell)
+		c.rt.forgetConn(c)
 		if !m.OK {
 			cb(fmt.Errorf("smartnic: close refused"))
 			return
@@ -346,4 +360,14 @@ func (c *Connection) Close(cb func(error)) {
 		cb(nil)
 	}
 	r.start()
+}
+
+// forgetConn drops a closed connection from the crash-teardown list.
+func (rt *Runtime) forgetConn(c *Connection) {
+	for i, x := range rt.conns {
+		if x == c {
+			rt.conns = append(rt.conns[:i], rt.conns[i+1:]...)
+			return
+		}
+	}
 }

@@ -32,9 +32,12 @@ type FileAPI interface {
 	Fail(err error)
 }
 
-// Fail implements FileAPI for the mediated client. The kernel is assumed
-// reliable in the baseline, so there is nothing to abort.
-func (m *mediatedFile) Fail(err error) {}
+// Fail implements FileAPI for the mediated client: the kernel died, the
+// handle it issued is gone, and every subsequent syscall on it must fail
+// fast so the owner reopens through the rebooted kernel. In-flight
+// retriers drain on their own — the revived kernel answers an unknown
+// handle with StatusBadRequest.
+func (m *mediatedFile) Fail(err error) { m.dead = true }
 
 // Provider implements FileAPI for the peer-to-peer client.
 func (fc *FileClient) Provider() msg.DeviceID { return fc.Conn.Provider }
@@ -151,12 +154,17 @@ type mediatedFile struct {
 	handle uint32
 	maxIO  int
 	seq    uint32
+	dead   bool
 }
 
 func (m *mediatedFile) Provider() msg.DeviceID { return m.kernel }
 func (m *mediatedFile) MaxIO() int             { return m.maxIO }
 
 func (m *mediatedFile) call(op smartssd.FileOp, off uint64, n uint32, data []byte, cb func(*msg.FileIOResp, error)) {
+	if m.dead {
+		cb(nil, fmt.Errorf("smartnic: mediated handle %d is dead", m.handle))
+		return
+	}
 	nic := m.rt.nic
 	m.seq++
 	seq := m.seq

@@ -107,6 +107,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 	d.Handle(msg.KindLoadReq, s.onLoad)
 	d.OnAlive = s.onAlive
 	d.OnReset = s.onReset
+	d.OnPeerFailed = s.onPeerFailed
 	return s, nil
 }
 
@@ -197,6 +198,22 @@ func (s *SSD) onAlive() {
 func (s *SSD) onReset() {
 	s.ready = false
 	s.dropConns()
+}
+
+// onPeerFailed drops connections whose client died (DeviceFailed
+// broadcast): their requests will never be reaped, and a revived client
+// opens fresh connections rather than resuming these.
+func (s *SSD) onPeerFailed(peer msg.DeviceID) {
+	for _, id := range s.sortedConnIDs() {
+		c := s.conns[id]
+		if c.client != peer {
+			continue
+		}
+		if c.ep != nil {
+			s.dev.Fabric().UnregisterDoorbell(c.ep.ReqBell)
+		}
+		delete(s.conns, id)
+	}
 }
 
 // onLoad services the loader: authenticated image upload into the

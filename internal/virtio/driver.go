@@ -131,6 +131,23 @@ func (d *Driver) Dead() bool { return d.dead }
 // broadcast) that the peer is gone and replies will never arrive.
 func (d *Driver) Abort(err error) { d.fail(err) }
 
+// Quiesce kills the queue without running any completion callback — for
+// the case where the driver's *owner* crashed: the pending continuations
+// belong to the dead incarnation and must never fire. The response
+// doorbell is unregistered so the fabric slot is reclaimed.
+func (d *Driver) Quiesce() {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	d.pending = make(map[uint16]func([]byte, error))
+	if d.flushTimer != nil {
+		d.flushTimer.Stop()
+		d.flushTimer = nil
+	}
+	d.port.Fabric().UnregisterDoorbell(d.RespBell)
+}
+
 // Submit posts one request. The response buffer is the pair's second
 // cell; done receives the endpoint's response bytes. Submit returns an
 // error synchronously when the request cannot be posted (queue full,
