@@ -1,11 +1,12 @@
 # Build/verification entry points. `make check` is the full gate used
 # before merging: vet, the nocpu-lint analyzer suite, build, race-enabled
-# tests, a short fuzz run of the wire-format decoder, and the E15 chaos
-# tier (seeded crash schedules under race).
+# tests, a short fuzz run of the wire-format decoder, the E15 chaos tier
+# (seeded crash schedules under race), and the E16 overload tier (seeded
+# open-loop load ramps under race).
 
 GO ?= go
 
-.PHONY: build test vet lint race fuzz chaos check bench tables
+.PHONY: build test vet lint race fuzz chaos overload check bench tables
 
 build:
 	$(GO) build ./...
@@ -38,11 +39,18 @@ chaos:
 	$(GO) test -race -run 'TestE15' ./internal/exp
 	$(GO) test -race ./internal/chaos
 
-check: vet lint build race fuzz chaos
+# Overload tier (E16): seeded open-loop load ramps over every machine
+# flavor under the race detector, plus the overload-harness unit tests.
+# Seeds are fixed, so failures reproduce bit-for-bit.
+overload:
+	$(GO) test -race -run 'TestE16' ./internal/exp
+	$(GO) test -race ./internal/overload
+
+check: vet lint build race fuzz chaos overload
 
 bench:
 	$(GO) test -run=^$$ -bench . -benchtime=100x .
 
-# Regenerate all experiment tables (E1-E15).
+# Regenerate all experiment tables (E1-E16).
 tables:
 	$(GO) run ./cmd/nocpu-bench

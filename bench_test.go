@@ -16,6 +16,7 @@ import (
 	"nocpu/internal/iommu"
 	"nocpu/internal/kvs"
 	"nocpu/internal/msg"
+	"nocpu/internal/overload"
 	"nocpu/internal/sim"
 	"nocpu/internal/smartnic"
 	"nocpu/internal/smartssd"
@@ -774,4 +775,62 @@ func BenchmarkE15CrashRejoin(b *testing.B) {
 		b.Fatalf("rejoins = %d, want >= %d", got, b.N)
 	}
 	reportVirtual(b, start, sys)
+}
+
+// BenchmarkE16Overload drives one open-loop window at 2× saturation
+// against a machine with every overload defense armed — the overload the
+// E16 ramp sweeps at full scale. Each iteration is one 2 ms window;
+// goodput/s is the within-deadline completion rate of the final window
+// (short windows are transient-heavy — the steady-state curves are the
+// E16 tables). The Q3 check inside the loop asserts no request is ever
+// silently lost, even at 2× offered load.
+func BenchmarkE16Overload(b *testing.B) {
+	opts := core.Options{Flavor: core.Decentralized, Seed: 16, NoTrace: true}
+	opts.Bus = bus.DefaultConfig
+	opts.Bus.CreditWindow = 32
+	opts.Bus.IngressBound = 64
+	opts.Costs.DMAWindow = 256
+	opts.NIC.RxQueueBound = 128
+	rig := newBenchRig(b, opts, core.KVSOptions{QueueEntries: 128, InflightBound: 32})
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		rig.op(b, kvs.Request{Op: kvs.OpPut, Key: fmt.Sprintf("key-%05d", i), Value: make([]byte, 64)})
+	}
+	plan := overload.Plan{
+		Seed:        16,
+		Saturation:  100_000, // ≈ the E16-calibrated saturation of this flavor
+		Multipliers: []float64{2},
+		Window:      2 * sim.Millisecond,
+		Deadline:    sim.Millisecond,
+	}.MustCompile()
+	target := func(p []byte, reply func([]byte)) {
+		rig.sys.NIC().Deliver(rig.store.AppID(), p, reply)
+	}
+	classify := func(resp []byte) overload.Outcome {
+		r, err := kvs.DecodeResponse(resp)
+		if err != nil || r.Status == kvs.StatusError {
+			return overload.OutcomeError
+		}
+		if r.Status == kvs.StatusShed {
+			return overload.OutcomeShed
+		}
+		return overload.OutcomeOK
+	}
+	gen := func(rd *sim.Rand, seq uint64, deadline uint64) []byte {
+		return kvs.EncodeRequest(kvs.Request{
+			Op: kvs.OpGet, Key: fmt.Sprintf("key-%05d", rd.Intn(keys)), Deadline: deadline,
+		})
+	}
+	b.ResetTimer()
+	start := rig.sys.Eng.Now()
+	var goodput float64
+	for i := 0; i < b.N; i++ {
+		res := plan.RunStep(0, rig.sys.Eng, target, gen, classify)
+		if res.Resolved() != res.Sent {
+			b.Fatalf("%d of %d requests unresolved (Q3)", res.Sent-res.Resolved(), res.Sent)
+		}
+		goodput = res.Goodput
+	}
+	b.ReportMetric(goodput, "goodput/s")
+	reportVirtual(b, start, rig.sys)
 }

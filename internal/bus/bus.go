@@ -26,6 +26,7 @@ import (
 
 	"nocpu/internal/faultinject"
 	"nocpu/internal/iommu"
+	"nocpu/internal/metrics"
 	"nocpu/internal/msg"
 	"nocpu/internal/physmem"
 	"nocpu/internal/sim"
@@ -50,6 +51,18 @@ type Config struct {
 	// WatchdogTimeout marks a device failed when no heartbeat arrives
 	// within it. 0 disables the watchdog.
 	WatchdogTimeout sim.Duration
+	// CreditWindow enables credit-based flow control when > 0: each
+	// attached port may have at most CreditWindow envelopes absorbed by
+	// the bus but not yet re-credited; further Sends stall in a bounded
+	// port-local FIFO until the bus returns credit (CreditUpdate). 0
+	// disables flow control — infinite credits, the pre-overload
+	// behavior, byte-identical traces.
+	CreditWindow int
+	// IngressBound bounds the bus's processing backlog when > 0: an
+	// arriving envelope that would push the backlog past the bound is
+	// refused with a NackOverload back to its sender instead of queueing
+	// without limit. 0 means unbounded.
+	IngressBound int
 }
 
 // DefaultConfig models a microcontroller-class bus: 1 µs hops, 500 MB/s,
@@ -93,6 +106,17 @@ type Stats struct {
 	// Rejoins counts devices that re-enrolled (Hello or ResetDone) after
 	// having been marked failed.
 	Rejoins uint64
+	// CreditUpdates counts window replenishments the bus issued.
+	CreditUpdates uint64
+	// CreditStalls counts sends that waited in a port's stall queue for
+	// credit instead of going straight to the wire.
+	CreditStalls uint64
+	// StallDropped counts sends discarded because a port's bounded stall
+	// queue overflowed (the sender's timeout recovers them).
+	StallDropped uint64
+	// IngressShed counts envelopes refused at the ingress bound with a
+	// NackOverload.
+	IngressShed uint64
 }
 
 // Handler receives messages delivered to a device.
@@ -113,6 +137,9 @@ type attachment struct {
 	// device dead, for rejoin accounting and outage measurement.
 	failed   bool
 	failedAt sim.Time
+	// creditsUsed counts envelopes absorbed from this device since the
+	// last CreditUpdate; at half a window the bus returns the credit.
+	creditsUsed int
 	// mmuEngine models the device-side IOMMU command interface: table
 	// programming serializes per device but runs in parallel across
 	// devices (the bus only dispatches commands).
@@ -163,6 +190,10 @@ type Bus struct {
 	dedup msg.DedupWindow
 	// busSeq tags bus-originated messages.
 	busSeq uint32
+
+	// ingressG tracks the processing backlog against IngressBound for
+	// the overload audit's Q1 invariant.
+	ingressG *metrics.Gauge
 
 	stats Stats
 }
@@ -217,6 +248,7 @@ func New(eng *sim.Engine, cfg Config, tr *trace.Tracer) *Bus {
 		grants:        make(map[ownerKey][]grantRec),
 		pendingGrants: make(map[uint32]pendingGrant),
 	}
+	b.ingressG = metrics.NewGauge(cfg.IngressBound)
 	if cfg.WatchdogTimeout > 0 {
 		b.scheduleWatchdog()
 	}
@@ -238,6 +270,14 @@ type Port struct {
 	id      msg.DeviceID
 	nextSeq uint32
 	inc     uint32
+	// credits is the remaining send allowance when flow control is on
+	// (Config.CreditWindow > 0); the bus returns spent credit with
+	// CreditUpdate messages.
+	credits int
+	// stalled holds sends awaiting credit, FIFO, bounded at 4× the
+	// window; overflow drops deterministically (timeouts recover).
+	stalled []func()
+	stallG  *metrics.Gauge
 }
 
 // ID returns the attached device's bus address.
@@ -254,6 +294,11 @@ func (p *Port) Incarnation() uint32 { return p.inc }
 func (p *Port) NewIncarnation() uint32 {
 	p.inc++
 	p.nextSeq = 0
+	// The old life's stalled sends died with it; the new life starts
+	// with a full window (the bus resets its side on rejoin).
+	p.stalled = nil
+	p.stallG.Set(0)
+	p.credits = p.bus.cfg.CreditWindow
 	return p.inc
 }
 
@@ -275,7 +320,9 @@ func (b *Bus) Attach(id msg.DeviceID, name string, role msg.Role, mmu *iommu.IOM
 		b.memctrl = id
 	}
 	b.devices[id] = &attachment{id: id, name: name, role: role, handler: h, mmu: mmu, mmuEngine: sim.NewServer(b.eng)}
-	return &Port{bus: b, id: id}, nil
+	p := &Port{bus: b, id: id, credits: b.cfg.CreditWindow}
+	p.stallG = metrics.NewGauge(p.stallBound())
+	return p, nil
 }
 
 // nameOf returns a device's name for tracing.
@@ -301,26 +348,124 @@ func (p *Port) Send(dst msg.DeviceID, m msg.Message) uint32 {
 	b := p.bus
 	p.nextSeq++
 	env := msg.Envelope{Src: p.id, Dst: dst, Seq: p.nextSeq, Inc: p.inc, Msg: m}
-	size := msg.EncodedSize(m)
+	if b.cfg.CreditWindow > 0 {
+		if p.credits == 0 {
+			// Out of credits: stall instead of flooding the wire. The
+			// stall queue is itself bounded; past the bound the send is
+			// dropped here, deterministically, and the sender's timeout
+			// recovers — exactly as for a wire loss.
+			if len(p.stalled) >= p.stallBound() {
+				b.stats.StallDropped++
+				return env.Seq
+			}
+			b.stats.CreditStalls++
+			p.stalled = append(p.stalled, func() { p.transmit(env) })
+			p.stallG.Set(len(p.stalled))
+			return env.Seq
+		}
+		p.credits--
+	}
+	p.transmit(env)
+	return env.Seq
+}
+
+// transmit puts a stamped envelope on the device→bus wire.
+func (p *Port) transmit(env msg.Envelope) {
+	b := p.bus
+	size := msg.EncodedSize(env.Msg)
 	wire := b.cfg.HopLatency + sim.Duration(float64(size)/b.cfg.BytesPerNs)
-	d := b.plane.Filter(faultinject.LayerBus, b.eng.Now(), env.Src, dst, m.Kind())
+	d := b.plane.Filter(faultinject.LayerBus, b.eng.Now(), env.Src, env.Dst, env.Msg.Kind())
 	if d.Op == faultinject.Drop {
-		return env.Seq // lost on the wire; the sender's timeout recovers
+		return // lost on the wire; the sender's timeout recovers
 	}
 	if d.Op == faultinject.Delay || d.Op == faultinject.Reorder {
 		wire += d.Delay
 	}
 	submit := func() {
 		b.eng.After(wire, func() {
+			if bound := b.cfg.IngressBound; bound > 0 && b.proc.Pending() >= bound {
+				b.shedIngress(env)
+				return
+			}
 			b.proc.Submit(b.cfg.ProcPerMsg, func() { b.process(env) })
+			b.ingressG.Set(b.proc.Pending())
 		})
 	}
 	submit()
 	if d.Op == faultinject.Dup {
 		submit() // identical envelope, same seq: the dedup window eats it
 	}
-	return env.Seq
 }
+
+// stallBound is the port stall queue's capacity: four windows' worth of
+// backlog, enough to ride out a replenishment round trip at full rate.
+func (p *Port) stallBound() int { return 4 * p.bus.cfg.CreditWindow }
+
+// AddCredits returns n spent credits to the port (the payload of a bus
+// CreditUpdate), saturating at the configured window, then drains
+// stalled sends in FIFO order — each drained send spends one of the
+// fresh credits.
+func (p *Port) AddCredits(n uint32) {
+	w := p.bus.cfg.CreditWindow
+	if w <= 0 {
+		return
+	}
+	p.credits += int(n)
+	if p.credits > w {
+		p.credits = w
+	}
+	for p.credits > 0 && len(p.stalled) > 0 {
+		tx := p.stalled[0]
+		p.stalled[0] = nil
+		p.stalled = p.stalled[1:]
+		p.credits--
+		tx()
+	}
+	if len(p.stalled) == 0 {
+		p.stalled = nil
+	}
+	p.stallG.Set(len(p.stalled))
+}
+
+// Credits returns the port's current send allowance (testing).
+func (p *Port) Credits() int { return p.credits }
+
+// StallGauge exposes the stall-queue depth gauge for the overload audit.
+func (p *Port) StallGauge() *metrics.Gauge { return p.stallG }
+
+// shedIngress refuses an envelope at the bus's bounded ingress: the
+// sender gets a typed overload NACK (and its flow-control credit back)
+// rather than unbounded queueing.
+func (b *Bus) shedIngress(env msg.Envelope) {
+	b.stats.IngressShed++
+	src, ok := b.devices[env.Src]
+	if !ok || !src.alive {
+		b.stats.Dropped++ // no one to tell
+		return
+	}
+	b.replenish(src)
+	b.nack(src, env, msg.NackOverload, "bus ingress queue full")
+}
+
+// replenish accounts one absorbed envelope against the sender's credit
+// window and returns the spent credit once half a window accumulates.
+func (b *Bus) replenish(src *attachment) {
+	w := b.cfg.CreditWindow
+	if w <= 0 {
+		return
+	}
+	src.creditsUsed++
+	if src.creditsUsed >= (w+1)/2 {
+		n := src.creditsUsed
+		src.creditsUsed = 0
+		b.stats.CreditUpdates++
+		b.sendFromBus(src, &msg.CreditUpdate{Window: uint32(w), Credits: uint32(n)})
+	}
+}
+
+// IngressGauge exposes the processing-backlog gauge for the overload
+// audit.
+func (b *Bus) IngressGauge() *metrics.Gauge { return b.ingressG }
 
 // process runs on the bus after the message has been received and the
 // processing cost paid.
@@ -334,6 +479,13 @@ func (b *Bus) process(env msg.Envelope) {
 		b.stats.Dropped++
 		return
 	}
+
+	// The envelope is absorbed (even if fenced or deduplicated below):
+	// its flow-control credit flows back to the sender. Fabric-injected
+	// duplicates can over-credit by one and wire losses under-credit —
+	// the window saturation bounds the former, sender timeouts ride out
+	// the latter; the overload experiments run without fault injection.
+	b.replenish(src)
 
 	// Incarnation fencing. A device revived after a crash stamps its
 	// envelopes with a bumped incarnation: adopt it on first sight (and
@@ -551,6 +703,8 @@ func (b *Bus) noteRejoin(a *attachment) {
 		return
 	}
 	a.failed = false
+	// Resynchronize flow control with the revived port's full window.
+	a.creditsUsed = 0
 	b.stats.Rejoins++
 	b.tr.Record(b.eng.Now(), "bus", a.name, "device.rejoined",
 		fmt.Sprintf("inc=%d outage=%v", a.inc, b.eng.Now().Sub(a.failedAt)))

@@ -1,0 +1,175 @@
+package bus
+
+import (
+	"testing"
+
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+)
+
+// creditCfg returns DefaultConfig with a credit window, leaving the
+// watchdog off so tests control every event.
+func creditCfg(window int) Config {
+	cfg := DefaultConfig
+	cfg.CreditWindow = window
+	return cfg
+}
+
+// autoCredit wires a test device to return bus credits the way a real
+// device does (device.go routes CreditUpdate to port.AddCredits).
+func autoCredit(d *testDev) {
+	d.onMsg = func(env msg.Envelope) {
+		if cu, ok := env.Msg.(*msg.CreditUpdate); ok {
+			d.port.AddCredits(cu.Credits)
+		}
+	}
+}
+
+// A burst past the credit window stalls at the port, then drains as the
+// bus replenishes credits — nothing is lost, nothing floods the wire.
+func TestCreditExhaustionStallsThenDrains(t *testing.T) {
+	h := newHarness(t, creditCfg(2))
+	a := h.addDev(1, "a", msg.RoleAccelerator)
+	b := h.addDev(2, "b", msg.RoleAccelerator)
+	autoCredit(a)
+	autoCredit(b)
+	h.boot()
+
+	// 10 sends at one instant against a window of 2: at most 2 transmit
+	// immediately, the rest wait in the stall queue (bound 4*2 = 8).
+	for i := 0; i < 10; i++ {
+		a.port.Send(2, &msg.Heartbeat{Seq: uint64(i + 1)})
+	}
+	h.eng.Run()
+
+	if got := b.countKind(msg.KindHeartbeat); got != 10 {
+		t.Fatalf("delivered %d heartbeats, want 10", got)
+	}
+	st := h.bus.Stats()
+	if st.CreditStalls == 0 {
+		t.Error("no sends stalled despite burst past the window")
+	}
+	if st.StallDropped != 0 {
+		t.Errorf("StallDropped = %d, want 0 (burst fits the stall bound)", st.StallDropped)
+	}
+	if st.CreditUpdates == 0 {
+		t.Error("bus never replenished credits")
+	}
+	if g := a.port.StallGauge(); g.Exceeded() {
+		t.Errorf("stall gauge exceeded its bound: max %d > %d", g.Max(), g.Bound())
+	}
+	if c := a.port.Credits(); c < 0 || c > 2 {
+		t.Errorf("credits = %d, want within [0, window]", c)
+	}
+}
+
+// With replenishment ignored, the stall queue fills to its bound and
+// further sends are dropped deterministically; returning credits later
+// drains the survivors in FIFO order.
+func TestStallOverflowDropsDeterministically(t *testing.T) {
+	h := newHarness(t, creditCfg(1))
+	a := h.addDev(1, "a", msg.RoleAccelerator)
+	b := h.addDev(2, "b", msg.RoleAccelerator)
+	// No autoCredit: a ignores CreditUpdate, so its lone credit is spent
+	// on Hello and never returns.
+	h.boot()
+	if c := a.port.Credits(); c != 0 {
+		t.Fatalf("credits after boot = %d, want 0", c)
+	}
+
+	// Stall bound is 4*window = 4: of 6 sends, 4 stall and 2 drop.
+	for i := 0; i < 6; i++ {
+		a.port.Send(2, &msg.Heartbeat{Seq: uint64(i + 1)})
+	}
+	h.eng.Run()
+	st := h.bus.Stats()
+	if st.CreditStalls != 4 || st.StallDropped != 2 {
+		t.Fatalf("CreditStalls = %d, StallDropped = %d, want 4 and 2", st.CreditStalls, st.StallDropped)
+	}
+	if got := b.countKind(msg.KindHeartbeat); got != 0 {
+		t.Fatalf("%d heartbeats delivered with zero credits, want 0", got)
+	}
+
+	// Return two credits (one at a time — AddCredits saturates at the
+	// window): exactly the two oldest stalled sends drain.
+	a.port.AddCredits(1)
+	h.eng.Run()
+	a.port.AddCredits(1)
+	h.eng.Run()
+	var seqs []uint64
+	for _, e := range b.inbox {
+		if hb, ok := e.Msg.(*msg.Heartbeat); ok {
+			seqs = append(seqs, hb.Seq)
+		}
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Errorf("drained seqs = %v, want [1 2] (FIFO)", seqs)
+	}
+}
+
+// A crash-restart (NewIncarnation) resets flow control: stalled sends
+// from the previous life are discarded and the window starts full.
+func TestNewIncarnationResetsCredits(t *testing.T) {
+	h := newHarness(t, creditCfg(1))
+	a := h.addDev(1, "a", msg.RoleAccelerator)
+	h.addDev(2, "b", msg.RoleAccelerator)
+	h.boot()
+
+	a.port.Send(2, &msg.Heartbeat{Seq: 1}) // stalls: credits spent on Hello
+	if g := a.port.StallGauge(); g.Cur() != 1 {
+		t.Fatalf("stalled = %d, want 1", g.Cur())
+	}
+	a.port.NewIncarnation()
+	if c := a.port.Credits(); c != 1 {
+		t.Errorf("credits after restart = %d, want full window 1", c)
+	}
+	if g := a.port.StallGauge(); g.Cur() != 0 {
+		t.Errorf("stall queue after restart = %d, want 0", g.Cur())
+	}
+}
+
+// The bus ingress bound sheds excess envelopes with a typed overload
+// NACK instead of queueing without limit.
+func TestIngressBoundShedsWithNack(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.IngressBound = 2
+	cfg.ProcPerMsg = 100 * sim.Microsecond // slow bus: backlog builds
+	h := newHarness(t, cfg)
+	a := h.addDev(1, "a", msg.RoleAccelerator)
+	b := h.addDev(2, "b", msg.RoleAccelerator)
+	h.boot()
+
+	// 6 identical sends arrive at the bus at one instant; at most the
+	// bound may enter processing, the rest are refused.
+	for i := 0; i < 6; i++ {
+		a.port.Send(2, &msg.Heartbeat{Seq: uint64(i + 1)})
+	}
+	h.eng.Run()
+
+	st := h.bus.Stats()
+	if st.IngressShed == 0 {
+		t.Fatal("no envelopes shed at the ingress bound")
+	}
+	delivered := b.countKind(msg.KindHeartbeat)
+	nacks := 0
+	for _, e := range a.inbox {
+		if n, ok := e.Msg.(*msg.Nack); ok {
+			if n.Code != msg.NackOverload {
+				t.Errorf("nack code = %v, want NackOverload", n.Code)
+			}
+			if n.Of != msg.KindHeartbeat {
+				t.Errorf("nack Of = %v, want KindHeartbeat", n.Of)
+			}
+			nacks++
+		}
+	}
+	if uint64(nacks) != st.IngressShed {
+		t.Errorf("sender saw %d overload nacks, bus shed %d", nacks, st.IngressShed)
+	}
+	if delivered+nacks != 6 {
+		t.Errorf("delivered %d + nacked %d != 6 sent: work silently lost", delivered, nacks)
+	}
+	if g := h.bus.IngressGauge(); g.Exceeded() {
+		t.Errorf("ingress gauge exceeded its bound: max %d > %d", g.Max(), g.Bound())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"nocpu/internal/bus"
 	"nocpu/internal/interconnect"
 	"nocpu/internal/iommu"
+	"nocpu/internal/metrics"
 	"nocpu/internal/msg"
 	"nocpu/internal/physmem"
 	"nocpu/internal/sim"
@@ -65,6 +66,11 @@ type Config struct {
 	// ResetDelay is the kernel reboot time after a bus Reset (the
 	// baseline's recovery path). 0 disables recovery: a Reset is ignored.
 	ResetDelay sim.Duration
+	// IOBacklogBound caps mediated file I/Os in flight inside the kernel
+	// (admitted by sysFileIO but not yet completed). At the bound new
+	// I/Os are rejected with StatusBusy instead of queueing without
+	// limit on the syscall cores. 0 = unbounded, the legacy behavior.
+	IOBacklogBound int
 }
 
 // DefaultConfig models a competent kernel on a server CPU.
@@ -86,6 +92,9 @@ type Stats struct {
 	PagesMapped uint64
 	BytesCopied uint64
 	Reboots     uint64
+	// IOShed counts mediated I/Os refused with StatusBusy at the
+	// IOBacklogBound.
+	IOShed uint64
 }
 
 // CPU is the kernel device.
@@ -113,6 +122,11 @@ type CPU struct {
 	pendingConnect map[uint32]func(*msg.ConnectResp) // connID -> continuation
 	kernelConns    map[uint32]*kernelFile            // mediated handles
 	nextHandle     uint32
+
+	// ioOutstanding counts mediated I/Os admitted by sysFileIO and not
+	// yet completed; ioG tracks it against IOBacklogBound (Q1 audit).
+	ioOutstanding int
+	ioG           *metrics.Gauge
 
 	// completedOpens is the kernel's at-most-once cache for the open
 	// syscall: a retransmitted OpenReq (lost response) replays the recorded
@@ -210,6 +224,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 		kernelConns:    make(map[uint32]*kernelFile),
 		mmaps:          make(map[mmapKey]mmapRec),
 		completedOpens: make(map[openKey]*openVerdict),
+		ioG:            metrics.NewGauge(cfg.IOBacklogBound),
 	}
 	c.dma = fab.NewPort(cfg.Name, c.mmu)
 	port, err := b.Attach(cfg.ID, cfg.Name, msg.RoleAccelerator, c.mmu, c.receive)
@@ -248,6 +263,10 @@ func (c *CPU) sendHello() {
 
 // Stats returns a copy of the counters.
 func (c *CPU) Stats() Stats { return c.stats }
+
+// IOGauge exposes mediated-I/O backlog depth vs IOBacklogBound
+// (overload Q1 audit).
+func (c *CPU) IOGauge() *metrics.Gauge { return c.ioG }
 
 // Alive reports whether the kernel is running.
 func (c *CPU) Alive() bool { return c.alive }
@@ -428,6 +447,9 @@ func (c *CPU) receive(env msg.Envelope) {
 		}
 	case *msg.DeviceFailed:
 		c.onPeerFailed(m.Device)
+	case *msg.CreditUpdate:
+		// Flow-control replenishment: pure port plumbing.
+		c.port.AddCredits(m.Credits)
 	}
 }
 
@@ -748,9 +770,21 @@ func (c *CPU) sysFileIO(src msg.DeviceID, m *msg.FileIOReq) {
 	if kf.inflight[m.Seq] {
 		return
 	}
+	// Admission: bound the kernel's mediated-I/O backlog. Rejected
+	// requests are not recorded in the at-most-once window — StatusBusy
+	// is retryable, and a retransmit competes for admission afresh.
+	if bound := c.cfg.IOBacklogBound; bound > 0 && c.ioOutstanding >= bound {
+		c.stats.IOShed++
+		reject(smartssd.StatusBusy)
+		return
+	}
 	kf.inflight[m.Seq] = true
+	c.ioOutstanding++
+	c.ioG.Set(c.ioOutstanding)
 	// complete records the final response for replay, then sends it.
 	complete := func(resp *msg.FileIOResp) {
+		c.ioOutstanding--
+		c.ioG.Set(c.ioOutstanding)
 		delete(kf.inflight, m.Seq)
 		kf.completed[m.Seq] = resp
 		if m.Seq > ioWindow {

@@ -130,15 +130,20 @@ func New(opts Options) (*System, error) {
 		opts.MemoryBytes = 128 << 20
 	}
 	if opts.Bus.HopLatency == 0 {
-		wd := opts.Bus.WatchdogTimeout
+		// Timing defaults; feature knobs (watchdog, flow control) survive.
+		wd, cw, ib := opts.Bus.WatchdogTimeout, opts.Bus.CreditWindow, opts.Bus.IngressBound
 		opts.Bus = bus.DefaultConfig
 		opts.Bus.WatchdogTimeout = wd
+		opts.Bus.CreditWindow = cw
+		opts.Bus.IngressBound = ib
 	}
 	if opts.Watchdog > 0 {
 		opts.Bus.WatchdogTimeout = opts.Watchdog
 	}
 	if opts.Costs.LinkLatency == 0 {
+		dw := opts.Costs.DMAWindow
 		opts.Costs = interconnect.DefaultCosts
+		opts.Costs.DMAWindow = dw
 	}
 	s := &System{
 		Opts: opts,
@@ -394,16 +399,20 @@ type KVSOptions struct {
 	QueueEntries uint16
 	// NIC selects which NIC hosts the app (default the first).
 	NIC int
+	// InflightBound caps the store's admitted-but-unreplied requests
+	// (kvs.Config.InflightBound; 0 = unbounded).
+	InflightBound int
 }
 
 // NewKVS builds a KVS store wired for this system's flavor and loads it
 // onto the NIC. Wait for readiness with WaitReady.
 func (s *System) NewKVS(o KVSOptions) *kvs.Store {
 	cfg := kvs.Config{
-		App:          o.App,
-		FileName:     o.File,
-		Token:        o.Token,
-		QueueEntries: o.QueueEntries,
+		App:           o.App,
+		FileName:      o.File,
+		Token:         o.Token,
+		QueueEntries:  o.QueueEntries,
+		InflightBound: o.InflightBound,
 	}
 	switch {
 	case s.CPU != nil && o.Mediated:

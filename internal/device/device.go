@@ -343,6 +343,10 @@ func (d *Device) receive(env msg.Envelope) {
 			d.helloTimer.Stop()
 			d.helloTimer = nil
 		}
+	case *msg.CreditUpdate:
+		// Flow-control replenishment is port plumbing, not device logic:
+		// hand it straight to the bus port, which drains stalled sends.
+		d.busPort.AddCredits(m.Credits)
 	default:
 		if h, ok := d.handlers[env.Msg.Kind()]; ok {
 			h(env)

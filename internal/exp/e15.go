@@ -303,6 +303,7 @@ func e15Run(kind machineKind, sc e15Sched, seed uint64) e15Row {
 	d := &e15Driver{rig: rig, led: chaos.NewLedger()}
 	d.stopAt = plan.Start.Add(e15Window + e15Tail)
 	plane := faultinject.New(seed)
+	//lint:allow boundedqueue at most Plan.Crashes events ever arm, and noteProgress drains on every ack
 	sched.Arm(eng, plane, func(ev chaos.Event) { d.pending = append(d.pending, ev.At) })
 	for w := 0; w < e15Workers; w++ {
 		d.worker(w)

@@ -61,6 +61,7 @@ var registry = []entry{
 	{"E13", "IOMMU huge pages: setup cost and TLB reach", E13HugePages},
 	{"E14", "Fault injection: init and steady-state KVS under message loss", E14FaultTolerance},
 	{"E15", "Crash-restart-rejoin: chaos schedules over both control planes", E15CrashRecovery},
+	{"E16", "Overload resilience: goodput under open-loop load ramps", E16Overload},
 }
 
 // IDs lists all experiment identifiers in order.

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenIDs are the experiments pinned byte-for-byte. They are the cheap
+// ones that together cover every timing-sensitive layer the overload
+// mechanisms were threaded through: E1 (bus control-plane init, all
+// flavors), E2 (NIC/virtqueue/SSD data plane under load), E9 (doorbell
+// batching — virtqueue event timing), E10 (bus speed sensitivity — wire
+// and processing latency). Any accidental event, cost, or ordering
+// change from a feature that should be gated off shifts at least one of
+// these tables.
+var goldenIDs = []string{"E1", "E2", "E9", "E10"}
+
+// TestTablesGolden asserts the pinned experiment tables are byte-
+// identical to the recorded goldens. The overload defenses (credit flow
+// control, bounded queues, admission control) are compiled into every
+// layer these experiments exercise but default off — zero config must
+// mean zero behavior change.
+//
+// Regenerate after an intentional timing change with:
+//
+//	NOCPU_REGEN_GOLDEN=1 go test -run TestTablesGolden ./internal/exp
+func TestTablesGolden(t *testing.T) {
+	regen := os.Getenv("NOCPU_REGEN_GOLDEN") != ""
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.String()
+			path := filepath.Join("testdata", "golden", id+".golden")
+			if regen {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with NOCPU_REGEN_GOLDEN=1): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s table drifted from golden.\nIf the timing change is intentional, regenerate with NOCPU_REGEN_GOLDEN=1.\ngot:\n%s\nwant:\n%s", id, got, want)
+			}
+		})
+	}
+}

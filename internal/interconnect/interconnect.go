@@ -18,6 +18,7 @@ import (
 
 	"nocpu/internal/faultinject"
 	"nocpu/internal/iommu"
+	"nocpu/internal/metrics"
 	"nocpu/internal/msg"
 	"nocpu/internal/physmem"
 	"nocpu/internal/sim"
@@ -37,6 +38,13 @@ type Costs struct {
 	WalkRead sim.Duration
 	// DoorbellLatency is the delivery latency of a doorbell write.
 	DoorbellLatency sim.Duration
+	// DMAWindow bounds each port's outstanding DMA transfers when > 0:
+	// further transfers wait in a bounded port-local FIFO (4× the
+	// window) and overflow fails the transfer with an OverloadError —
+	// bounded queues with a deterministic shed policy instead of
+	// unbounded engine backlog. 0 means unlimited, the pre-overload
+	// behavior.
+	DMAWindow int
 }
 
 // DefaultCosts is the baseline calibration used by the experiments.
@@ -80,6 +88,11 @@ type FabricStats struct {
 	Faults        uint64
 	TotalDMATime  sim.Duration
 	TotalWaitTime sim.Duration
+	// DMAStalls counts transfers that waited for DMA-window capacity;
+	// DMAShed counts transfers refused with an OverloadError because a
+	// port's stall FIFO overflowed.
+	DMAStalls uint64
+	DMAShed   uint64
 }
 
 // NewFabric creates a fabric over mem with the given timing model.
@@ -114,6 +127,15 @@ type InjectedError struct{ Op string }
 
 func (e *InjectedError) Error() string {
 	return "interconnect: " + e.Op + " lost (injected fault)"
+}
+
+// OverloadError is the typed failure a DMA reports when the port's
+// bounded stall FIFO overflowed: the transfer was shed, not lost — the
+// caller knows immediately and can retry or surface the pushback.
+type OverloadError struct{ Op string }
+
+func (e *OverloadError) Error() string {
+	return "interconnect: " + e.Op + " shed (DMA window full)"
 }
 
 // RegisterDoorbell binds a handler to a doorbell address. Registering an
@@ -184,6 +206,11 @@ type Port struct {
 	// faultHandler, when set, gets a chance to resolve not-present
 	// faults (demand paging) before the operation fails.
 	faultHandler FaultHandler
+	// waiting holds transfers stalled on the DMA window (Costs.DMAWindow
+	// > 0), FIFO, bounded at 4× the window; overflow sheds with an
+	// OverloadError.
+	waiting []func()
+	waitG   *metrics.Gauge
 }
 
 // maxFaultRetries bounds demand-paging retries per operation: a handler
@@ -198,7 +225,58 @@ func (p *Port) SetFaultHandler(h FaultHandler) { p.faultHandler = h }
 
 // NewPort attaches a device (with its IOMMU) to the fabric.
 func (f *Fabric) NewPort(name string, mmu *iommu.IOMMU) *Port {
-	return &Port{fab: f, mmu: mmu, name: name, busy: sim.NewServer(f.eng)}
+	p := &Port{fab: f, mmu: mmu, name: name, busy: sim.NewServer(f.eng)}
+	p.waitG = metrics.NewGauge(4 * f.costs.DMAWindow)
+	return p
+}
+
+// WaitGauge exposes the DMA stall-FIFO depth for the overload audit.
+func (p *Port) WaitGauge() *metrics.Gauge { return p.waitG }
+
+// submitDMA admits a transfer to the port's DMA engine under the
+// configured window: within the window it goes straight to the engine;
+// past it the transfer waits in the bounded FIFO, and past the FIFO's
+// bound it is shed. shed delivers the transfer's OverloadError; it runs
+// after a link latency like any other data-plane failure.
+func (p *Port) submitDMA(service sim.Duration, run func(), shed func()) {
+	w := p.fab.costs.DMAWindow
+	if w <= 0 {
+		p.busy.Submit(service, run)
+		return
+	}
+	launch := func(svc sim.Duration, fn func()) {
+		p.busy.Submit(svc, func() {
+			fn()
+			p.drainDMA()
+		})
+	}
+	if p.busy.Pending() < w {
+		launch(service, run)
+		return
+	}
+	if len(p.waiting) >= 4*w {
+		p.fab.stats.DMAShed++
+		p.fab.eng.After(p.fab.costs.LinkLatency, shed)
+		return
+	}
+	p.fab.stats.DMAStalls++
+	p.waiting = append(p.waiting, func() { launch(service, run) })
+	p.waitG.Set(len(p.waiting))
+}
+
+// drainDMA moves stalled transfers into freed window slots, FIFO.
+func (p *Port) drainDMA() {
+	w := p.fab.costs.DMAWindow
+	for len(p.waiting) > 0 && p.busy.Pending() < w {
+		next := p.waiting[0]
+		p.waiting[0] = nil
+		p.waiting = p.waiting[1:]
+		next()
+	}
+	if len(p.waiting) == 0 {
+		p.waiting = nil
+	}
+	p.waitG.Set(len(p.waiting))
 }
 
 // IOMMU returns the port's translation unit (the bus programs it).
@@ -307,7 +385,7 @@ func (p *Port) read(pasid iommu.PASID, va iommu.VirtAddr, n int, done func([]byt
 		// is identical, so only the cost is observable.
 		p.busy.Submit(service, func() {})
 	}
-	p.busy.Submit(service, func() {
+	p.submitDMA(service, func() {
 		buf := make([]byte, 0, n)
 		for _, e := range exts {
 			b, err := p.fab.mem.Read(e.pa, e.n)
@@ -318,7 +396,7 @@ func (p *Port) read(pasid iommu.PASID, va iommu.VirtAddr, n int, done func([]byt
 			buf = append(buf, b...)
 		}
 		done(buf, nil)
-	})
+	}, func() { done(nil, &OverloadError{Op: "DMA read"}) })
 }
 
 // Write DMAs data to (pasid, va) and calls done when the write is visible
@@ -356,7 +434,7 @@ func (p *Port) write(pasid iommu.PASID, va iommu.VirtAddr, data []byte, done fun
 	// Capture the payload now: the caller may reuse its buffer.
 	payload := make([]byte, len(data))
 	copy(payload, data)
-	p.busy.Submit(service, func() {
+	p.submitDMA(service, func() {
 		off := 0
 		for _, e := range exts {
 			if err := p.fab.mem.Write(e.pa, payload[off:off+e.n]); err != nil {
@@ -366,7 +444,7 @@ func (p *Port) write(pasid iommu.PASID, va iommu.VirtAddr, data []byte, done fun
 			off += e.n
 		}
 		done(nil)
-	})
+	}, func() { done(&OverloadError{Op: "DMA write"}) })
 }
 
 // ReadU16 is a convenience single-field DMA read (ring indices).

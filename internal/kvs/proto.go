@@ -45,13 +45,22 @@ const (
 	StatusNotFound
 	StatusError
 	StatusUnavailable // store not (yet) connected to its file
+	StatusShed        // admission control refused: deadline unmeetable
 )
 
 // Request is a decoded client request.
+//
+// Deadline, when nonzero, is the absolute virtual time (nanoseconds) by
+// which the client needs the response; the store sheds requests it
+// cannot serve in time (StatusShed) instead of working on already-dead
+// ones. It is a trailing optional wire field — encoded only when
+// nonzero — so deadline-free requests are byte-identical to the
+// pre-deadline format and old encodings still decode (Deadline 0).
 type Request struct {
-	Op    Op
-	Key   string
-	Value []byte
+	Op       Op
+	Key      string
+	Value    []byte
+	Deadline uint64
 }
 
 // Response is a decoded store response.
@@ -60,15 +69,23 @@ type Response struct {
 	Value  []byte
 }
 
-// EncodeRequest serializes: op u8 | keyLen u16 | key | valLen u32 | val.
+// EncodeRequest serializes: op u8 | keyLen u16 | key | valLen u32 | val
+// [| deadline u64 when nonzero].
 func EncodeRequest(r Request) []byte {
-	b := make([]byte, 7+len(r.Key)+len(r.Value))
+	n := 7 + len(r.Key) + len(r.Value)
+	if r.Deadline != 0 {
+		n += 8
+	}
+	b := make([]byte, n)
 	b[0] = byte(r.Op)
 	binary.LittleEndian.PutUint16(b[1:], uint16(len(r.Key)))
 	copy(b[3:], r.Key)
 	off := 3 + len(r.Key)
 	binary.LittleEndian.PutUint32(b[off:], uint32(len(r.Value)))
 	copy(b[off+4:], r.Value)
+	if r.Deadline != 0 {
+		binary.LittleEndian.PutUint64(b[off+4+len(r.Value):], r.Deadline)
+	}
 	return b
 }
 
@@ -88,6 +105,9 @@ func DecodeRequest(b []byte) (Request, error) {
 	r := Request{Op: Op(b[0]), Key: string(b[3 : 3+kl])}
 	if vl > 0 {
 		r.Value = append([]byte(nil), b[7+kl:7+kl+vl]...)
+	}
+	if len(b) >= 7+kl+vl+8 {
+		r.Deadline = binary.LittleEndian.Uint64(b[7+kl+vl:])
 	}
 	return r, nil
 }

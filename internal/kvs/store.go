@@ -3,6 +3,7 @@ package kvs
 import (
 	"fmt"
 
+	"nocpu/internal/metrics"
 	"nocpu/internal/msg"
 	"nocpu/internal/sim"
 	"nocpu/internal/smartnic"
@@ -56,6 +57,12 @@ type Config struct {
 	// and scans only the log suffix past its watermark. The file is
 	// created on the SSD on demand. Not supported in mediated mode.
 	SnapshotFile string
+	// InflightBound caps requests admitted but not yet replied. At the
+	// bound new requests are shed (StatusShed), which keeps the data
+	// plane's queueing delay bounded instead of letting an open-loop
+	// overload grow it without limit. 0 = unbounded, the legacy
+	// behavior.
+	InflightBound int
 }
 
 // DefaultIndexCost models an on-NIC hash probe.
@@ -79,6 +86,11 @@ type Stats struct {
 	Snapshots           uint64
 	SnapshotRestores    uint64
 	Compactions         uint64
+	// Shed counts requests refused by admission control: their deadline
+	// had passed, or the store's service-time estimate said it would
+	// pass before the reply. Every shed request gets a StatusShed
+	// response — refused, never silently lost.
+	Shed uint64
 }
 
 // Store is the KVS application hosted on the smart NIC.
@@ -104,6 +116,16 @@ type Store struct {
 	// recovery; err != nil reports a failed boot.
 	OnReady func(error)
 
+	// estServe is an EWMA of observed request service time (admission
+	// takes it as the cost of the work ahead of a deadline). Pure
+	// bookkeeping: it schedules nothing and only requests that carry a
+	// deadline ever read it.
+	estServe sim.Duration
+	// inflight counts admitted-but-unreplied requests against
+	// Config.InflightBound; inflightG tracks it for the Q1 audit.
+	inflight  int
+	inflightG *metrics.Gauge
+
 	stats Stats
 }
 
@@ -119,6 +141,7 @@ func New(cfg Config) *Store {
 		cfg.RetryEvery = 500 * sim.Microsecond
 	}
 	s := &Store{cfg: cfg, index: make(map[string]loc)}
+	s.inflightG = metrics.NewGauge(cfg.InflightBound)
 	if cfg.CacheEntries > 0 {
 		s.cache = newValueCache(cfg.CacheEntries)
 	}
@@ -127,6 +150,10 @@ func New(cfg Config) *Store {
 
 // AppID implements smartnic.App.
 func (s *Store) AppID() msg.AppID { return s.cfg.App }
+
+// InflightGauge exposes admitted-request depth vs InflightBound
+// (overload Q1 audit).
+func (s *Store) InflightGauge() *metrics.Gauge { return s.inflightG }
 
 // Ready reports whether the store is serving.
 func (s *Store) Ready() bool { return s.ready }
@@ -335,7 +362,16 @@ func (s *Store) scanChunk(off, size uint64, carry []byte, cb func(error)) {
 	})
 }
 
-// ServeNetwork implements smartnic.App: decode, execute, reply.
+// ShedResponse implements smartnic.Shedder: the reply the NIC sends on
+// the store's behalf when its bounded receive queue refuses a request.
+// Load shedding must answer, never vanish — an open-loop client counts
+// every request until its response arrives.
+func (s *Store) ShedResponse() []byte {
+	s.stats.Shed++
+	return EncodeResponse(Response{Status: StatusShed})
+}
+
+// ServeNetwork implements smartnic.App: decode, admit, execute, reply.
 func (s *Store) ServeNetwork(payload []byte, reply func([]byte)) {
 	req, err := DecodeRequest(payload)
 	if err != nil {
@@ -347,17 +383,56 @@ func (s *Store) ServeNetwork(payload []byte, reply func([]byte)) {
 		reply(EncodeResponse(Response{Status: StatusUnavailable}))
 		return
 	}
+	// Deadline-based admission: working on a request that will miss its
+	// deadline anyway steals service time from requests that can still
+	// make theirs — that is the goodput-collapse mechanism. Shed now,
+	// cheaply, with an explicit status.
+	if req.Deadline != 0 {
+		eta := s.rt.Engine().Now().Add(s.cfg.IndexCost + s.estServe)
+		if uint64(eta) > req.Deadline {
+			// Decay the estimate on every shed (same 1/8 gain as the
+			// update): sheds produce no completion samples, so without
+			// decay a once-high estimate would latch the store shut
+			// forever. Decaying re-probes — if service is still slow,
+			// the next admitted request pushes the estimate right back.
+			s.estServe -= s.estServe / 8
+			s.stats.Shed++
+			reply(EncodeResponse(Response{Status: StatusShed}))
+			return
+		}
+	}
+	// Concurrency-based admission: past the inflight bound the data
+	// plane's queueing delay is no longer worth the wait, deadline or
+	// not. Shedding here holds latency for admitted work flat while an
+	// open-loop overload rages.
+	if bound := s.cfg.InflightBound; bound > 0 && s.inflight >= bound {
+		s.stats.Shed++
+		reply(EncodeResponse(Response{Status: StatusShed}))
+		return
+	}
+	s.inflight++
+	s.inflightG.Set(s.inflight)
+	start := s.rt.Engine().Now()
+	done := func(b []byte) {
+		// Fold the observed service time into the admission estimate
+		// (EWMA, 1/8 gain). State only — no events, no trace impact.
+		sample := s.rt.Engine().Now().Sub(start)
+		s.estServe += (sample - s.estServe) / 8
+		s.inflight--
+		s.inflightG.Set(s.inflight)
+		reply(b)
+	}
 	// Charge the NIC-local index probe before touching the data plane.
 	s.rt.Engine().After(s.cfg.IndexCost, func() {
 		switch req.Op {
 		case OpGet:
-			s.get(req, reply)
+			s.get(req, done)
 		case OpPut:
-			s.put(req, reply)
+			s.put(req, done)
 		case OpDelete:
-			s.del(req, reply)
+			s.del(req, done)
 		default:
-			reply(EncodeResponse(Response{Status: StatusError}))
+			done(EncodeResponse(Response{Status: StatusError}))
 		}
 	})
 }

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"nocpu/internal/lint/analysis"
+)
+
+// Boundedqueue flags an append to a queue-named slice field when the
+// enclosing function never checks the queue's length against anything.
+// An unbounded queue is the overload failure mode: under open-loop load
+// it grows without limit, latency follows, and goodput collapses — the
+// exact behavior the flow-control and admission mechanisms exist to
+// prevent. Every queue an envelope, request, or completion can wait in
+// must either be bounded (check len() and shed/drop deterministically on
+// overflow) or carry an explicit //lint:allow boundedqueue directive
+// saying why unbounded is safe (e.g. the producer is itself bounded).
+//
+// The check is deliberately shallow: it looks for `x.f = append(x.f,
+// ...)` where f's name smells like a queue (queue, stall, backlog,
+// pending, waiting, inflight, fifo) and accepts any `len(x.f)`
+// comparison in the same function as the bound. A bound enforced in a
+// different function from the append needs the directive.
+var Boundedqueue = &analysis.Analyzer{
+	Name: "boundedqueue",
+	Doc:  "flag appends to queue-named slice fields with no bound check",
+	Run:  runBoundedqueue,
+}
+
+// queueNameRE matches field names that denote a waiting line.
+var queueNameRE = regexp.MustCompile(`(?i)queue|stall|backlog|pending|waiting|inflight|fifo`)
+
+func runBoundedqueue(pass *analysis.Pass) error {
+	if !simScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkQueueAppends(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkQueueAppends reports every unguarded queue append inside one
+// function (closures included — a bound check anywhere in the function,
+// including inside a closure, counts for every append in it).
+func checkQueueAppends(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Pass 1: collect the selectors whose length the function examines.
+	bounded := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "len" {
+			return true
+		}
+		if sel, ok := call.Args[0].(*ast.SelectorExpr); ok {
+			bounded[exprString(pass.Fset, sel)] = true
+		}
+		return true
+	})
+	// Pass 2: find queue appends not covered by a length check.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		sel, ok := call.Args[0].(*ast.SelectorExpr)
+		if !ok || !queueNameRE.MatchString(sel.Sel.Name) {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(sel)
+		if t == nil {
+			return true
+		}
+		if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+			return true
+		}
+		if key := exprString(pass.Fset, sel); !bounded[key] {
+			pass.Reportf(call.Pos(),
+				"append to queue %s with no len(%s) bound check in %s: an unbounded queue collapses under open-loop overload; bound it (shed/drop deterministically at the limit) or annotate //lint:allow boundedqueue <why unbounded is safe>",
+				key, key, fd.Name.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nocpu/internal/lint"
+	"nocpu/internal/lint/analysistest"
+)
+
+func TestBoundedqueue(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Boundedqueue, "boundedqueue/a")
+}

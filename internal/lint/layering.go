@@ -29,7 +29,7 @@ var Layering = &analysis.Analyzer{
 //
 //	leaves   msg, sim, physmem            (import nothing in-module)
 //	infra    trace, metrics, iommu, faultinject, netsim, chaos,
-//	         interconnect, virtio, bus
+//	         overload, interconnect, virtio, bus
 //	devices  device, smartssd, smartnic, memctrl, accel
 //	kernel   centralos                    (baseline; may drive smartssd)
 //	apps     kvs, admin
@@ -55,17 +55,21 @@ var layerDAG = map[string][]string{
 	"nocpu/internal/faultinject": {"nocpu/internal/msg", "nocpu/internal/sim"},
 	"nocpu/internal/netsim":      {"nocpu/internal/metrics", "nocpu/internal/sim"},
 	"nocpu/internal/chaos":       {"nocpu/internal/faultinject", "nocpu/internal/sim"},
+	"nocpu/internal/overload": {
+		"nocpu/internal/metrics", "nocpu/internal/netsim", "nocpu/internal/sim",
+	},
 	"nocpu/internal/interconnect": {
-		"nocpu/internal/faultinject", "nocpu/internal/iommu", "nocpu/internal/msg",
-		"nocpu/internal/physmem", "nocpu/internal/sim",
+		"nocpu/internal/faultinject", "nocpu/internal/iommu", "nocpu/internal/metrics",
+		"nocpu/internal/msg", "nocpu/internal/physmem", "nocpu/internal/sim",
 	},
 	"nocpu/internal/virtio": {
 		"nocpu/internal/interconnect", "nocpu/internal/iommu",
 		"nocpu/internal/physmem", "nocpu/internal/sim",
 	},
 	"nocpu/internal/bus": {
-		"nocpu/internal/faultinject", "nocpu/internal/iommu", "nocpu/internal/msg",
-		"nocpu/internal/physmem", "nocpu/internal/sim", "nocpu/internal/trace",
+		"nocpu/internal/faultinject", "nocpu/internal/iommu", "nocpu/internal/metrics",
+		"nocpu/internal/msg", "nocpu/internal/physmem", "nocpu/internal/sim",
+		"nocpu/internal/trace",
 	},
 
 	// Self-managing devices (§2): bus/infra only, never centralos/exp.
@@ -80,9 +84,9 @@ var layerDAG = map[string][]string{
 	},
 	"nocpu/internal/smartnic": {
 		"nocpu/internal/bus", "nocpu/internal/device", "nocpu/internal/interconnect",
-		"nocpu/internal/iommu", "nocpu/internal/msg", "nocpu/internal/physmem",
-		"nocpu/internal/sim", "nocpu/internal/smartssd", "nocpu/internal/trace",
-		"nocpu/internal/virtio",
+		"nocpu/internal/iommu", "nocpu/internal/metrics", "nocpu/internal/msg",
+		"nocpu/internal/physmem", "nocpu/internal/sim", "nocpu/internal/smartssd",
+		"nocpu/internal/trace", "nocpu/internal/virtio",
 	},
 	"nocpu/internal/memctrl": {
 		"nocpu/internal/bus", "nocpu/internal/device", "nocpu/internal/interconnect",
@@ -100,12 +104,16 @@ var layerDAG = map[string][]string{
 	// but must not depend on the self-managing runtime.
 	"nocpu/internal/centralos": {
 		"nocpu/internal/bus", "nocpu/internal/interconnect", "nocpu/internal/iommu",
-		"nocpu/internal/msg", "nocpu/internal/physmem", "nocpu/internal/sim",
-		"nocpu/internal/smartssd", "nocpu/internal/trace", "nocpu/internal/virtio",
+		"nocpu/internal/metrics", "nocpu/internal/msg", "nocpu/internal/physmem",
+		"nocpu/internal/sim", "nocpu/internal/smartssd", "nocpu/internal/trace",
+		"nocpu/internal/virtio",
 	},
 
 	// Applications ride on the NIC runtime.
-	"nocpu/internal/kvs":   {"nocpu/internal/msg", "nocpu/internal/sim", "nocpu/internal/smartnic"},
+	"nocpu/internal/kvs": {
+		"nocpu/internal/metrics", "nocpu/internal/msg", "nocpu/internal/sim",
+		"nocpu/internal/smartnic",
+	},
 	"nocpu/internal/admin": {"nocpu/internal/msg", "nocpu/internal/smartnic"},
 
 	// Machine wiring.
@@ -122,8 +130,8 @@ var layerDAG = map[string][]string{
 		"nocpu/internal/bus", "nocpu/internal/chaos", "nocpu/internal/core",
 		"nocpu/internal/faultinject", "nocpu/internal/iommu", "nocpu/internal/kvs",
 		"nocpu/internal/metrics", "nocpu/internal/msg", "nocpu/internal/netsim",
-		"nocpu/internal/physmem", "nocpu/internal/sim", "nocpu/internal/smartnic",
-		"nocpu/internal/smartssd", "nocpu/internal/trace",
+		"nocpu/internal/overload", "nocpu/internal/physmem", "nocpu/internal/sim",
+		"nocpu/internal/smartnic", "nocpu/internal/smartssd", "nocpu/internal/trace",
 	},
 
 	// The linter itself (host tooling).

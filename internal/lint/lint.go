@@ -17,6 +17,13 @@
 //     switch over the bus-protocol message kinds exhaustive so a new
 //     kind cannot be dropped silently by old dispatch code.
 //
+//  3. Overload safety. Every queue a message or request can wait in is
+//     either bounded — len() checked against a limit, with a
+//     deterministic shed/drop at the limit — or annotated with a reason
+//     it cannot grow without bound. Enforced by the boundedqueue
+//     analyzer; the overload harness (internal/overload) audits the
+//     same property dynamically (its Q1 guarantee).
+//
 // # Suppressing a finding
 //
 // The only escape hatch is an explicit, justified directive on the
@@ -47,6 +54,7 @@ func Analyzers() []*analysis.Analyzer {
 		Maporder,
 		Layering,
 		Kindswitch,
+		Boundedqueue,
 	}
 }
 

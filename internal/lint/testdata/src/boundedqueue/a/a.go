@@ -1,0 +1,73 @@
+// Package a exercises the boundedqueue analyzer.
+package a
+
+type item struct{}
+
+type q struct {
+	pending  []item
+	stalled  []func()
+	waiting  []int
+	backlog  []item
+	inflight []item
+	others   []item
+	count    int
+}
+
+// unbounded is the overload footgun: the queue grows with every call.
+func unbounded(s *q, it item) {
+	s.pending = append(s.pending, it) // want `append to queue s\.pending with no len\(s\.pending\) bound check in unbounded`
+}
+
+// boundedBefore is the sanctioned shape: check, shed, then append.
+func boundedBefore(s *q, it item) {
+	if len(s.pending) >= 64 {
+		return // shed
+	}
+	s.pending = append(s.pending, it)
+}
+
+// boundedAnywhere: the bound check may live anywhere in the function,
+// closures included.
+func boundedAnywhere(s *q, fn func()) {
+	drop := func() bool { return len(s.stalled) >= 32 }
+	if drop() {
+		return
+	}
+	s.stalled = append(s.stalled, fn)
+}
+
+// boundInClosureAppliesToAppend: append inside a closure, check outside.
+func boundInClosureAppliesToAppend(s *q, it item) {
+	if len(s.backlog) >= 8 {
+		return
+	}
+	defer func() {
+		s.backlog = append(s.backlog, it)
+	}()
+}
+
+// wrongQueueChecked: bounding a different queue does not cover this one.
+func wrongQueueChecked(s *q, it item) {
+	if len(s.pending) >= 64 {
+		return
+	}
+	s.inflight = append(s.inflight, it) // want `append to queue s\.inflight with no len\(s\.inflight\) bound check in wrongQueueChecked`
+}
+
+// notAQueueName: field names that don't smell like a queue are ignored.
+func notAQueueName(s *q, it item) {
+	s.others = append(s.others, it)
+}
+
+// localSlice: only struct fields are queues; locals are workspace.
+func localSlice(its []item, it item) []item {
+	pending := its
+	pending = append(pending, it)
+	return pending
+}
+
+// allowed: intentionally unbounded, justified in place.
+func allowed(s *q, n int) {
+	//lint:allow boundedqueue producer issues at most 4 at a time
+	s.waiting = append(s.waiting, n)
+}

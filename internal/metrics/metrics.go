@@ -243,6 +243,50 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// Gauge tracks an instantaneous queue depth with a high-watermark and an
+// optional bound, the primitive behind the overload audit's Q1 invariant
+// (no queue exceeds its bound). It is sampled by the subsystem that owns
+// the queue — sim cannot import metrics — and carries no time of its
+// own, so recording into one never perturbs a trace.
+type Gauge struct {
+	cur   int
+	max   int
+	bound int // 0 = unbounded
+}
+
+// NewGauge returns a gauge with the given bound (0 = unbounded).
+func NewGauge(bound int) *Gauge { return &Gauge{bound: bound} }
+
+// Set records the current depth, updating the high-watermark.
+func (g *Gauge) Set(v int) {
+	g.cur = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Inc adds one to the current depth.
+func (g *Gauge) Inc() { g.Set(g.cur + 1) }
+
+// Dec subtracts one from the current depth (floored at 0).
+func (g *Gauge) Dec() {
+	if g.cur > 0 {
+		g.cur--
+	}
+}
+
+// Cur returns the current depth.
+func (g *Gauge) Cur() int { return g.cur }
+
+// Max returns the high-watermark.
+func (g *Gauge) Max() int { return g.max }
+
+// Bound returns the configured bound (0 = unbounded).
+func (g *Gauge) Bound() int { return g.bound }
+
+// Exceeded reports whether the high-watermark ever passed the bound.
+func (g *Gauge) Exceeded() bool { return g.bound > 0 && g.max > g.bound }
+
 // Sorted returns sorted copies of keys for deterministic map iteration in
 // reports.
 func Sorted[K ~string](m map[K]uint64) []K {

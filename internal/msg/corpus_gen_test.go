@@ -125,6 +125,33 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 		write("seed-stateresp-bomb", w.buf)
 	}
 
+	// Flow-control adversarial seeds (credit-update and shed-NACK kinds).
+	// An overload shed propagated as a typed NACK.
+	write("seed-nack-overload", Envelope{Src: BusID, Dst: 4, Seq: 5,
+		Msg: &Nack{Of: KindOpenReq, Seq: 12, Dst: 6, Code: NackOverload, Reason: "ingress bound"}}.Encode())
+
+	// A CreditUpdate truncated mid-field: payload length admits 6 bytes,
+	// the two-u32 body wants 8.
+	{
+		var pw writer
+		pw.u32(32)
+		pw.buf = append(pw.buf, 0x10, 0x00) // half a credit count
+		var w writer
+		w.u16(uint16(BusID))
+		w.u16(4)
+		w.u16(uint16(KindCreditUpdate))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-credit-truncated", w.buf)
+	}
+
+	// A CreditUpdate whose credit count overflows any sane window: the
+	// port must saturate at the window, not wrap its balance.
+	write("seed-credit-overflow", Envelope{Src: BusID, Dst: 4, Seq: 6,
+		Msg: &CreditUpdate{Window: 0xFFFFFFFF, Credits: 0xFFFFFFFF}}.Encode())
+
 	// Format-agnostic adversarial seeds.
 	write("seed-empty", []byte{})
 	write("seed-shorthdr", []byte{1, 0, 2, 0})

@@ -130,6 +130,13 @@ const (
 	KindStateQuery // revived device → bus: which of my regions survived?
 	KindStateResp  // bus → device: surviving regions and their grantees
 
+	// Flow control. The bus replenishes a sender's per-link credit
+	// window after absorbing its traffic; a sender out of credits stalls
+	// deterministically instead of queueing unboundedly (overload
+	// resilience — the performance-isolation half of the paper's §2
+	// claim made mechanical).
+	KindCreditUpdate // bus → device: window replenishment
+
 	kindMax
 )
 
@@ -148,8 +155,9 @@ var kindNames = map[Kind]string{
 	KindLoadReq: "load.req", KindLoadResp: "load.resp",
 	KindFileIOReq: "fileio.req", KindFileIOResp: "fileio.resp",
 	KindErrorNotify: "error.notify", KindDeviceFailed: "device.failed",
-	KindNack: "nack",
+	KindNack:       "nack",
 	KindStateQuery: "state.query", KindStateResp: "state.resp",
+	KindCreditUpdate: "credit.update",
 }
 
 func (k Kind) String() string {

@@ -47,6 +47,7 @@ func allMessages() []Message {
 			{App: 3, VA: 0x10000, Pages: 4, Grantees: []DeviceID{2, 5}},
 			{App: 3, VA: 0x40000, Pages: 512, Huge: true},
 		}},
+		&CreditUpdate{Window: 32, Credits: 16},
 	}
 }
 

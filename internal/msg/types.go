@@ -676,6 +676,7 @@ const (
 	NackDeadDst                          // destination marked failed
 	NackUnauthorized                     // message violated a bus policy check
 	NackUnknownKind                      // bus-addressed message it cannot handle
+	NackOverload                         // receiver shed the message under load
 )
 
 // Nack tells a sender its message was not delivered (replacing the bus's
@@ -780,6 +781,27 @@ func (m *StateResp) decode(r *reader) {
 	}
 }
 
+// CreditUpdate replenishes a sender's per-link credit window. The bus
+// issues one after absorbing roughly half a window of the device's
+// traffic; the port adds Credits to its balance and drains any stalled
+// sends. Window echoes the configured window size so a freshly reset
+// device can resynchronize its balance instead of accumulating stale
+// credit.
+type CreditUpdate struct {
+	Window  uint32 // configured window size (0 = flow control off)
+	Credits uint32 // credits being returned
+}
+
+func (*CreditUpdate) Kind() Kind { return KindCreditUpdate }
+func (m *CreditUpdate) encode(w *writer) {
+	w.u32(m.Window)
+	w.u32(m.Credits)
+}
+func (m *CreditUpdate) decode(r *reader) {
+	m.Window = r.u32()
+	m.Credits = r.u32()
+}
+
 // newMessage returns a zero value of the message type for kind, or nil
 // for an unknown kind.
 func newMessage(k Kind) Message {
@@ -848,6 +870,8 @@ func newMessage(k Kind) Message {
 		return &StateQuery{}
 	case KindStateResp:
 		return &StateResp{}
+	case KindCreditUpdate:
+		return &CreditUpdate{}
 	}
 	return nil
 }

@@ -1,0 +1,92 @@
+package overload
+
+import (
+	"fmt"
+
+	"nocpu/internal/metrics"
+)
+
+// Ledger aggregates one campaign's evidence and renders verdicts on the
+// three overload guarantees (Q1–Q3, see the package comment). It is
+// passive: experiments register the queues they care about and record
+// each step's result; Audit only inspects what was recorded.
+type Ledger struct {
+	gauges []watchedGauge
+	steps  []StepResult
+}
+
+type watchedGauge struct {
+	name string
+	g    *metrics.Gauge
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Watch registers a bounded queue's depth gauge for the Q1 audit. Call
+// it after the step that exercised the queue (gauges carry watermarks,
+// so watching once after the run sees the whole campaign — but a fresh
+// machine per step means watching per step; both work).
+func (l *Ledger) Watch(name string, g *metrics.Gauge) {
+	if g == nil {
+		return
+	}
+	l.gauges = append(l.gauges, watchedGauge{name: name, g: g})
+}
+
+// Record appends one step's measured result.
+func (l *Ledger) Record(s StepResult) { l.steps = append(l.steps, s) }
+
+// Steps returns the recorded results in record order.
+func (l *Ledger) Steps() []StepResult { return l.steps }
+
+// Q2Ratio is the graceful-degradation floor: goodput at the stress
+// multiplier must be at least this fraction of goodput at saturation.
+const Q2Ratio = 0.8
+
+// Audit returns every guarantee violation found, empty if the campaign
+// is clean.
+//
+//	Q1: every watched gauge's max depth stayed within its bound
+//	    (unbounded gauges — bound 0 — are reported as violations too:
+//	    watching one means the experiment expected a bound).
+//	Q2: goodput at multiplier 2 ≥ Q2Ratio × goodput at multiplier 1,
+//	    when both steps were recorded.
+//	Q3: every step resolved every sent request (ok+late+shed+error).
+func (l *Ledger) Audit() []string {
+	var bad []string
+	for _, w := range l.gauges {
+		switch {
+		case w.g.Bound() <= 0:
+			bad = append(bad, fmt.Sprintf("Q1: queue %q is watched but has no bound", w.name))
+		case w.g.Exceeded():
+			bad = append(bad, fmt.Sprintf("Q1: queue %q reached depth %d, bound %d",
+				w.name, w.g.Max(), w.g.Bound()))
+		}
+	}
+	var base, stress *StepResult
+	for i := range l.steps {
+		s := &l.steps[i]
+		switch s.Multiplier {
+		case 1:
+			base = s
+		case 2:
+			stress = s
+		}
+	}
+	if base != nil && stress != nil {
+		if floor := Q2Ratio * base.Goodput; stress.Goodput < floor {
+			bad = append(bad, fmt.Sprintf(
+				"Q2: goodput collapsed under overload: %.0f/s at 2x < %.0f/s (%.0f%% of %.0f/s at 1x)",
+				stress.Goodput, floor, 100*Q2Ratio, base.Goodput))
+		}
+	}
+	for _, s := range l.steps {
+		if got := s.Resolved(); got != s.Sent {
+			bad = append(bad, fmt.Sprintf(
+				"Q3: step %gx lost work silently: sent %d, resolved %d (ok %d late %d shed %d err %d)",
+				s.Multiplier, s.Sent, got, s.OK, s.Late, s.Shed, s.Errors))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,233 @@
+// Package overload is the deterministic open-loop load-ramp harness for
+// the overload-resilience experiments. A Plan names a machine's measured
+// saturation throughput and the statistical shape of a ramp campaign
+// (which offered-load multipliers to visit, how long each step generates,
+// what per-request deadline clients carry); Compile turns it into a fixed
+// step table using nothing but the plan's seed, and RunStep drives one
+// step's Poisson arrivals through netsim against a NIC edge, classifying
+// every response at client completion time.
+//
+// The package also carries the Ledger, the oracle for the three overload
+// guarantees the experiments assert:
+//
+//	Q1 — bounded queues: no watched queue's depth watermark ever exceeds
+//	     its configured bound (credit stall FIFOs, bus ingress, NIC rx,
+//	     DMA windows, the kernel's mediated-I/O backlog).
+//	Q2 — graceful degradation: goodput at 2× saturation stays at or above
+//	     80% of goodput at saturation — overload sheds load instead of
+//	     collapsing into queueing.
+//	Q3 — no silent loss: every issued request resolves to exactly one of
+//	     ok / late / shed / error; shed work is refused with an explicit
+//	     response, never dropped on the floor.
+//
+// Determinism: Compile draws per-step generator seeds from a private
+// sim.Rand seeded only by Plan.Seed, and each step's OpenLoop uses its
+// own seed, so the same plan produces the same arrival sequence on every
+// run regardless of what else the caller's RNGs have consumed.
+package overload
+
+import (
+	"fmt"
+	"strings"
+
+	"nocpu/internal/netsim"
+	"nocpu/internal/sim"
+)
+
+// Plan is the declarative description of a load-ramp campaign against
+// one machine configuration.
+type Plan struct {
+	Seed uint64 // RNG seed; the only source of randomness
+	// Saturation is the machine's measured peak sustainable throughput
+	// (requests/second, typically from a closed-loop calibration run).
+	// Step offered rates are Multiplier × Saturation.
+	Saturation float64
+	// Multipliers are the offered-load points to visit, as fractions of
+	// Saturation (e.g. 0.25, 0.5, 1, 2, 4).
+	Multipliers []float64
+	// Window is each step's generation window; the step ends when all
+	// in-flight requests resolve.
+	Window sim.Duration
+	// Deadline, when nonzero, is the per-request latency budget: each
+	// request is stamped with absolute deadline issue-time+Deadline, and
+	// an OK response arriving after its deadline counts as late, not
+	// goodput.
+	Deadline sim.Duration
+}
+
+// Step is one compiled ramp point.
+type Step struct {
+	Multiplier float64
+	Rate       float64 // offered requests/second
+	Seed       uint64  // private generator seed for this step
+}
+
+// Ramp is a compiled, immutable load timetable.
+type Ramp struct {
+	plan  Plan
+	Steps []Step
+}
+
+// Compile fixes the campaign into a step table. It validates the plan
+// and derives one generator seed per step from the plan seed, so a
+// step's arrival process depends only on (Plan.Seed, step index) — runs
+// are reproducible even when steps execute against freshly built
+// machines.
+func (p Plan) Compile() (*Ramp, error) {
+	if p.Saturation <= 0 {
+		return nil, fmt.Errorf("overload: saturation %v must be positive", p.Saturation)
+	}
+	if len(p.Multipliers) == 0 {
+		return nil, fmt.Errorf("overload: no multipliers")
+	}
+	if p.Window <= 0 {
+		return nil, fmt.Errorf("overload: window %v must be positive", p.Window)
+	}
+	if p.Deadline < 0 {
+		return nil, fmt.Errorf("overload: negative deadline %v", p.Deadline)
+	}
+	for i, m := range p.Multipliers {
+		if m <= 0 {
+			return nil, fmt.Errorf("overload: multiplier %d (%v) must be positive", i, m)
+		}
+	}
+	rng := sim.NewRand(p.Seed ^ 0x6f766c64) // "ovld"
+	r := &Ramp{plan: p}
+	for _, m := range p.Multipliers {
+		r.Steps = append(r.Steps, Step{
+			Multiplier: m,
+			Rate:       m * p.Saturation,
+			Seed:       rng.Uint64(),
+		})
+	}
+	return r, nil
+}
+
+// MustCompile is Compile for fixed plans in experiments and tests.
+func (p Plan) MustCompile() *Ramp {
+	r, err := p.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Plan returns the compiled plan.
+func (r *Ramp) Plan() Plan { return r.plan }
+
+// String renders the step table, one step per line ("0: 0.25x 30000/s").
+func (r *Ramp) String() string {
+	var b strings.Builder
+	for i, s := range r.Steps {
+		fmt.Fprintf(&b, "%d: %gx %.0f/s\n", i, s.Multiplier, s.Rate)
+	}
+	return b.String()
+}
+
+// Outcome classifies one response at client completion time.
+type Outcome int
+
+// Response outcomes. Every issued request resolves to exactly one.
+const (
+	// OutcomeOK: served successfully within the deadline (goodput).
+	OutcomeOK Outcome = iota
+	// OutcomeLate: served successfully but past the deadline — work the
+	// machine should have shed (it was already dead to the client).
+	OutcomeLate
+	// OutcomeShed: explicitly refused under load (admission control,
+	// edge shedding). The refusal is the resolution — not silent loss.
+	OutcomeShed
+	// OutcomeError: any other failure.
+	OutcomeError
+)
+
+// StepResult is one step's measured outcome.
+type StepResult struct {
+	Multiplier float64
+	Rate       float64 // offered rate
+	Sent       uint64
+	OK         uint64 // within-deadline successes
+	Late       uint64
+	Shed       uint64
+	Errors     uint64
+	Goodput    float64 // OK per second over the step span
+	P50        sim.Duration
+	P99        sim.Duration
+}
+
+// Resolved is the number of requests that got a definite outcome.
+func (s StepResult) Resolved() uint64 { return s.OK + s.Late + s.Shed + s.Errors }
+
+// RunStep executes step i of the ramp against target: a Poisson open
+// loop at the step's rate for the plan's window, each request stamped
+// with its absolute deadline, the engine driven until every request
+// resolves. gen builds the i-th payload (deadline is 0 when the plan has
+// none); classify maps a response to its outcome (late-ness is applied
+// here, after classification, so classify only inspects bytes).
+func (r *Ramp) RunStep(i int, eng *sim.Engine, target netsim.Target,
+	gen func(rd *sim.Rand, seq uint64, deadline uint64) []byte,
+	classify func(resp []byte) Outcome) StepResult {
+
+	step := r.Steps[i]
+	res := StepResult{Multiplier: step.Multiplier, Rate: step.Rate}
+	wire := netsim.DefaultWireLatency
+	ol := &netsim.OpenLoop{
+		Eng:         eng,
+		Rand:        sim.NewRand(step.Seed),
+		Rate:        step.Rate,
+		Duration:    r.plan.Window,
+		WireLatency: wire,
+		Gen: func(rd *sim.Rand, seq uint64) []byte {
+			var dl uint64
+			if r.plan.Deadline > 0 {
+				dl = uint64(eng.Now().Add(r.plan.Deadline))
+			}
+			return gen(rd, seq, dl)
+		},
+		Target: func(p []byte, reply func([]byte)) {
+			// Requests reach the edge exactly one wire latency after
+			// generation, so the stamped deadline is recoverable here
+			// without threading state: issue = now - wire.
+			var dl sim.Time
+			if r.plan.Deadline > 0 {
+				dl = eng.Now().Add(r.plan.Deadline - wire)
+			}
+			target(p, func(resp []byte) {
+				// The client observes the response one wire latency
+				// from now; late-ness is judged at that instant.
+				out := classify(resp)
+				if out == OutcomeOK && dl > 0 && eng.Now().Add(wire) > dl {
+					out = OutcomeLate
+				}
+				switch out {
+				case OutcomeOK:
+					res.OK++
+				case OutcomeLate:
+					res.Late++
+				case OutcomeShed:
+					res.Shed++
+				default:
+					res.Errors++
+				}
+				reply(resp)
+			})
+		},
+	}
+	done := false
+	ol.Run(func() { done = true })
+	deadline := eng.Now().Add(r.plan.Window + 30*sim.Second)
+	for !done && eng.Now() < deadline {
+		eng.RunFor(sim.Millisecond)
+	}
+	if !done {
+		panic(fmt.Sprintf("overload: step %d (%gx) did not drain within 30s past its window", i, step.Multiplier))
+	}
+	st := ol.Stats()
+	res.Sent = st.Sent
+	if span := st.Span; span > 0 {
+		res.Goodput = float64(res.OK) / (float64(span) / float64(sim.Second))
+	}
+	res.P50 = st.Latency.P50()
+	res.P99 = st.Latency.P99()
+	return res
+}

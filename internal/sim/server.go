@@ -13,6 +13,11 @@ type Server struct {
 	// Busy time accumulated, for utilization accounting.
 	busyTotal Duration
 	jobs      uint64
+	// finishes holds the completion times of accepted-but-unfinished
+	// jobs, pruned lazily on access. It feeds Pending() — the queue
+	// depth overload audits check against bounds — without scheduling
+	// any events of its own, so traces are unchanged.
+	finishes []Time
 }
 
 // NewServer returns an idle server on the given engine.
@@ -32,10 +37,34 @@ func (s *Server) Submit(service Duration, done func()) Time {
 	s.busyUntil = finish
 	s.busyTotal += service
 	s.jobs++
+	s.prune()
+	s.finishes = append(s.finishes, finish)
 	if done != nil {
 		s.eng.At(finish, done)
 	}
 	return finish
+}
+
+// prune drops completion records for jobs already finished. finishes is
+// sorted (FIFO completion order), so the live suffix starts at the first
+// entry past now.
+func (s *Server) prune() {
+	now := s.eng.Now()
+	i := 0
+	for i < len(s.finishes) && s.finishes[i] <= now {
+		i++
+	}
+	if i > 0 {
+		s.finishes = append(s.finishes[:0], s.finishes[i:]...)
+	}
+}
+
+// Pending reports the number of accepted jobs not yet finished (the one
+// in service plus everything queued behind it). This is the queue depth
+// the overload audits bound.
+func (s *Server) Pending() int {
+	s.prune()
+	return len(s.finishes)
 }
 
 // Delay reports how long a job submitted now would wait before service.
@@ -60,6 +89,9 @@ type Pool struct {
 	queue   Duration
 	jobs    uint64
 	busySum Duration
+	// finishes mirrors Server.finishes: completion times of unfinished
+	// jobs for Pending(), pruned lazily, scheduling nothing.
+	finishes []Time
 }
 
 // NewPool returns a pool of k servers. k must be >= 1.
@@ -91,10 +123,39 @@ func (p *Pool) Submit(service Duration, done func()) Time {
 	p.free[best] = finish
 	p.jobs++
 	p.busySum += service
+	p.prune()
+	// Unlike a Server's, pool completions are not submission-ordered
+	// (servers differ in backlog), so insert in sorted position to keep
+	// prune a prefix drop.
+	at := len(p.finishes)
+	for at > 0 && p.finishes[at-1] > finish {
+		at--
+	}
+	p.finishes = append(p.finishes, 0)
+	copy(p.finishes[at+1:], p.finishes[at:])
+	p.finishes[at] = finish
 	if done != nil {
 		p.eng.At(finish, done)
 	}
 	return finish
+}
+
+func (p *Pool) prune() {
+	now := p.eng.Now()
+	i := 0
+	for i < len(p.finishes) && p.finishes[i] <= now {
+		i++
+	}
+	if i > 0 {
+		p.finishes = append(p.finishes[:0], p.finishes[i:]...)
+	}
+}
+
+// Pending reports the number of accepted jobs not yet finished across
+// all servers in the pool.
+func (p *Pool) Pending() int {
+	p.prune()
+	return len(p.finishes)
 }
 
 // Jobs returns the number of jobs accepted.

@@ -16,6 +16,7 @@ import (
 	"nocpu/internal/bus"
 	"nocpu/internal/device"
 	"nocpu/internal/interconnect"
+	"nocpu/internal/metrics"
 	"nocpu/internal/msg"
 	"nocpu/internal/sim"
 	"nocpu/internal/trace"
@@ -35,12 +36,29 @@ type App interface {
 	PeerFailed(dev msg.DeviceID)
 }
 
+// Shedder is an optional App extension for overload. When the NIC's rx
+// queue is at its bound it asks the app for a cheap shed response and
+// replies with that instead of enqueueing the request, so clients learn
+// they were refused rather than timing out. Apps that do not implement
+// Shedder get wire-drop semantics instead (the packet vanishes).
+type Shedder interface {
+	// ShedResponse returns the protocol-level "refused under load"
+	// reply for one shed request.
+	ShedResponse() []byte
+}
+
 // Config assembles a NIC.
 type Config struct {
 	Device device.Config
 	// RxCost/TxCost model packet processing per network request/response.
 	RxCost sim.Duration
 	TxCost sim.Duration
+	// RxQueueBound caps the rx pipeline's backlog (requests admitted but
+	// not yet through rx processing). At the bound, Deliver sheds: the
+	// request is answered with the app's Shedder response (or dropped if
+	// the app has none) without consuming rx service time. 0 = unbounded,
+	// the pre-flow-control behavior.
+	RxQueueBound int
 }
 
 // DefaultRxCost and DefaultTxCost model a programmable pipeline.
@@ -84,6 +102,13 @@ type NIC struct {
 
 	// NetRequests counts network requests served.
 	NetRequests uint64
+	// RxShed counts requests refused at the rx bound (replied via the
+	// app's Shedder response or, absent one, dropped on the wire).
+	RxShed uint64
+
+	// rxG tracks rx backlog depth against RxQueueBound for the overload
+	// harness's Q1 audit.
+	rxG *metrics.Gauge
 }
 
 type openKey struct {
@@ -130,6 +155,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 		pendingIO:       make(map[ioKey]func(*msg.FileIOResp)),
 		pendingState:    make(map[uint32]func(*msg.StateResp)),
 		inflight:        make(map[uint32]*retrier),
+		rxG:             metrics.NewGauge(cfg.RxQueueBound),
 	}
 	d.Handle(msg.KindDiscoverResp, n.onDiscoverResp)
 	d.Handle(msg.KindOpenResp, n.onOpenResp)
@@ -153,6 +179,9 @@ func (n *NIC) Device() *device.Device { return n.dev }
 
 // RetryStats reports reliability-layer counters.
 func (n *NIC) RetryStats() RetryStats { return n.retryStats }
+
+// RxGauge exposes rx backlog depth vs RxQueueBound (overload Q1 audit).
+func (n *NIC) RxGauge() *metrics.Gauge { return n.rxG }
 
 // Start powers the NIC on.
 func (n *NIC) Start() { n.dev.Start() }
@@ -208,12 +237,25 @@ func (n *NIC) Deliver(app msg.AppID, payload []byte, reply func([]byte)) {
 		// No such app or dead NIC: the packet vanishes, as on a real wire.
 		return
 	}
+	if bound := n.cfg.RxQueueBound; bound > 0 && n.rx.Pending() >= bound {
+		// Rx pipeline is full: shed at the edge. A Shedder app still
+		// answers (through tx, so the refusal costs what any response
+		// costs); others see a wire drop, as on a real NIC whose ring
+		// overflows. Either way the request never consumes rx service.
+		n.RxShed++
+		if s, ok := a.(Shedder); ok {
+			resp := s.ShedResponse()
+			n.tx.Submit(n.cfg.TxCost, func() { reply(resp) })
+		}
+		return
+	}
 	n.rx.Submit(n.cfg.RxCost, func() {
 		n.NetRequests++
 		a.ServeNetwork(payload, func(resp []byte) {
 			n.tx.Submit(n.cfg.TxCost, func() { reply(resp) })
 		})
 	})
+	n.rxG.Set(n.rx.Pending())
 }
 
 // Control-plane response routing.

@@ -52,6 +52,9 @@ const (
 	StatusOK Status = iota
 	StatusBadRequest
 	StatusIOError
+	// StatusBusy: the serving side refused the request under load (the
+	// centralized kernel's mediated-I/O backlog bound). Retryable.
+	StatusBusy
 )
 
 // FileReq is a decoded request.
