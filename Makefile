@@ -1,12 +1,13 @@
 # Build/verification entry points. `make check` is the full gate used
 # before merging: vet, the nocpu-lint analyzer suite, build, race-enabled
 # tests, a short fuzz run of the wire-format decoder, the E15 chaos tier
-# (seeded crash schedules under race), and the E16 overload tier (seeded
-# open-loop load ramps under race).
+# (seeded crash schedules under race), the E16 overload tier (seeded
+# open-loop load ramps under race), and the E17 fabric tier (rack-scale
+# determinism, ring properties and machine-kill chaos under race).
 
 GO ?= go
 
-.PHONY: build test vet lint race fuzz chaos overload check bench tables
+.PHONY: build test vet lint race fuzz chaos overload fabric check bench tables
 
 build:
 	$(GO) build ./...
@@ -46,11 +47,22 @@ overload:
 	$(GO) test -race -run 'TestE16' ./internal/exp
 	$(GO) test -race ./internal/overload
 
-check: vet lint build race fuzz chaos overload
+# Fabric tier (E17): the rack-scale package's full suite (golden-trace
+# determinism, consistent-hash ring properties, whole-machine-kill
+# chaos) plus the E17 chaos campaigns, all under the race detector.
+# Seeds are fixed, so failures reproduce bit-for-bit. The E15/E16
+# golden tables pinned by TestTablesGolden (race tier) double as the
+# fabric-off regression diff: gating the fabric off must leave every
+# earlier experiment byte-identical.
+fabric:
+	$(GO) test -race ./internal/fabric
+	$(GO) test -race -run 'TestE17' ./internal/exp
+
+check: vet lint build race fuzz chaos overload fabric
 
 bench:
 	$(GO) test -run=^$$ -bench . -benchtime=100x .
 
-# Regenerate all experiment tables (E1-E16).
+# Regenerate all experiment tables (E1-E17).
 tables:
 	$(GO) run ./cmd/nocpu-bench

@@ -97,6 +97,11 @@ type Options struct {
 	// interconnect (E14). Nil leaves the machine bit-identical to a build
 	// without injection.
 	FaultPlane *faultinject.Plane
+	// Engine, when non-nil, is the event loop the machine runs on instead
+	// of a private one. The rack-scale fabric (internal/fabric) uses this
+	// to co-schedule N machines on one deterministic clock; nil (the
+	// default) keeps the single-machine behavior bit-identical.
+	Engine *sim.Engine
 }
 
 // System is an assembled machine.
@@ -145,9 +150,13 @@ func New(opts Options) (*System, error) {
 		opts.Costs = interconnect.DefaultCosts
 		opts.Costs.DMAWindow = dw
 	}
+	eng := opts.Engine
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
 	s := &System{
 		Opts: opts,
-		Eng:  sim.NewEngine(),
+		Eng:  eng,
 		Rand: sim.NewRand(opts.Seed ^ 0x6e6f637075), // "nocpu"
 	}
 	if !opts.NoTrace {
@@ -402,6 +411,8 @@ type KVSOptions struct {
 	// InflightBound caps the store's admitted-but-unreplied requests
 	// (kvs.Config.InflightBound; 0 = unbounded).
 	InflightBound int
+	// CacheEntries enables the NIC-local value cache (E11; 0 = off).
+	CacheEntries int
 }
 
 // NewKVS builds a KVS store wired for this system's flavor and loads it
@@ -413,6 +424,7 @@ func (s *System) NewKVS(o KVSOptions) *kvs.Store {
 		Token:         o.Token,
 		QueueEntries:  o.QueueEntries,
 		InflightBound: o.InflightBound,
+		CacheEntries:  o.CacheEntries,
 	}
 	switch {
 	case s.CPU != nil && o.Mediated:

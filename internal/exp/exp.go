@@ -62,6 +62,7 @@ var registry = []entry{
 	{"E14", "Fault injection: init and steady-state KVS under message loss", E14FaultTolerance},
 	{"E15", "Crash-restart-rejoin: chaos schedules over both control planes", E15CrashRecovery},
 	{"E16", "Overload resilience: goodput under open-loop load ramps", E16Overload},
+	{"E17", "Rack-scale fabric: sharded replicated KVS across N machines", E17Fabric},
 }
 
 // IDs lists all experiment identifiers in order.

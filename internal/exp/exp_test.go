@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("expected 16 experiments, have %v", ids)
+	if len(ids) != 17 {
+		t.Fatalf("expected 17 experiments, have %v", ids)
 	}
 	for i, id := range ids {
 		if want := fmt.Sprintf("E%d", i+1); id != want {

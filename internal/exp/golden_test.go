@@ -6,15 +6,16 @@ import (
 	"testing"
 )
 
-// goldenIDs are the experiments pinned byte-for-byte. They are the cheap
-// ones that together cover every timing-sensitive layer the overload
-// mechanisms were threaded through: E1 (bus control-plane init, all
-// flavors), E2 (NIC/virtqueue/SSD data plane under load), E9 (doorbell
-// batching — virtqueue event timing), E10 (bus speed sensitivity — wire
-// and processing latency). Any accidental event, cost, or ordering
-// change from a feature that should be gated off shifts at least one of
-// these tables.
-var goldenIDs = []string{"E1", "E2", "E9", "E10"}
+// goldenIDs are the experiments pinned byte-for-byte. They are the
+// ones that together cover every timing-sensitive layer new features
+// get threaded through: E1 (bus control-plane init, all flavors), E2
+// (NIC/virtqueue/SSD data plane under load), E9 (doorbell batching —
+// virtqueue event timing), E10 (bus speed sensitivity — wire and
+// processing latency), E15 (crash-restart-rejoin chaos schedules) and
+// E16 (overload ramps). Any accidental event, cost, or ordering change
+// from a feature that should be gated off — the rack-scale fabric
+// (E17) included — shifts at least one of these tables.
+var goldenIDs = []string{"E1", "E2", "E9", "E10", "E15", "E16"}
 
 // TestTablesGolden asserts the pinned experiment tables are byte-
 // identical to the recorded goldens. The overload defenses (credit flow

@@ -1,0 +1,138 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"nocpu/internal/kvs"
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+)
+
+// mustBoot builds and boots a cluster or fails the test.
+func mustBoot(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	cl := MustNew(cfg)
+	if err := cl.Boot(); err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	return cl
+}
+
+// do issues one client op at the given ingress and runs the engine
+// until the reply arrives (or the deadline passes).
+func do(t *testing.T, cl *Cluster, ingress msg.DeviceID, req kvs.Request) kvs.Response {
+	t.Helper()
+	var out kvs.Response
+	got := false
+	cl.Ingress(ingress)(kvs.EncodeRequest(req), func(b []byte) {
+		resp, err := kvs.DecodeResponse(b)
+		if err != nil {
+			t.Fatalf("bad response: %v", err)
+		}
+		out, got = resp, true
+	})
+	deadline := cl.Eng.Now().Add(sim.Second)
+	for !got && cl.Eng.Now() < deadline {
+		cl.Eng.RunFor(100 * sim.Microsecond)
+	}
+	if !got {
+		t.Fatalf("op %v %q never answered", req.Op, req.Key)
+	}
+	return out
+}
+
+func val64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestClusterBootAndBasicOps(t *testing.T) {
+	cl := mustBoot(t, Config{N: 4, Seed: 1})
+	// Writes and reads land regardless of which machine the client hits.
+	for i := uint64(0); i < 32; i++ {
+		key := keyFor(int(i))
+		ing := cl.MachineIDs()[int(i)%4]
+		if resp := do(t, cl, ing, kvs.Request{Op: kvs.OpPut, Key: key, Value: val64(i)}); resp.Status != kvs.StatusOK {
+			t.Fatalf("put %s: status %d", key, resp.Status)
+		}
+	}
+	for i := uint64(0); i < 32; i++ {
+		key := keyFor(int(i))
+		ing := cl.MachineIDs()[int(3-i%4)]
+		resp := do(t, cl, ing, kvs.Request{Op: kvs.OpGet, Key: key})
+		if resp.Status != kvs.StatusOK {
+			t.Fatalf("get %s: status %d", key, resp.Status)
+		}
+		if got := binary.LittleEndian.Uint64(resp.Value); got != i {
+			t.Fatalf("get %s: value %d, want %d", key, got, i)
+		}
+	}
+	st := cl.RouterStatsSum()
+	if st.Local == 0 || st.Remote == 0 {
+		t.Errorf("expected a mix of local and remote serves, got local=%d remote=%d", st.Local, st.Remote)
+	}
+	if st.ViewChanges != 0 {
+		t.Errorf("no machine died, but %d view changes", st.ViewChanges)
+	}
+}
+
+func TestReplicationPlacesValueOnBackup(t *testing.T) {
+	cl := mustBoot(t, Config{N: 4, Seed: 2})
+	key := "replica-check"
+	own := cl.Ring.Owners(key, nil, 2)
+	if len(own) != 2 {
+		t.Fatalf("owners = %v", own)
+	}
+	if resp := do(t, cl, own[0], kvs.Request{Op: kvs.OpPut, Key: key, Value: val64(7)}); resp.Status != kvs.StatusOK {
+		t.Fatalf("put: %d", resp.Status)
+	}
+	// Both owners' shard stores hold the key; nobody else does.
+	for _, m := range cl.Machines {
+		has := m.Store.Keys() > 0
+		wantHas := m.ID == own[0] || m.ID == own[1]
+		if has != wantHas {
+			t.Errorf("machine %d: keys=%d, want present=%v (owners %v)", m.ID, m.Store.Keys(), wantHas, own)
+		}
+	}
+}
+
+func TestHeadFlavorRelaysRemoteOps(t *testing.T) {
+	cl := mustBoot(t, Config{N: 4, Seed: 3, Flavor: FlavorHead})
+	// Find a key owned by neither the head (1) nor the ingress (3).
+	key := ""
+	for i := 0; i < 1000; i++ {
+		k := keyFor(i)
+		own := cl.Ring.Owners(k, nil, 2)
+		if own[0] != 1 && own[0] != 3 {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no suitable key found")
+	}
+	if resp := do(t, cl, 3, kvs.Request{Op: kvs.OpPut, Key: key, Value: val64(9)}); resp.Status != kvs.StatusOK {
+		t.Fatalf("put: %d", resp.Status)
+	}
+	if resp := do(t, cl, 3, kvs.Request{Op: kvs.OpGet, Key: key}); resp.Status != kvs.StatusOK {
+		t.Fatalf("get: %d", resp.Status)
+	}
+	if relayed := cl.Machine(1).Router.Stats().HeadRelayed; relayed == 0 {
+		t.Error("head relayed nothing; remote ops bypassed the head")
+	}
+}
+
+func TestSingleMachineSoloAcks(t *testing.T) {
+	cl := mustBoot(t, Config{N: 1, Seed: 4})
+	if resp := do(t, cl, 1, kvs.Request{Op: kvs.OpPut, Key: "k", Value: val64(1)}); resp.Status != kvs.StatusOK {
+		t.Fatalf("put: %d", resp.Status)
+	}
+	if st := cl.RouterStatsSum(); st.SoloAcks == 0 {
+		t.Error("N=1 write did not solo-ack")
+	}
+}
+
+func keyFor(i int) string { return fmt.Sprintf("fkey-%05d", i) }

@@ -1,0 +1,47 @@
+package fabric
+
+import (
+	"nocpu/internal/chaos"
+	"nocpu/internal/sim"
+)
+
+// Ledger is the fabric's recovery oracle: the chaos ledger's write/read
+// bookkeeping (R1 no-acked-write-lost maps to G1, R2 no-dup-apply to
+// G2) extended with R3 — after failover settles, every key the workload
+// ever touched must get a definitive answer (OK or NotFound) from some
+// live machine. A key whose final sweep read never resolves is
+// unroutable: its shard fell out of the ring without a surviving
+// replica taking it over.
+type Ledger struct {
+	*chaos.Ledger
+	unroutable []string
+}
+
+// NewLedger returns an empty fabric ledger.
+func NewLedger() *Ledger { return &Ledger{Ledger: chaos.NewLedger()} }
+
+// NoteUnroutable records a key whose read-back sweep got no definitive
+// answer from the fabric (R3 violation).
+func (l *Ledger) NoteUnroutable(key string) {
+	const maxTracked = 64
+	if len(l.unroutable) < maxTracked {
+		l.unroutable = append(l.unroutable, key)
+	}
+}
+
+// Report is the chaos report plus the R3 verdict.
+type Report struct {
+	chaos.Report
+	Unroutable []string
+}
+
+// Report tallies the run.
+func (l *Ledger) Report() Report {
+	return Report{Report: l.Ledger.Report(), Unroutable: append([]string(nil), l.unroutable...)}
+}
+
+// CleanFabric reports whether the run upheld R1, R2 (via G1/G2), R3,
+// and — when bound > 0 — recovered from every kill within bound.
+func (r Report) CleanFabric(bound sim.Duration) bool {
+	return r.Report.Clean(bound) && len(r.Unroutable) == 0
+}

@@ -1,0 +1,121 @@
+package fabric
+
+import (
+	"nocpu/internal/faultinject"
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+)
+
+// frameMagic prefixes every fabric frame delivered to a router's NIC.
+// Client kvs requests start with an opcode in 1..3, so one byte
+// discriminates "peer machine traffic" from "client traffic" at the
+// router's ServeNetwork edge.
+const frameMagic = 0xFB
+
+// Datacenter-network defaults: a few microseconds of switch+propagation
+// latency plus a per-byte serialization cost (~10 Gb/s).
+const (
+	DefaultLinkLatency = 2 * sim.Microsecond
+	DefaultPerByte     = 1 * sim.Nanosecond
+)
+
+// NetConfig parameterizes the modeled datacenter network.
+type NetConfig struct {
+	LinkLatency sim.Duration // per-frame base latency (default 2µs)
+	PerByte     sim.Duration // serialization cost per frame byte (default 1ns)
+	// Plane, when non-nil, injects link faults (drop/delay/dup/reorder)
+	// on LayerLink; whole-machine crashes are the cluster's job.
+	Plane *faultinject.Plane
+}
+
+// NetStats counts fabric traffic.
+type NetStats struct {
+	Frames      uint64
+	Bytes       uint64
+	Vanished    uint64 // frames addressed to (or arriving at) a dead machine
+	Unreachable uint64 // sender notifications for dead destinations
+}
+
+// Network is the full-mesh datacenter fabric between machines. It
+// carries msg.Envelope frames whose Src/Dst are machine addresses, and
+// it models transport-level failure detection: a send to a machine the
+// cluster has killed costs a round trip, then surfaces as an
+// "unreachable" notification at the sending router (the analogue of an
+// ARP/SYN timeout). Frames in flight to a machine that dies before
+// delivery vanish silently, exactly like a real wire.
+type Network struct {
+	eng *sim.Engine
+	cfg NetConfig
+
+	// alive/deliver/unreachable/trace are wired by the Cluster.
+	alive       func(msg.DeviceID) bool
+	deliver     func(dst msg.DeviceID, frame []byte)
+	unreachable func(src, dst msg.DeviceID)
+	trace       func(format string, args ...any)
+
+	// linkSeq tags frames per (src, dst) so receivers can suppress
+	// plane-injected duplicates with a msg.DedupWindow: per-directed-link
+	// counters keep tags dense, which the 64-deep window needs.
+	linkSeq map[[2]msg.DeviceID]uint32
+
+	stats NetStats
+}
+
+func newNetwork(eng *sim.Engine, cfg NetConfig) *Network {
+	if cfg.LinkLatency == 0 {
+		cfg.LinkLatency = DefaultLinkLatency
+	}
+	if cfg.PerByte == 0 {
+		cfg.PerByte = DefaultPerByte
+	}
+	return &Network{eng: eng, cfg: cfg, linkSeq: make(map[[2]msg.DeviceID]uint32)}
+}
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() NetStats { return n.stats }
+
+// Send puts one message on the wire from machine src to machine dst.
+// epoch is stamped into the envelope's incarnation field (trace and
+// diagnostics only; fencing is the routers' dead-set business).
+func (n *Network) Send(src, dst msg.DeviceID, epoch uint32, m msg.Message) {
+	if !n.alive(dst) {
+		// Transport-level failure detection: the connection attempt burns
+		// a round trip, then the sender learns the peer is gone.
+		n.stats.Unreachable++
+		n.eng.After(2*n.cfg.LinkLatency, func() { n.unreachable(src, dst) })
+		return
+	}
+	link := [2]msg.DeviceID{src, dst}
+	n.linkSeq[link]++
+	env := msg.Envelope{Src: src, Dst: dst, Seq: n.linkSeq[link], Inc: epoch, Msg: m}
+	frame := append([]byte{frameMagic}, env.Encode()...)
+
+	lat := n.cfg.LinkLatency + sim.Duration(len(frame))*n.cfg.PerByte
+	copies := 1
+	if d := n.cfg.Plane.Filter(faultinject.LayerLink, n.eng.Now(), src, dst, m.Kind()); d.Op != faultinject.Pass {
+		switch d.Op {
+		case faultinject.Drop:
+			return
+		case faultinject.Delay, faultinject.Reorder:
+			lat += d.Delay
+		case faultinject.Dup:
+			copies = 2
+		}
+	}
+	n.stats.Frames += uint64(copies)
+	n.stats.Bytes += uint64(len(frame) * copies)
+	// Every wire event lands in the trace: the golden determinism test
+	// hashes the full message schedule, not just lifecycle milestones.
+	n.trace("net %d->%d kind=%d seq=%d len=%d", src, dst, m.Kind(), n.linkSeq[link], len(frame))
+	for c := 0; c < copies; c++ {
+		// The duplicate trails the original by one serialization slot; it
+		// carries the same link seq, so the receiver's window eats it.
+		n.eng.After(lat+sim.Duration(c)*n.cfg.PerByte, func() {
+			if !n.alive(dst) {
+				n.stats.Vanished++
+				return
+			}
+			n.deliver(dst, frame)
+		})
+	}
+}

@@ -1,0 +1,744 @@
+package fabric
+
+import (
+	"sort"
+
+	"nocpu/internal/kvs"
+	"nocpu/internal/msg"
+	"nocpu/internal/sim"
+	"nocpu/internal/smartnic"
+)
+
+// Well-known app slots on every fabric machine's NIC.
+const (
+	// StoreApp is the local KVS shard.
+	StoreApp msg.AppID = 1
+	// RouterApp is the fabric router; peer frames and client requests
+	// both enter through it.
+	RouterApp msg.AppID = 2
+)
+
+// Router tuning defaults.
+const (
+	DefaultReplicas       = 2
+	DefaultRepRetry       = 500 * sim.Microsecond
+	DefaultOpTimeout      = 10 * sim.Millisecond
+	DefaultHeartbeatEvery = 1 * sim.Millisecond
+	DefaultFailTimeout    = 4 * sim.Millisecond
+	DefaultWriteBound     = 128
+)
+
+// RouterStats counts one machine's fabric activity.
+type RouterStats struct {
+	Local       uint64 // client ops served by the ingress machine itself
+	Remote      uint64 // client ops forwarded to another machine
+	HeadRelayed uint64 // ops this head node relayed to shard owners
+	WrongOwner  uint64 // FabricReqs refused: responder not the owner
+	Applies     uint64 // Replicate frames applied at this backup
+	RepFenced   uint64 // Replicate frames fenced by the (epoch, seq) watermark
+	Resyncs     uint64 // keys re-replicated after a view change
+	SoloAcks    uint64 // writes acked with no live backup in view
+	Shed        uint64 // writes refused at the per-key pipeline bound
+	ViewChanges uint64
+	Timeouts    uint64 // pending client ops that hit OpTimeout
+	Reroutes    uint64 // ops re-sent after a WrongOwner redirect
+}
+
+// routerConfig is assembled by the Cluster from its Config.
+type routerConfig struct {
+	id         msg.DeviceID
+	head       msg.DeviceID // 0 = decentralized membership
+	replicas   int
+	repRetry   sim.Duration
+	opTimeout  sim.Duration
+	hbEvery    sim.Duration
+	failAfter  sim.Duration
+	writeBound int
+}
+
+// pendingReq is a client op forwarded to another machine, awaiting its
+// FabricResp.
+type pendingReq struct {
+	target   msg.DeviceID
+	reply    func([]byte)
+	tm       *sim.Timer
+	payload  []byte
+	rerouted bool
+}
+
+// writeTask is one mutation moving through a key's replication
+// pipeline: local apply, then Replicate to the backup, then the client
+// ack. Sync tasks (view-change resync) skip the local apply and carry
+// the value read from the store instead.
+type writeTask struct {
+	key   string
+	del   bool
+	value []byte
+	// payload is the original client request (nil for sync tasks).
+	payload []byte
+	// reply acks the client (nil for sync tasks).
+	reply func([]byte)
+	resp  []byte // local store response, held until the backup acks
+
+	sync   bool
+	seq    uint64
+	backup msg.DeviceID
+	tm     *sim.Timer
+	done   bool
+}
+
+// keyGate serializes a key's mutations: one task in flight, later ones
+// wait. Per-key FIFO order is what makes the backup's watermark fencing
+// equivalent to "newest write wins".
+type keyGate struct {
+	cur   *writeTask
+	queue []*writeTask
+}
+
+// watermark fences replicated applies: a backup applies a Replicate iff
+// its (epoch, seq) exceeds the key's watermark (R2).
+type watermark struct {
+	epoch uint32
+	seq   uint64
+}
+
+// Router is the fabric brain on each machine's smart NIC: client-side
+// shard routing, cross-machine forwarding, primary/backup replication
+// with fenced failover, and membership (reactive+gossip, or
+// heartbeat-to-head when a head node is configured).
+type Router struct {
+	cfg   routerConfig
+	cl    *Cluster
+	ring  *Ring
+	store *kvs.Store
+	eng   *sim.Engine
+	rt    *smartnic.Runtime
+
+	halted bool
+
+	dead  map[msg.DeviceID]bool
+	epoch uint32
+
+	dedup msg.DedupWindow
+
+	nextReq uint64
+	pending map[uint64]*pendingReq
+
+	repSeq   uint64
+	gates    map[string]*keyGate
+	inflight map[uint64]*writeTask
+
+	wm map[string]watermark
+
+	hbSeq    uint64
+	lastBeat map[msg.DeviceID]sim.Time
+
+	stats RouterStats
+}
+
+func newRouter(cl *Cluster, cfg routerConfig, ring *Ring, store *kvs.Store, eng *sim.Engine) *Router {
+	return &Router{
+		cfg:      cfg,
+		cl:       cl,
+		ring:     ring,
+		store:    store,
+		eng:      eng,
+		dead:     make(map[msg.DeviceID]bool),
+		pending:  make(map[uint64]*pendingReq),
+		gates:    make(map[string]*keyGate),
+		inflight: make(map[uint64]*writeTask),
+		wm:       make(map[string]watermark),
+		lastBeat: make(map[msg.DeviceID]sim.Time),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (r *Router) Stats() RouterStats { return r.stats }
+
+// Epoch returns the router's current view epoch (== dead machines seen).
+func (r *Router) Epoch() uint32 { return r.epoch }
+
+// AppID implements smartnic.App.
+func (r *Router) AppID() msg.AppID { return RouterApp }
+
+// Boot implements smartnic.App. With a head node configured, the head
+// arms its failure-sweep timer and everyone else starts heartbeating.
+func (r *Router) Boot(rt *smartnic.Runtime) {
+	r.rt = rt
+	if r.cfg.head == 0 {
+		return
+	}
+	if r.isHead() {
+		r.armSweep()
+	} else {
+		r.armHeartbeat()
+	}
+}
+
+// PeerFailed implements smartnic.App. Intra-machine device failure is
+// the machine's own problem; fabric membership is judged at machine
+// granularity by the network and the head.
+func (r *Router) PeerFailed(msg.DeviceID) {}
+
+func (r *Router) isHead() bool { return r.cfg.head != 0 && r.cfg.head == r.cfg.id }
+
+// halt freezes the router when the cluster kills its machine: every
+// timer and handler bails, modeling crash-stop.
+func (r *Router) halt() { r.halted = true }
+
+// deadList renders the dead set in sorted order (gossip payloads and
+// deterministic iteration).
+func (r *Router) deadList() []msg.DeviceID {
+	out := make([]msg.DeviceID, 0, len(r.dead))
+	for id := range r.dead {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// owners is the ring lookup under this router's view.
+func (r *Router) owners(key string) []msg.DeviceID {
+	return r.ring.Owners(key, r.dead, r.cfg.replicas)
+}
+
+// ServeNetwork implements smartnic.App: one byte discriminates peer
+// fabric frames (frameMagic) from client kvs requests.
+func (r *Router) ServeNetwork(payload []byte, reply func([]byte)) {
+	if r.halted {
+		return
+	}
+	if len(payload) > 0 && payload[0] == frameMagic {
+		r.onFrame(payload[1:])
+		return
+	}
+	r.onClient(payload, reply)
+}
+
+// --- client ingress ---
+
+func (r *Router) onClient(payload []byte, reply func([]byte)) {
+	req, err := kvs.DecodeRequest(payload)
+	if err != nil {
+		reply(kvs.EncodeResponse(kvs.Response{Status: kvs.StatusError}))
+		return
+	}
+	own := r.owners(req.Key)
+	if len(own) == 0 {
+		reply(kvs.EncodeResponse(kvs.Response{Status: kvs.StatusUnavailable}))
+		return
+	}
+	if own[0] == r.cfg.id {
+		r.stats.Local++
+		r.servePrimary(req, payload, reply)
+		return
+	}
+	r.stats.Remote++
+	r.forward(own[0], payload, reply, false)
+}
+
+// forward sends a client op to the key's primary — directly, or through
+// the head node when one is configured (the centralized-routing
+// baseline; the owner still answers the origin directly, so only the
+// request leg transits the head).
+func (r *Router) forward(primary msg.DeviceID, payload []byte, reply func([]byte), rerouted bool) {
+	target := primary
+	if r.cfg.head != 0 && !r.isHead() {
+		target = r.cfg.head
+	}
+	r.nextReq++
+	id := r.nextReq
+	p := &pendingReq{target: primary, reply: reply, payload: payload, rerouted: rerouted}
+	r.pending[id] = p
+	p.tm = r.eng.After(r.cfg.opTimeout, func() {
+		if r.halted || r.pending[id] != p {
+			return
+		}
+		delete(r.pending, id)
+		r.stats.Timeouts++
+		reply(kvs.EncodeResponse(kvs.Response{Status: kvs.StatusUnavailable}))
+	})
+	r.cl.net.Send(r.cfg.id, target, r.epoch, &msg.FabricReq{
+		Origin: r.cfg.id, ReqID: id, Payload: payload,
+	})
+}
+
+// resolvePending finishes a forwarded op exactly once.
+func (r *Router) resolvePending(id uint64, p *pendingReq, resp []byte) {
+	if r.pending[id] != p {
+		return
+	}
+	delete(r.pending, id)
+	if p.tm != nil {
+		p.tm.Stop()
+	}
+	p.reply(resp)
+}
+
+// --- peer frames ---
+
+func (r *Router) onFrame(raw []byte) {
+	env, err := msg.Decode(raw)
+	if err != nil {
+		return // a corrupt frame vanishes, like a bad checksum on a real wire
+	}
+	if r.dedup.Duplicate(env.Src, env.Seq) {
+		return
+	}
+	if r.dead[env.Src] {
+		// Fencing: traffic from machines this view declared dead is
+		// ignored, so a straggler from an old primary can never regress a
+		// promoted replica (R2).
+		return
+	}
+	switch m := env.Msg.(type) {
+	case *msg.FabricReq:
+		r.onFabricReq(m)
+	case *msg.FabricResp:
+		r.onFabricResp(m)
+	case *msg.Replicate:
+		r.onReplicate(env.Src, m)
+	case *msg.ReplicateAck:
+		r.onReplicateAck(m)
+	case *msg.RingUpdate:
+		r.noteDead("ring.update", m.Dead...)
+	case *msg.Heartbeat:
+		if r.isHead() {
+			r.lastBeat[env.Src] = r.eng.Now()
+		}
+	}
+}
+
+func (r *Router) onFabricReq(m *msg.FabricReq) {
+	req, err := kvs.DecodeRequest(m.Payload)
+	if err != nil {
+		r.respond(m.Origin, m.ReqID, msg.FabricServed,
+			kvs.EncodeResponse(kvs.Response{Status: kvs.StatusError}))
+		return
+	}
+	own := r.owners(req.Key)
+	switch {
+	case len(own) > 0 && own[0] == r.cfg.id:
+		origin, id := m.Origin, m.ReqID
+		r.servePrimary(req, m.Payload, func(resp []byte) {
+			r.respond(origin, id, msg.FabricServed, resp)
+		})
+	case r.isHead() && m.Hops == 0 && len(own) > 0:
+		// Head relay: forward to the shard owner, origin preserved. Hops
+		// guards the (unreachable in a sane view) forwarding loop.
+		r.stats.HeadRelayed++
+		r.cl.net.Send(r.cfg.id, own[0], r.epoch, &msg.FabricReq{
+			Origin: m.Origin, ReqID: m.ReqID, Hops: m.Hops + 1, Payload: m.Payload,
+		})
+	default:
+		// Not ours: tell the origin whom we think is dead so it can catch
+		// up and re-route.
+		r.stats.WrongOwner++
+		r.respond(m.Origin, m.ReqID, msg.FabricWrongOwner, nil)
+	}
+}
+
+// respond sends a FabricResp carrying this router's dead set as gossip.
+func (r *Router) respond(origin msg.DeviceID, id uint64, code uint8, resp []byte) {
+	r.cl.net.Send(r.cfg.id, origin, r.epoch, &msg.FabricResp{
+		ReqID: id, Code: code, Dead: r.deadList(), Payload: resp,
+	})
+}
+
+func (r *Router) onFabricResp(m *msg.FabricResp) {
+	r.noteDead("gossip", m.Dead...)
+	p := r.pending[m.ReqID]
+	if p == nil {
+		return // already timed out or resolved
+	}
+	if m.Code == msg.FabricServed {
+		r.resolvePending(m.ReqID, p, m.Payload)
+		return
+	}
+	// WrongOwner/unavailable: one re-route with the merged view, then
+	// give up and let the client retry.
+	delete(r.pending, m.ReqID)
+	if p.tm != nil {
+		p.tm.Stop()
+	}
+	if p.rerouted {
+		p.reply(kvs.EncodeResponse(kvs.Response{Status: kvs.StatusUnavailable}))
+		return
+	}
+	req, err := kvs.DecodeRequest(p.payload)
+	if err == nil {
+		if own := r.owners(req.Key); len(own) > 0 && own[0] != r.cfg.id {
+			r.stats.Reroutes++
+			r.forward(own[0], p.payload, p.reply, true)
+			return
+		} else if len(own) > 0 {
+			// The merged view promoted us: serve locally after all.
+			r.stats.Reroutes++
+			r.servePrimary(req, p.payload, p.reply)
+			return
+		}
+	}
+	p.reply(kvs.EncodeResponse(kvs.Response{Status: kvs.StatusUnavailable}))
+}
+
+// --- primary path ---
+
+// servePrimary executes one op this machine owns: reads hit the local
+// shard directly; mutations enter the key's replication pipeline.
+func (r *Router) servePrimary(req kvs.Request, payload []byte, reply func([]byte)) {
+	if req.Op != kvs.OpPut && req.Op != kvs.OpDelete {
+		r.store.ServeNetwork(payload, reply)
+		return
+	}
+	r.enqueue(&writeTask{
+		key: req.Key, del: req.Op == kvs.OpDelete, value: req.Value,
+		payload: payload, reply: reply,
+	})
+}
+
+func (r *Router) enqueue(t *writeTask) {
+	g := r.gates[t.key]
+	if g == nil {
+		g = &keyGate{}
+		r.gates[t.key] = g
+	}
+	if g.cur == nil {
+		g.cur = t
+		r.startTask(t)
+		return
+	}
+	if len(g.queue) >= r.cfg.writeBound {
+		// Bounded pipeline: refuse rather than queue without limit.
+		r.stats.Shed++
+		if t.reply != nil {
+			t.reply(kvs.EncodeResponse(kvs.Response{Status: kvs.StatusShed}))
+		}
+		return
+	}
+	g.queue = append(g.queue, t)
+}
+
+func (r *Router) startTask(t *writeTask) {
+	if r.halted {
+		return
+	}
+	if t.sync {
+		// Resync: replicate the key's current value (read under the gate,
+		// so no later client write can be overtaken by a stale sync).
+		get := kvs.EncodeRequest(kvs.Request{Op: kvs.OpGet, Key: t.key})
+		r.store.ServeNetwork(get, func(b []byte) {
+			resp, err := kvs.DecodeResponse(b)
+			switch {
+			case err != nil || resp.Status == kvs.StatusError || resp.Status == kvs.StatusUnavailable:
+				r.finishTask(t) // shard unreadable; a later view change retries
+			case resp.Status == kvs.StatusNotFound:
+				t.del = true
+				r.replicate(t)
+			default:
+				t.value = resp.Value
+				r.replicate(t)
+			}
+		})
+		return
+	}
+	r.store.ServeNetwork(t.payload, func(b []byte) {
+		resp, err := kvs.DecodeResponse(b)
+		if err != nil || resp.Status != kvs.StatusOK {
+			// Local apply failed (shed, unavailable, IO error): the client
+			// hears the truth and nothing was replicated.
+			if t.reply != nil {
+				t.reply(b)
+			}
+			r.finishTask(t)
+			return
+		}
+		t.resp = b
+		r.replicate(t)
+	})
+}
+
+// replicate sends the task's mutation to the key's backup and acks the
+// client only on the backup's ReplicateAck (R1). With no live backup in
+// view the primary is the shard's sole owner and acks alone.
+func (r *Router) replicate(t *writeTask) {
+	if r.halted || t.done {
+		return
+	}
+	own := r.owners(t.key)
+	if len(own) < 2 {
+		r.stats.SoloAcks++
+		r.ackTask(t)
+		return
+	}
+	t.backup = own[1]
+	if t.seq == 0 {
+		r.repSeq++
+		t.seq = r.repSeq
+		r.inflight[t.seq] = t
+	}
+	r.cl.net.Send(r.cfg.id, t.backup, r.epoch, &msg.Replicate{
+		Epoch: r.epoch, Seq: t.seq, Del: t.del, Sync: t.sync,
+		Key: t.key, Value: t.value,
+	})
+	t.tm = r.eng.After(r.cfg.repRetry, func() {
+		if r.halted || t.done {
+			return
+		}
+		// Retransmit under the current view: the backup may have changed
+		// or vanished since the last attempt.
+		r.replicate(t)
+	})
+}
+
+func (r *Router) onReplicate(src msg.DeviceID, m *msg.Replicate) {
+	w := r.wm[m.Key]
+	newer := m.Epoch > w.epoch || (m.Epoch == w.epoch && m.Seq > w.seq)
+	if !newer {
+		// Already applied (or superseded): re-ack so a lost ack cannot
+		// wedge the primary, but never re-apply (R2).
+		r.stats.RepFenced++
+		r.sendAck(src, m.Seq, true)
+		return
+	}
+	var apply []byte
+	if m.Del {
+		apply = kvs.EncodeRequest(kvs.Request{Op: kvs.OpDelete, Key: m.Key})
+	} else {
+		apply = kvs.EncodeRequest(kvs.Request{Op: kvs.OpPut, Key: m.Key, Value: m.Value})
+	}
+	epoch, seq := m.Epoch, m.Seq
+	key := m.Key
+	r.store.ServeNetwork(apply, func(b []byte) {
+		if r.halted {
+			return
+		}
+		resp, err := kvs.DecodeResponse(b)
+		// Deleting an absent key converges to the same state; only real
+		// failures (IO error, unavailable) withhold the ack.
+		ok := err == nil && (resp.Status == kvs.StatusOK || resp.Status == kvs.StatusNotFound)
+		if ok {
+			r.stats.Applies++
+			if cur := r.wm[key]; epoch > cur.epoch || (epoch == cur.epoch && seq > cur.seq) {
+				r.wm[key] = watermark{epoch: epoch, seq: seq}
+			}
+		}
+		r.sendAck(src, seq, ok)
+	})
+}
+
+func (r *Router) sendAck(to msg.DeviceID, seq uint64, ok bool) {
+	r.cl.net.Send(r.cfg.id, to, r.epoch, &msg.ReplicateAck{
+		Seq: seq, OK: ok, Epoch: r.epoch, Dead: r.deadList(),
+	})
+}
+
+func (r *Router) onReplicateAck(m *msg.ReplicateAck) {
+	r.noteDead("gossip", m.Dead...)
+	t := r.inflight[m.Seq]
+	if t == nil || !m.OK {
+		return // stale ack, or a failed apply the retransmit timer retries
+	}
+	delete(r.inflight, m.Seq)
+	r.ackTask(t)
+}
+
+// ackTask completes a task: client ack (writes only reach here with the
+// mutation durable on every live owner) and pipeline advance.
+func (r *Router) ackTask(t *writeTask) {
+	if t.done {
+		return
+	}
+	if t.reply != nil {
+		resp := t.resp
+		if resp == nil {
+			resp = kvs.EncodeResponse(kvs.Response{Status: kvs.StatusOK})
+		}
+		t.reply(resp)
+	}
+	r.finishTask(t)
+}
+
+// finishTask retires a task without touching the client and starts the
+// key's next queued mutation.
+func (r *Router) finishTask(t *writeTask) {
+	if t.done {
+		return
+	}
+	t.done = true
+	if t.tm != nil {
+		t.tm.Stop()
+	}
+	delete(r.inflight, t.seq)
+	g := r.gates[t.key]
+	if g == nil || g.cur != t {
+		return
+	}
+	if len(g.queue) == 0 {
+		delete(r.gates, t.key)
+		return
+	}
+	g.cur = g.queue[0]
+	g.queue = g.queue[1:]
+	r.startTask(g.cur)
+}
+
+// --- membership ---
+
+// noteUnreachable is the network's transport-failure signal. Under
+// decentralized membership the observer rules the peer dead and tells
+// everyone; under a head node only the head's own observations count
+// (it is the authority), and everyone else waits for its RingUpdate.
+func (r *Router) noteUnreachable(dst msg.DeviceID) {
+	if r.halted {
+		return
+	}
+	if r.cfg.head != 0 && !r.isHead() {
+		return
+	}
+	r.noteDead("unreachable", dst)
+}
+
+// noteDead merges machine deaths into the view; on change it bumps the
+// epoch, fails pending ops aimed at the dead, re-replicates the shards
+// this machine now leads, and (as detector or head) broadcasts the view.
+func (r *Router) noteDead(why string, ids ...msg.DeviceID) {
+	if r.halted {
+		return
+	}
+	fresh := make([]msg.DeviceID, 0, len(ids))
+	for _, id := range ids {
+		if id != r.cfg.id && !r.dead[id] {
+			r.dead[id] = true
+			fresh = append(fresh, id)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	// prev is the view before this change: the dead set minus the
+	// machines that just joined it.
+	prev := make(map[msg.DeviceID]bool, len(r.dead))
+	for id := range r.dead {
+		prev[id] = true
+	}
+	for _, id := range fresh {
+		delete(prev, id)
+	}
+	r.stats.ViewChanges++
+	r.epoch = uint32(len(r.dead))
+	r.cl.tracef("m%d view epoch=%d dead=%v (%s)", r.cfg.id, r.epoch, r.deadList(), why)
+
+	r.failPendingTo(fresh)
+	r.resyncAfter(prev)
+
+	// Gossip radius: the machine that detected the death (or the head,
+	// whose word is law) broadcasts; learners stay quiet so one death
+	// costs one broadcast wave, not a storm.
+	if why == "unreachable" || (r.isHead() && why != "ring.update") {
+		r.broadcastView()
+	}
+}
+
+// failPendingTo answers every pending op whose target just died:
+// Unavailable now beats a client timeout later.
+func (r *Router) failPendingTo(died []msg.DeviceID) {
+	gone := make(map[msg.DeviceID]bool, len(died))
+	for _, id := range died {
+		gone[id] = true
+	}
+	var ids []uint64
+	for id, p := range r.pending {
+		if gone[p.target] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := r.pending[id]
+		delete(r.pending, id)
+		if p.tm != nil {
+			p.tm.Stop()
+		}
+		p.reply(kvs.EncodeResponse(kvs.Response{Status: kvs.StatusUnavailable}))
+	}
+}
+
+// resyncAfter re-replicates every key whose ownership this view change
+// handed to or re-based under this machine: promotion (the old primary
+// died) and backup replacement both funnel through here, keeping R3 —
+// every key reaches a full live replica set again.
+func (r *Router) resyncAfter(prevDead map[msg.DeviceID]bool) {
+	for _, key := range r.store.KeyList() {
+		now := r.ring.Owners(key, r.dead, r.cfg.replicas)
+		if len(now) == 0 || now[0] != r.cfg.id {
+			continue
+		}
+		was := r.ring.Owners(key, prevDead, r.cfg.replicas)
+		if ownersEqual(was, now) {
+			continue
+		}
+		r.stats.Resyncs++
+		r.enqueue(&writeTask{key: key, sync: true})
+	}
+}
+
+func ownersEqual(a, b []msg.DeviceID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// broadcastView sends the dead set to every machine still in the view.
+func (r *Router) broadcastView() {
+	dead := r.deadList()
+	for _, id := range r.cl.MachineIDs() {
+		if id == r.cfg.id || r.dead[id] {
+			continue
+		}
+		r.cl.net.Send(r.cfg.id, id, r.epoch, &msg.RingUpdate{Epoch: r.epoch, Dead: dead})
+	}
+}
+
+// --- head-node heartbeating ---
+
+func (r *Router) armHeartbeat() {
+	r.eng.After(r.cfg.hbEvery, func() {
+		if r.halted {
+			return
+		}
+		r.hbSeq++
+		r.cl.net.Send(r.cfg.id, r.cfg.head, r.epoch, &msg.Heartbeat{Seq: r.hbSeq})
+		r.armHeartbeat()
+	})
+}
+
+// armSweep runs the head's staleness sweep: a machine whose heartbeat
+// is older than failAfter is declared dead and the view broadcast.
+func (r *Router) armSweep() {
+	r.eng.After(r.cfg.failAfter/2, func() {
+		if r.halted {
+			return
+		}
+		now := r.eng.Now()
+		var stale []msg.DeviceID
+		for _, id := range r.cl.MachineIDs() {
+			if id == r.cfg.id || r.dead[id] {
+				continue
+			}
+			last, beaten := r.lastBeat[id]
+			if beaten && now.Sub(last) > r.cfg.failAfter {
+				stale = append(stale, id)
+			}
+		}
+		if len(stale) > 0 {
+			r.noteDead("heartbeat", stale...)
+		}
+		r.armSweep()
+	})
+}

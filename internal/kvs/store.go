@@ -2,6 +2,7 @@ package kvs
 
 import (
 	"fmt"
+	"sort"
 
 	"nocpu/internal/metrics"
 	"nocpu/internal/msg"
@@ -163,6 +164,18 @@ func (s *Store) Stats() Stats { return s.stats }
 
 // Keys returns the number of live keys.
 func (s *Store) Keys() int { return len(s.index) }
+
+// KeyList returns every live key in sorted order. The fabric router uses
+// it to enumerate a shard for re-replication after a membership change;
+// sorting keeps that sweep deterministic.
+func (s *Store) KeyList() []string {
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Boot implements smartnic.App: run the Figure-2 sequence, then recover
 // the index from the data file. On a re-Boot (the NIC crashed and

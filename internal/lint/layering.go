@@ -125,13 +125,22 @@ var layerDAG = map[string][]string{
 		"nocpu/internal/smartnic", "nocpu/internal/smartssd", "nocpu/internal/trace",
 	},
 
+	// Rack-scale fabric: N machines (core) on one engine, joined by a
+	// modeled network, running the sharded/replicated KVS (E17).
+	"nocpu/internal/fabric": {
+		"nocpu/internal/chaos", "nocpu/internal/core", "nocpu/internal/faultinject",
+		"nocpu/internal/kvs", "nocpu/internal/msg", "nocpu/internal/sim",
+		"nocpu/internal/smartnic",
+	},
+
 	// Experiment harness.
 	"nocpu/internal/exp": {
 		"nocpu/internal/bus", "nocpu/internal/chaos", "nocpu/internal/core",
-		"nocpu/internal/faultinject", "nocpu/internal/iommu", "nocpu/internal/kvs",
-		"nocpu/internal/metrics", "nocpu/internal/msg", "nocpu/internal/netsim",
-		"nocpu/internal/overload", "nocpu/internal/physmem", "nocpu/internal/sim",
-		"nocpu/internal/smartnic", "nocpu/internal/smartssd", "nocpu/internal/trace",
+		"nocpu/internal/fabric", "nocpu/internal/faultinject", "nocpu/internal/iommu",
+		"nocpu/internal/kvs", "nocpu/internal/metrics", "nocpu/internal/msg",
+		"nocpu/internal/netsim", "nocpu/internal/overload", "nocpu/internal/physmem",
+		"nocpu/internal/sim", "nocpu/internal/smartnic", "nocpu/internal/smartssd",
+		"nocpu/internal/trace",
 	},
 
 	// The linter itself (host tooling).

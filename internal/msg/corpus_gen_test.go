@@ -152,6 +152,99 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 	write("seed-credit-overflow", Envelope{Src: BusID, Dst: 4, Seq: 6,
 		Msg: &CreditUpdate{Window: 0xFFFFFFFF, Credits: 0xFFFFFFFF}}.Encode())
 
+	// Fabric adversarial seeds (routed/replicated KVS wire kinds).
+	// A routed request whose payload is a well-formed kvs put for a key
+	// the addressed machine does not own: decode must succeed (ownership
+	// is the router's judgment, not the codec's) and the responder answers
+	// FabricWrongOwner. Seeding it gives the mutator the full two-layer
+	// framing to chew on.
+	write("seed-fabric-wrongshard", Envelope{Src: 3, Dst: 7, Seq: 21, Inc: 1,
+		Msg: &FabricReq{Origin: 3, ReqID: 404, Payload: []byte{
+			2,    // kvs OpPut
+			9, 0, // keyLen 9
+			'k', 'e', 'y', '-', '0', '0', '0', '4', '2',
+			2, 0, 0, 0, // valLen 2
+			0xAB, 0xCD,
+		}}}.Encode())
+
+	// A Replicate whose key-string length claims more bytes than the
+	// payload holds (payload-length header adjusted to match, so the
+	// string reader is what must refuse).
+	{
+		var pw writer
+		pw.u32(1) // epoch
+		pw.u64(9) // seq
+		pw.bool(false)
+		pw.bool(false)
+		pw.u16(200) // key claims 200 bytes...
+		pw.buf = append(pw.buf, []byte("key")...)
+		var w writer
+		w.u16(1)
+		w.u16(2)
+		w.u16(uint16(KindReplicate))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-replicate-truncated", w.buf)
+	}
+
+	// A ReplicateAck truncated mid-epoch: seq and OK flag present, the
+	// trailing u32 cut to 2 bytes.
+	{
+		var pw writer
+		pw.u64(77)
+		pw.bool(true)
+		pw.buf = append(pw.buf, 0x02, 0x00) // half an epoch
+		var w writer
+		w.u16(2)
+		w.u16(1)
+		w.u16(uint16(KindReplicateAck))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-replicateack-truncated", w.buf)
+	}
+
+	// A RingUpdate claiming 0xFFF0 dead machines in a 6-byte payload:
+	// the dead-list bomb guard must refuse without allocating.
+	{
+		var pw writer
+		pw.u32(4)      // epoch
+		pw.u16(0xFFF0) // dead-count bomb
+		var w writer
+		w.u16(1)
+		w.u16(uint16(Broadcast))
+		w.u16(uint16(KindRingUpdate))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-ringupdate-bomb", w.buf)
+	}
+
+	// A FabricResp whose inner payload-length field claims more bytes
+	// than remain after the dead list.
+	{
+		var pw writer
+		pw.u64(404)
+		pw.u8(FabricServed)
+		pw.u16(1)
+		pw.u16(5)
+		pw.u32(64) // payload claims 64 bytes...
+		pw.buf = append(pw.buf, 0x00, 0x01)
+		var w writer
+		w.u16(7)
+		w.u16(3)
+		w.u16(uint16(KindFabricResp))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-fabricresp-truncated", w.buf)
+	}
+
 	// Format-agnostic adversarial seeds.
 	write("seed-empty", []byte{})
 	write("seed-shorthdr", []byte{1, 0, 2, 0})

@@ -137,6 +137,18 @@ const (
 	// claim made mechanical).
 	KindCreditUpdate // bus → device: window replenishment
 
+	// Rack-scale fabric (internal/fabric). N machines joined by a modeled
+	// datacenter network run a sharded, replicated KVS; these kinds carry
+	// the cross-machine traffic. They reuse the bus Envelope framing —
+	// Src/Dst are machine addresses on the fabric rather than device
+	// addresses on a bus — so the codec, fuzz corpus and dedup window all
+	// apply unchanged.
+	KindFabricReq    // ingress router → shard owner: routed client request
+	KindFabricResp   // shard owner → ingress router: routed response
+	KindReplicate    // primary → backup: apply one write
+	KindReplicateAck // backup → primary: write is durable at the replica
+	KindRingUpdate   // head node → all machines: membership epoch + dead set
+
 	kindMax
 )
 
@@ -158,6 +170,9 @@ var kindNames = map[Kind]string{
 	KindNack:       "nack",
 	KindStateQuery: "state.query", KindStateResp: "state.resp",
 	KindCreditUpdate: "credit.update",
+	KindFabricReq:    "fabric.req", KindFabricResp: "fabric.resp",
+	KindReplicate: "replicate", KindReplicateAck: "replicate.ack",
+	KindRingUpdate: "ring.update",
 }
 
 func (k Kind) String() string {

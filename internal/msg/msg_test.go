@@ -48,6 +48,11 @@ func allMessages() []Message {
 			{App: 3, VA: 0x40000, Pages: 512, Huge: true},
 		}},
 		&CreditUpdate{Window: 32, Credits: 16},
+		&FabricReq{Origin: 3, ReqID: 901, Hops: 1, Payload: []byte{2, 1, 0, 'k'}},
+		&FabricResp{ReqID: 901, Code: FabricServed, Dead: []DeviceID{5}, Payload: []byte{0, 0, 0, 0, 0}},
+		&Replicate{Epoch: 2, Seq: 77, Del: false, Sync: true, Key: "key-00001", Value: []byte{9, 9}},
+		&ReplicateAck{Seq: 77, OK: true, Epoch: 2, Dead: []DeviceID{5, 6}},
+		&RingUpdate{Epoch: 3, Dead: []DeviceID{2, 5, 6}},
 	}
 }
 

@@ -802,6 +802,172 @@ func (m *CreditUpdate) decode(r *reader) {
 	m.Credits = r.u32()
 }
 
+// --- Rack-scale fabric messages (internal/fabric) ---
+//
+// Envelope Src/Dst carry machine addresses on the datacenter fabric
+// here, not device addresses on a bus; the framing, codec and dedup
+// machinery are shared.
+
+// encodeDevs/decodeDevs frame a short machine list (dead-set gossip).
+// The decoder inherits u16list's bomb guard: a claimed count larger
+// than the remaining payload is refused without allocating.
+func encodeDevs(w *writer, ds []DeviceID) {
+	w.u16(uint16(len(ds)))
+	for _, d := range ds {
+		w.u16(uint16(d))
+	}
+}
+
+func decodeDevs(r *reader) []DeviceID {
+	raw := r.u16list()
+	if raw == nil {
+		return nil
+	}
+	out := make([]DeviceID, len(raw))
+	for i, v := range raw {
+		out[i] = DeviceID(v)
+	}
+	return out
+}
+
+// Fabric response codes (FabricResp.Code).
+const (
+	FabricServed      uint8 = iota // Payload holds the store's response
+	FabricWrongOwner               // responder does not own the key in its view
+	FabricUnavailable              // responder's store is not serving
+)
+
+// FabricReq is a client request routed across the fabric to the
+// machine owning the key's shard. Origin is the machine holding the
+// client connection (the responder answers it directly even when the
+// request arrived via the head node), ReqID is origin-scoped, and
+// Payload is the client's kvs request, forwarded verbatim.
+type FabricReq struct {
+	Origin  DeviceID
+	ReqID   uint64
+	Hops    uint8 // forwarding hops so far (loop guard)
+	Payload []byte
+}
+
+func (*FabricReq) Kind() Kind { return KindFabricReq }
+func (m *FabricReq) encode(w *writer) {
+	w.u16(uint16(m.Origin))
+	w.u64(m.ReqID)
+	w.u8(m.Hops)
+	w.bytes(m.Payload)
+}
+func (m *FabricReq) decode(r *reader) {
+	m.Origin = DeviceID(r.u16())
+	m.ReqID = r.u64()
+	m.Hops = r.u8()
+	m.Payload = r.bytesField()
+}
+
+// FabricResp answers a FabricReq. Dead piggybacks the responder's dead
+// set so membership views converge with data traffic (anti-entropy
+// gossip); a WrongOwner code tells the origin its ring view is stale
+// and the Dead list is how it catches up before re-routing.
+type FabricResp struct {
+	ReqID   uint64
+	Code    uint8
+	Dead    []DeviceID
+	Payload []byte
+}
+
+func (*FabricResp) Kind() Kind { return KindFabricResp }
+func (m *FabricResp) encode(w *writer) {
+	w.u64(m.ReqID)
+	w.u8(m.Code)
+	encodeDevs(w, m.Dead)
+	w.bytes(m.Payload)
+}
+func (m *FabricResp) decode(r *reader) {
+	m.ReqID = r.u64()
+	m.Code = r.u8()
+	m.Dead = decodeDevs(r)
+	m.Payload = r.bytesField()
+}
+
+// Replicate carries one write from a key's primary to its backup.
+// Seq is primary-assigned and strictly increasing per key; Epoch is the
+// sender's membership epoch when the write was issued. The backup
+// applies the record only if (Epoch, Seq) exceeds its per-key
+// watermark, which is what makes duplicate delivery and post-failover
+// stragglers harmless (R2). Sync marks a re-replication sweep record
+// (restoring redundancy after a membership change) rather than a
+// client write.
+type Replicate struct {
+	Epoch uint32
+	Seq   uint64
+	Del   bool
+	Sync  bool
+	Key   string
+	Value []byte
+}
+
+func (*Replicate) Kind() Kind { return KindReplicate }
+func (m *Replicate) encode(w *writer) {
+	w.u32(m.Epoch)
+	w.u64(m.Seq)
+	w.bool(m.Del)
+	w.bool(m.Sync)
+	w.str(m.Key)
+	w.bytes(m.Value)
+}
+func (m *Replicate) decode(r *reader) {
+	m.Epoch = r.u32()
+	m.Seq = r.u64()
+	m.Del = r.bool()
+	m.Sync = r.bool()
+	m.Key = r.str()
+	m.Value = r.bytesField()
+}
+
+// ReplicateAck confirms a Replicate is durable at the backup. The
+// primary acknowledges the client only after this arrives (R1: a
+// whole-machine kill of either replica loses no acked write). Epoch
+// and Dead gossip the responder's membership view back, so a primary
+// replicating to a machine with a newer view catches up immediately.
+type ReplicateAck struct {
+	Seq   uint64
+	OK    bool
+	Epoch uint32
+	Dead  []DeviceID
+}
+
+func (*ReplicateAck) Kind() Kind { return KindReplicateAck }
+func (m *ReplicateAck) encode(w *writer) {
+	w.u64(m.Seq)
+	w.bool(m.OK)
+	w.u32(m.Epoch)
+	encodeDevs(w, m.Dead)
+}
+func (m *ReplicateAck) decode(r *reader) {
+	m.Seq = r.u64()
+	m.OK = r.bool()
+	m.Epoch = r.u32()
+	m.Dead = decodeDevs(r)
+}
+
+// RingUpdate is the head node's membership broadcast (head-node flavor
+// only): the authoritative epoch and dead set every machine must adopt.
+// The decentralized flavor has no such authority — views converge by
+// the gossip fields on data-path responses instead.
+type RingUpdate struct {
+	Epoch uint32
+	Dead  []DeviceID
+}
+
+func (*RingUpdate) Kind() Kind { return KindRingUpdate }
+func (m *RingUpdate) encode(w *writer) {
+	w.u32(m.Epoch)
+	encodeDevs(w, m.Dead)
+}
+func (m *RingUpdate) decode(r *reader) {
+	m.Epoch = r.u32()
+	m.Dead = decodeDevs(r)
+}
+
 // newMessage returns a zero value of the message type for kind, or nil
 // for an unknown kind.
 func newMessage(k Kind) Message {
@@ -872,6 +1038,16 @@ func newMessage(k Kind) Message {
 		return &StateResp{}
 	case KindCreditUpdate:
 		return &CreditUpdate{}
+	case KindFabricReq:
+		return &FabricReq{}
+	case KindFabricResp:
+		return &FabricResp{}
+	case KindReplicate:
+		return &Replicate{}
+	case KindReplicateAck:
+		return &ReplicateAck{}
+	case KindRingUpdate:
+		return &RingUpdate{}
 	}
 	return nil
 }

@@ -43,6 +43,12 @@ func (w *writer) u64s(v []uint64) {
 		w.u64(x)
 	}
 }
+func (w *writer) u16s(v []uint16) {
+	w.u16(uint16(len(v)))
+	for _, x := range v {
+		w.u16(x)
+	}
+}
 
 var errShort = errors.New("truncated message")
 
@@ -110,6 +116,22 @@ func (r *reader) bytesField() []byte {
 	}
 	out := make([]byte, n)
 	copy(out, b)
+	return out
+}
+func (r *reader) u16list() []uint16 {
+	n := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	// Sanity bound: each element needs 2 bytes.
+	if n < 0 || r.off+2*n > len(r.buf) {
+		r.err = errShort
+		return nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = r.u16()
+	}
 	return out
 }
 func (r *reader) u64list() []uint64 {
