@@ -2,12 +2,14 @@
 # before merging: vet, the nocpu-lint analyzer suite, build, race-enabled
 # tests, a short fuzz run of the wire-format decoder, the E15 chaos tier
 # (seeded crash schedules under race), the E16 overload tier (seeded
-# open-loop load ramps under race), and the E17 fabric tier (rack-scale
-# determinism, ring properties and machine-kill chaos under race).
+# open-loop load ramps under race), the E17 fabric tier (rack-scale
+# determinism, ring properties and machine-kill chaos under race), and
+# the E19 reconcile tier (self-healing fleet campaigns: membership
+# repair, rolling upgrades and same-frame double failures under race).
 
 GO ?= go
 
-.PHONY: build test vet lint race fuzz chaos overload fabric check bench tables
+.PHONY: build test vet lint race fuzz chaos overload fabric reconcile benchguard check bench tables
 
 build:
 	$(GO) build ./...
@@ -58,11 +60,26 @@ fabric:
 	$(GO) test -race ./internal/fabric
 	$(GO) test -race -run 'TestE17' ./internal/exp
 
-check: vet lint build race fuzz chaos overload fabric
+# Reconcile tier (E19): the fleet reconciler's unit suite (membership
+# repair, rolling upgrades, budget enforcement, actor failover) plus the
+# E19 self-healing campaigns — kill, rolling upgrade, same-frame double
+# kill — under the race detector. Seeds are fixed, so failures
+# reproduce bit-for-bit.
+reconcile:
+	$(GO) test -race ./internal/reconcile
+	$(GO) test -race -run 'TestE19' ./internal/exp
+
+# Simulator-speed guard: re-runs the BENCH_e17.json cell and fails on a
+# >30% wall-clock regression. Machine-dependent by nature, so it is not
+# part of `check`; CI runs it on its pinned runner class.
+benchguard:
+	NOCPU_BENCH_GUARD=1 $(GO) test -run 'TestE17BenchGuard' -count=1 ./internal/exp -v
+
+check: vet lint build race fuzz chaos overload fabric reconcile
 
 bench:
 	$(GO) test -run=^$$ -bench . -benchtime=100x .
 
-# Regenerate all experiment tables (E1-E17).
+# Regenerate all experiment tables (E1-E19).
 tables:
 	$(GO) run ./cmd/nocpu-bench

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"testing"
@@ -98,4 +99,48 @@ func TestE17BenchSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("BENCH_e17.json: %d ops in %.3fs wall", st.Completed, wall.Seconds())
+}
+
+// e17BenchGuardTolerance is the regression threshold: the guard fails
+// when the measured simulator speed drops more than 30% below the
+// committed BENCH_e17.json snapshot.
+const e17BenchGuardTolerance = 0.30
+
+// TestE17BenchGuard re-runs the snapshot cell and fails on a >30%
+// simulator-speed regression against the committed BENCH_e17.json.
+// Wall-clock measurement is machine-dependent, so the guard is gated
+// behind NOCPU_BENCH_GUARD=1 (`make benchguard`, run by CI) and takes
+// the best of three runs to shave scheduler noise.
+func TestE17BenchGuard(t *testing.T) {
+	if os.Getenv("NOCPU_BENCH_GUARD") == "" {
+		t.Skip("set NOCPU_BENCH_GUARD=1 to compare against BENCH_e17.json")
+	}
+	raw, err := os.ReadFile("../../BENCH_e17.json")
+	if err != nil {
+		t.Fatalf("no committed snapshot to guard against: %v", err)
+	}
+	var snap struct {
+		OpsPerWallSecond float64 `json:"ops_per_wall_second"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("BENCH_e17.json: %v", err)
+	}
+	if snap.OpsPerWallSecond <= 0 {
+		t.Fatalf("BENCH_e17.json has no ops_per_wall_second baseline")
+	}
+	best := 0.0
+	for run := 0; run < 3; run++ {
+		start := time.Now()
+		st, _ := e17Scale(16, fabric.FlavorDecentralized, false)
+		if speed := float64(st.Completed) / time.Since(start).Seconds(); speed > best {
+			best = speed
+		}
+	}
+	floor := snap.OpsPerWallSecond * (1 - e17BenchGuardTolerance)
+	if best < floor {
+		t.Errorf("simulator speed regressed: best of 3 runs %.0f op/s < %.0f (baseline %.0f − %d%%); if the slowdown is intentional, regenerate the snapshot with NOCPU_BENCH_SNAPSHOT=1",
+			best, floor, snap.OpsPerWallSecond, int(e17BenchGuardTolerance*100))
+	} else {
+		t.Logf("bench guard: %.0f op/s vs baseline %.0f (floor %.0f)", best, snap.OpsPerWallSecond, floor)
+	}
 }

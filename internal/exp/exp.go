@@ -63,6 +63,7 @@ var registry = []entry{
 	{"E15", "Crash-restart-rejoin: chaos schedules over both control planes", E15CrashRecovery},
 	{"E16", "Overload resilience: goodput under open-loop load ramps", E16Overload},
 	{"E17", "Rack-scale fabric: sharded replicated KVS across N machines", E17Fabric},
+	{"E19", "Self-healing fleet: reconciliation, live membership change, concurrent failures", E19SelfHealing},
 }
 
 // IDs lists all experiment identifiers in order.

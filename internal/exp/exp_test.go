@@ -7,13 +7,20 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
+	// E1–E17 are contiguous; E18 is unassigned and E19 is the
+	// self-healing fleet experiment.
+	want := make([]string, 0, 18)
+	for i := 1; i <= 17; i++ {
+		want = append(want, fmt.Sprintf("E%d", i))
+	}
+	want = append(want, "E19")
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("expected 17 experiments, have %v", ids)
+	if len(ids) != len(want) {
+		t.Fatalf("expected %d experiments, have %v", len(want), ids)
 	}
 	for i, id := range ids {
-		if want := fmt.Sprintf("E%d", i+1); id != want {
-			t.Errorf("ids[%d] = %s, want %s", i, id, want)
+		if id != want[i] {
+			t.Errorf("ids[%d] = %s, want %s", i, id, want[i])
 		}
 	}
 	if _, err := Run("E99"); err == nil {

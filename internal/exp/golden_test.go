@@ -11,11 +11,13 @@ import (
 // get threaded through: E1 (bus control-plane init, all flavors), E2
 // (NIC/virtqueue/SSD data plane under load), E9 (doorbell batching —
 // virtqueue event timing), E10 (bus speed sensitivity — wire and
-// processing latency), E15 (crash-restart-rejoin chaos schedules) and
-// E16 (overload ramps). Any accidental event, cost, or ordering change
-// from a feature that should be gated off — the rack-scale fabric
-// (E17) included — shifts at least one of these tables.
-var goldenIDs = []string{"E1", "E2", "E9", "E10", "E15", "E16"}
+// processing latency), E15 (crash-restart-rejoin chaos schedules), E16
+// (overload ramps) and E17 (rack-scale fabric scaling and kill chaos,
+// run with NO reconciler attached — pinning it proves the E19
+// reconcile layer is byte-invisible until Attach is called). Any
+// accidental event, cost, or ordering change from a feature that
+// should be gated off shifts at least one of these tables.
+var goldenIDs = []string{"E1", "E2", "E9", "E10", "E15", "E16", "E17"}
 
 // TestTablesGolden asserts the pinned experiment tables are byte-
 // identical to the recorded goldens. The overload defenses (credit flow

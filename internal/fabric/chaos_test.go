@@ -307,6 +307,63 @@ func TestChaosSequentialDoubleFailure(t *testing.T) {
 	}
 }
 
+// keysAvoidingPair collects n keys for which the two victims are NOT
+// the complete owner set: at replication factor 2, killing both owners
+// of a key in the same instant legitimately loses it, so a concurrent
+// double-failure campaign aims only at keys with a surviving copy.
+func keysAvoidingPair(t *testing.T, cl *Cluster, a, b msg.DeviceID, n int) []string {
+	var out []string
+	for i := 0; len(out) < n && i < 100000; i++ {
+		k := fmt.Sprintf("fc-pair-%05d", i)
+		own := cl.Ring.Owners(k, nil, 2)
+		if len(own) == 2 && ((own[0] == a && own[1] == b) || (own[0] == b && own[1] == a)) {
+			continue
+		}
+		if len(own) == 1 && (own[0] == a || own[0] == b) {
+			continue
+		}
+		out = append(out, k)
+	}
+	if len(out) < n {
+		t.Fatalf("found only %d/%d keys avoiding the pair {%d,%d}", len(out), n, a, b)
+	}
+	return out
+}
+
+// TestChaosConcurrentDoubleFailure kills two machines at the SAME
+// virtual instant — zero time between deaths, unlike the sequential
+// campaign's 10ms gap — mid-window. Every workload key keeps one
+// surviving owner (see keysAvoidingPair), so the fabric must absorb
+// both failovers concurrently without losing an ack or a route: the
+// E19 reconciler's concurrent-failure tolerance leans on exactly this
+// mechanism-level property.
+func TestChaosConcurrentDoubleFailure(t *testing.T) {
+	for _, tc := range []struct {
+		flavor  Flavor
+		seed    uint64
+		victims [2]msg.DeviceID
+	}{
+		{FlavorDecentralized, 0xC5, [2]msg.DeviceID{2, 5}},
+		{FlavorHead, 0xC6, [2]msg.DeviceID{3, 5}}, // head (1) never killed: SPOF by design
+	} {
+		tc := tc
+		t.Run(tc.flavor.String(), func(t *testing.T) {
+			t.Parallel()
+			cl := mustBoot(t, Config{N: 6, Seed: tc.seed, Flavor: tc.flavor})
+			keys := keysAvoidingPair(t, cl, tc.victims[0], tc.victims[1], fcWorkers*fcKeysPer)
+			d := newFCDriver(t, cl, keys)
+			at := cl.Eng.Now().Add(fcWarmup + fcWindow/2)
+			d.kill(at, tc.victims[0])
+			d.kill(at, tc.victims[1])
+			rep := d.run()
+			assertClean(t, cl, rep, 2)
+			if got := cl.MaxEpoch(); got != 2 {
+				t.Errorf("max epoch %d after two same-frame deaths, want 2", got)
+			}
+		})
+	}
+}
+
 // TestChaosHeadFlavorKillWorker kills a non-head machine under the
 // head-node flavor: the head notices via relay failures or heartbeat
 // staleness and republishes the ring; workers must not self-detect.

@@ -46,6 +46,18 @@ type Config struct {
 	Flavor Flavor
 	Seed   uint64
 
+	// Spares boots this many extra machines (IDs N+1..N+Spares) that
+	// start OUTSIDE the consistent-hash ring: full systems, stores and
+	// routers, but owning no shard. The fleet reconciler promotes them
+	// into the ring to replace dead members or to rotate members through
+	// upgrades. 0 (the default) reproduces the fixed-membership fabric
+	// exactly.
+	Spares int
+
+	// UpgradeDelay models flashing a config/firmware version onto an
+	// out-of-ring machine (default DefaultUpgradeDelay). Reconciler-only.
+	UpgradeDelay sim.Duration
+
 	// Vnodes/Replicas parameterize the ring (defaults 64 and 2).
 	Vnodes   int
 	Replicas int
@@ -126,16 +138,20 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.WriteBound == 0 {
 		cfg.WriteBound = DefaultWriteBound
 	}
+	if cfg.UpgradeDelay == 0 {
+		cfg.UpgradeDelay = DefaultUpgradeDelay
+	}
 	if cfg.TraceLimit == 0 {
 		cfg.TraceLimit = 1 << 16
 	}
 
 	c := &Cluster{Cfg: cfg, Eng: sim.NewEngine()}
-	ids := make([]msg.DeviceID, cfg.N)
+	// Machines 1..N are the initial ring; N+1..N+Spares boot out of it.
+	ids := make([]msg.DeviceID, cfg.N+cfg.Spares)
 	for i := range ids {
 		ids[i] = msg.DeviceID(i + 1)
 	}
-	c.Ring = NewRing(ids, cfg.Vnodes)
+	c.Ring = NewRing(ids[:cfg.N], cfg.Vnodes)
 	c.net = newNetwork(c.Eng, cfg.Net)
 	c.net.alive = c.aliveID
 	c.net.deliver = c.deliverFrame
@@ -205,14 +221,16 @@ func (c *Cluster) Boot() error {
 			head = 1
 		}
 		m.Router = newRouter(c, routerConfig{
-			id:         m.ID,
-			head:       head,
-			replicas:   c.Cfg.Replicas,
-			repRetry:   c.Cfg.RepRetry,
-			opTimeout:  c.Cfg.OpTimeout,
-			hbEvery:    c.Cfg.HeartbeatEvery,
-			failAfter:  c.Cfg.FailTimeout,
-			writeBound: c.Cfg.WriteBound,
+			id:           m.ID,
+			head:         head,
+			replicas:     c.Cfg.Replicas,
+			vnodes:       c.Cfg.Vnodes,
+			repRetry:     c.Cfg.RepRetry,
+			opTimeout:    c.Cfg.OpTimeout,
+			hbEvery:      c.Cfg.HeartbeatEvery,
+			failAfter:    c.Cfg.FailTimeout,
+			upgradeDelay: c.Cfg.UpgradeDelay,
+			writeBound:   c.Cfg.WriteBound,
 		}, c.Ring, m.Store, c.Eng)
 		m.Sys.NIC().AddApp(m.Router)
 		m.alive = true
@@ -235,6 +253,19 @@ func (c *Cluster) LiveIDs() []msg.DeviceID {
 	var out []msg.DeviceID
 	for _, m := range c.Machines {
 		if m.alive {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// ServingIDs lists the machines a load balancer would steer clients at:
+// alive, in their own current ring, and not cordoned. With no spares
+// and no reconciler this is exactly LiveIDs.
+func (c *Cluster) ServingIDs() []msg.DeviceID {
+	var out []msg.DeviceID
+	for _, m := range c.Machines {
+		if m.alive && m.Router.InRing() && !m.Router.Cordoned() {
 			out = append(out, m.ID)
 		}
 	}
@@ -345,6 +376,13 @@ func (c *Cluster) RouterStatsSum() RouterStats {
 		sum.ViewChanges += s.ViewChanges
 		sum.Timeouts += s.Timeouts
 		sum.Reroutes += s.Reroutes
+		sum.RingStaged += s.RingStaged
+		sum.RingCommits += s.RingCommits
+		sum.RingAborts += s.RingAborts
+		sum.Xfers += s.Xfers
+		sum.Strays += s.Strays
+		sum.Cordons += s.Cordons
+		sum.Upgrades += s.Upgrades
 	}
 	return sum
 }

@@ -26,6 +26,9 @@ const (
 	DefaultHeartbeatEvery = 1 * sim.Millisecond
 	DefaultFailTimeout    = 4 * sim.Millisecond
 	DefaultWriteBound     = 128
+	// DefaultUpgradeDelay models flashing a config/firmware version onto
+	// an out-of-ring machine (fleet reconciliation only).
+	DefaultUpgradeDelay = 2 * sim.Millisecond
 )
 
 // RouterStats counts one machine's fabric activity.
@@ -42,18 +45,30 @@ type RouterStats struct {
 	ViewChanges uint64
 	Timeouts    uint64 // pending client ops that hit OpTimeout
 	Reroutes    uint64 // ops re-sent after a WrongOwner redirect
+
+	// Fleet-reconciliation activity (all zero unless a reconciler drives
+	// planned membership change through the router).
+	RingStaged  uint64 // RingConfig prepares staged
+	RingCommits uint64 // staged rings adopted
+	RingAborts  uint64 // staged rings dropped
+	Xfers       uint64 // keys re-replicated for a staged ring's transfer
+	Strays      uint64 // locally purged keys (join wipe + post-adoption strays)
+	Cordons     uint64 // cordon orders honored
+	Upgrades    uint64 // upgrade orders honored
 }
 
 // routerConfig is assembled by the Cluster from its Config.
 type routerConfig struct {
-	id         msg.DeviceID
-	head       msg.DeviceID // 0 = decentralized membership
-	replicas   int
-	repRetry   sim.Duration
-	opTimeout  sim.Duration
-	hbEvery    sim.Duration
-	failAfter  sim.Duration
-	writeBound int
+	id           msg.DeviceID
+	head         msg.DeviceID // 0 = decentralized membership
+	replicas     int
+	vnodes       int
+	repRetry     sim.Duration
+	opTimeout    sim.Duration
+	hbEvery      sim.Duration
+	failAfter    sim.Duration
+	upgradeDelay sim.Duration
+	writeBound   int
 }
 
 // pendingReq is a client op forwarded to another machine, awaiting its
@@ -67,9 +82,10 @@ type pendingReq struct {
 }
 
 // writeTask is one mutation moving through a key's replication
-// pipeline: local apply, then Replicate to the backup, then the client
-// ack. Sync tasks (view-change resync) skip the local apply and carry
-// the value read from the store instead.
+// pipeline: local apply, then Replicate to every replication target,
+// then the client ack once ALL current targets acked. Sync tasks
+// (view-change resync and staged-ring transfer) skip the local apply
+// and carry the value read from the store instead.
 type writeTask struct {
 	key   string
 	del   bool
@@ -78,13 +94,18 @@ type writeTask struct {
 	payload []byte
 	// reply acks the client (nil for sync tasks).
 	reply func([]byte)
-	resp  []byte // local store response, held until the backup acks
+	resp  []byte // local store response, held until the backups ack
 
-	sync   bool
-	seq    uint64
-	backup msg.DeviceID
-	tm     *sim.Timer
-	done   bool
+	sync    bool
+	xfer    bool   // sync task counted toward a staged ring's transfer
+	xferVer uint32 // the staged ring version the transfer belongs to
+	seq     uint64
+	// targets is the remaining unacked replication set, recomputed under
+	// the current (and staged, when one exists) view on every attempt.
+	targets []msg.DeviceID
+	acked   map[msg.DeviceID]bool
+	tm      *sim.Timer
+	done    bool
 }
 
 // keyGate serializes a key's mutations: one task in flight, later ones
@@ -119,6 +140,27 @@ type Router struct {
 	dead  map[msg.DeviceID]bool
 	epoch uint32
 
+	// Staged membership (fleet reconciliation). ringVer is the version
+	// of the ring this router currently serves; a RingConfig prepare
+	// stages pendingRing until the coordinator commits or aborts it.
+	// While a ring is staged, mutations replicate to the UNION of
+	// current and staged owners, so the data outcome is safe whichever
+	// way the transition resolves.
+	ringVer        uint32
+	pendingRing    *Ring
+	pendingVer     uint32
+	pendingMembers []msg.DeviceID
+	pendingFrom    msg.DeviceID // coordinator to notify on transfer-done
+	xferLeft       int          // staged-ring sync tasks still in flight
+	xferReported   bool         // transfer-done sent for the staged ring
+
+	// Reconciler-driven machine conditions.
+	cordoned  bool
+	upgrading bool
+	confVer   uint32
+	condSeq   uint64
+	ctrl      ControlAgent
+
 	dedup msg.DedupWindow
 
 	nextReq uint64
@@ -136,6 +178,14 @@ type Router struct {
 	stats RouterStats
 }
 
+// ControlAgent is the fleet-reconciliation policy hook: the router
+// dispatches management-plane frames (spec gossip, condition reports)
+// to the attached agent and stays pure mechanism. internal/reconcile
+// provides the implementation; a nil agent drops the frames.
+type ControlAgent interface {
+	OnControl(src msg.DeviceID, m msg.Message)
+}
+
 func newRouter(cl *Cluster, cfg routerConfig, ring *Ring, store *kvs.Store, eng *sim.Engine) *Router {
 	return &Router{
 		cfg:      cfg,
@@ -143,6 +193,7 @@ func newRouter(cl *Cluster, cfg routerConfig, ring *Ring, store *kvs.Store, eng 
 		ring:     ring,
 		store:    store,
 		eng:      eng,
+		confVer:  1,
 		dead:     make(map[msg.DeviceID]bool),
 		pending:  make(map[uint64]*pendingReq),
 		gates:    make(map[string]*keyGate),
@@ -155,8 +206,21 @@ func newRouter(cl *Cluster, cfg routerConfig, ring *Ring, store *kvs.Store, eng 
 // Stats returns a copy of the counters.
 func (r *Router) Stats() RouterStats { return r.stats }
 
-// Epoch returns the router's current view epoch (== dead machines seen).
+// Epoch returns the router's current view epoch: ring version in the
+// high bits, dead machines seen in the low byte. With no planned
+// membership changes the ring version stays 0 and the epoch is exactly
+// the dead count, as it was before fleet reconciliation existed.
 func (r *Router) Epoch() uint32 { return r.epoch }
+
+// recalcEpoch folds the ring version and the dead count into the
+// fencing epoch. Both components are monotone (the dead set never
+// shrinks; ring versions only grow), so the epoch is monotone per
+// router — which is what the per-key (epoch, seq) watermark needs. The
+// low byte holds the dead count; machines are addressed in one byte,
+// so it cannot overflow into the ring version.
+func (r *Router) recalcEpoch() {
+	r.epoch = r.ringVer<<8 | uint32(len(r.dead))
+}
 
 // AppID implements smartnic.App.
 func (r *Router) AppID() msg.AppID { return RouterApp }
@@ -181,6 +245,119 @@ func (r *Router) Boot(rt *smartnic.Runtime) {
 func (r *Router) PeerFailed(msg.DeviceID) {}
 
 func (r *Router) isHead() bool { return r.cfg.head != 0 && r.cfg.head == r.cfg.id }
+
+// --- fleet-reconciliation surface (used by internal/reconcile) ---
+
+// AttachControl installs the machine's reconcile agent.
+func (r *Router) AttachControl(a ControlAgent) { r.ctrl = a }
+
+// ID returns the router's machine address.
+func (r *Router) ID() msg.DeviceID { return r.cfg.id }
+
+// Head returns the configured head machine (0 when decentralized).
+func (r *Router) Head() msg.DeviceID { return r.cfg.head }
+
+// Halted reports whether the machine has crash-stopped.
+func (r *Router) Halted() bool { return r.halted }
+
+// RingVer returns the version of the ring this router serves.
+func (r *Router) RingVer() uint32 { return r.ringVer }
+
+// PendingVer returns the staged ring version (0 when none is staged).
+func (r *Router) PendingVer() uint32 { return r.pendingVer }
+
+// TransferDone reports whether the staged ring's transfer has drained.
+// The router pushes one transfer-done report itself (xferCheck), but
+// that frame can be lost under an injected fault plane; agents fold
+// this level-triggered signal into their periodic condition reports so
+// a transition can never wedge on one dropped frame.
+func (r *Router) TransferDone() bool {
+	return r.pendingRing != nil && r.xferLeft == 0
+}
+
+// RingMembers returns the current ring membership in ID order.
+func (r *Router) RingMembers() []msg.DeviceID { return r.ring.Machines() }
+
+// InRing reports whether this machine is a member of its current ring.
+func (r *Router) InRing() bool { return memberOf(r.ring.Machines(), r.cfg.id) }
+
+// Cordoned reports whether the machine is cordoned off client ingress.
+func (r *Router) Cordoned() bool { return r.cordoned }
+
+// Upgrading reports whether a config flash is in progress.
+func (r *Router) Upgrading() bool { return r.upgrading }
+
+// ConfigVersion returns the machine's running config/firmware version.
+func (r *Router) ConfigVersion() uint32 { return r.confVer }
+
+// DeadIDs returns the machines this router's view has declared dead.
+func (r *Router) DeadIDs() []msg.DeviceID { return r.deadList() }
+
+// Conditions assembles this machine's status-condition report
+// (machine-controller style). Each call stamps a fresh sequence number.
+func (r *Router) Conditions() *msg.CondReport {
+	r.condSeq++
+	return &msg.CondReport{
+		Seq:           r.condSeq,
+		Ready:         !r.halted && !r.upgrading,
+		Cordoned:      r.cordoned,
+		Upgrading:     r.upgrading,
+		ConfigVersion: r.confVer,
+		RingVer:       r.ringVer,
+		PendingVer:    r.pendingVer,
+		Keys:          uint32(r.store.Keys()),
+	}
+}
+
+// SendControl puts a management-plane message on the fabric (or hands
+// it straight to the local agent when addressed to this machine).
+func (r *Router) SendControl(dst msg.DeviceID, m msg.Message) {
+	if r.halted {
+		return
+	}
+	if dst == r.cfg.id {
+		// Self-delivery: drain orders are mechanism (the decentralized
+		// actor must be able to cordon and rotate ITSELF out of the ring);
+		// everything else is policy traffic for the agent.
+		if d, ok := m.(*msg.Drain); ok {
+			r.onDrain(d)
+			return
+		}
+		if r.ctrl != nil {
+			r.ctrl.OnControl(r.cfg.id, m)
+		}
+		return
+	}
+	r.cl.net.Send(r.cfg.id, dst, r.epoch, m)
+}
+
+// ProposeRing broadcasts a RingConfig phase to every machine the view
+// holds live (spares included) and applies it locally — the coordinator
+// is a participant like any other. The broadcast happens inside one
+// event, so a crash can never split it.
+func (r *Router) ProposeRing(ver uint32, phase uint8, members []msg.DeviceID) {
+	if r.halted {
+		return
+	}
+	for _, id := range r.cl.MachineIDs() {
+		if id == r.cfg.id || r.dead[id] {
+			continue
+		}
+		r.cl.net.Send(r.cfg.id, id, r.epoch, &msg.RingConfig{
+			Ver: ver, Phase: phase, Members: append([]msg.DeviceID(nil), members...),
+		})
+	}
+	r.applyRingConfig(r.cfg.id, &msg.RingConfig{Ver: ver, Phase: phase, Members: members})
+}
+
+func memberOf(ms []msg.DeviceID, id msg.DeviceID) bool {
+	for _, m := range ms {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
 
 // halt freezes the router when the cluster kills its machine: every
 // timer and handler bails, modeling crash-stop.
@@ -299,12 +476,21 @@ func (r *Router) onFrame(raw []byte) {
 	case *msg.Replicate:
 		r.onReplicate(env.Src, m)
 	case *msg.ReplicateAck:
-		r.onReplicateAck(m)
+		r.onReplicateAck(env.Src, m)
 	case *msg.RingUpdate:
 		r.noteDead("ring.update", m.Dead...)
 	case *msg.Heartbeat:
 		if r.isHead() {
 			r.lastBeat[env.Src] = r.eng.Now()
+		}
+	case *msg.RingConfig:
+		r.applyRingConfig(env.Src, m)
+	case *msg.Drain:
+		r.onDrain(m)
+	case *msg.SpecGossip, *msg.CondReport:
+		// Policy traffic: the router is mechanism only.
+		if r.ctrl != nil {
+			r.ctrl.OnControl(env.Src, env.Msg)
 		}
 	}
 }
@@ -457,34 +643,66 @@ func (r *Router) startTask(t *writeTask) {
 	})
 }
 
-// replicate sends the task's mutation to the key's backup and acks the
-// client only on the backup's ReplicateAck (R1). With no live backup in
-// view the primary is the shard's sole owner and acks alone.
+// repTargets computes the task's replication set: every live owner of
+// the key under the current ring, plus — while a ring is staged —
+// every live owner under the staged ring, minus this machine. Order is
+// ring order (current first), so the set is deterministic.
+func (r *Router) repTargets(key string) []msg.DeviceID {
+	own := r.owners(key)
+	out := make([]msg.DeviceID, 0, len(own))
+	for _, id := range own {
+		if id != r.cfg.id {
+			out = append(out, id)
+		}
+	}
+	if r.pendingRing != nil {
+		for _, id := range r.pendingRing.Owners(key, r.dead, r.cfg.replicas) {
+			if id != r.cfg.id && !memberOf(out, id) {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// replicate sends the task's mutation to every replication target and
+// acks the client only when all of them acked (R1). The target set is
+// recomputed under the live view on every attempt, so dead backups
+// drop out; with no live target left the primary is the shard's sole
+// owner and acks alone.
 func (r *Router) replicate(t *writeTask) {
 	if r.halted || t.done {
 		return
 	}
-	own := r.owners(t.key)
-	if len(own) < 2 {
-		r.stats.SoloAcks++
+	t.targets = t.targets[:0]
+	for _, id := range r.repTargets(t.key) {
+		if !t.acked[id] {
+			t.targets = append(t.targets, id)
+		}
+	}
+	if len(t.targets) == 0 {
+		if len(t.acked) == 0 {
+			r.stats.SoloAcks++
+		}
 		r.ackTask(t)
 		return
 	}
-	t.backup = own[1]
 	if t.seq == 0 {
 		r.repSeq++
 		t.seq = r.repSeq
 		r.inflight[t.seq] = t
 	}
-	r.cl.net.Send(r.cfg.id, t.backup, r.epoch, &msg.Replicate{
-		Epoch: r.epoch, Seq: t.seq, Del: t.del, Sync: t.sync,
-		Key: t.key, Value: t.value,
-	})
+	for _, b := range t.targets {
+		r.cl.net.Send(r.cfg.id, b, r.epoch, &msg.Replicate{
+			Epoch: r.epoch, Seq: t.seq, Del: t.del, Sync: t.sync,
+			Key: t.key, Value: t.value,
+		})
+	}
 	t.tm = r.eng.After(r.cfg.repRetry, func() {
 		if r.halted || t.done {
 			return
 		}
-		// Retransmit under the current view: the backup may have changed
+		// Retransmit under the current view: a backup may have changed
 		// or vanished since the last attempt.
 		r.replicate(t)
 	})
@@ -532,11 +750,23 @@ func (r *Router) sendAck(to msg.DeviceID, seq uint64, ok bool) {
 	})
 }
 
-func (r *Router) onReplicateAck(m *msg.ReplicateAck) {
+func (r *Router) onReplicateAck(src msg.DeviceID, m *msg.ReplicateAck) {
 	r.noteDead("gossip", m.Dead...)
 	t := r.inflight[m.Seq]
 	if t == nil || !m.OK {
 		return // stale ack, or a failed apply the retransmit timer retries
+	}
+	if t.acked == nil {
+		t.acked = make(map[msg.DeviceID]bool)
+	}
+	t.acked[src] = true
+	// The client is acked only when every CURRENT target acked: targets
+	// are recomputed under the live view, so acks from since-dead (or
+	// since-replaced) backups never complete a task on their own.
+	for _, id := range r.repTargets(t.key) {
+		if !t.acked[id] {
+			return
+		}
 	}
 	delete(r.inflight, m.Seq)
 	r.ackTask(t)
@@ -569,6 +799,10 @@ func (r *Router) finishTask(t *writeTask) {
 		t.tm.Stop()
 	}
 	delete(r.inflight, t.seq)
+	if t.xfer && r.pendingRing != nil && t.xferVer == r.pendingVer {
+		r.xferLeft--
+		r.xferCheck()
+	}
 	g := r.gates[t.key]
 	if g == nil || g.cur != t {
 		return
@@ -625,7 +859,7 @@ func (r *Router) noteDead(why string, ids ...msg.DeviceID) {
 		delete(prev, id)
 	}
 	r.stats.ViewChanges++
-	r.epoch = uint32(len(r.dead))
+	r.recalcEpoch()
 	r.cl.tracef("m%d view epoch=%d dead=%v (%s)", r.cfg.id, r.epoch, r.deadList(), why)
 
 	r.failPendingTo(fresh)
@@ -702,6 +936,206 @@ func (r *Router) broadcastView() {
 			continue
 		}
 		r.cl.net.Send(r.cfg.id, id, r.epoch, &msg.RingUpdate{Epoch: r.epoch, Dead: dead})
+	}
+}
+
+// --- planned membership change (fleet reconciliation) ---
+//
+// A membership change is a two-phase protocol over ring versions:
+//
+//	prepare(v, members) — every live machine stages ring v. Each
+//	  current primary re-replicates the keys whose owner set changes
+//	  (the ring's minimal-movement property keeps this to the moved
+//	  arc), and client mutations replicate to the UNION of current and
+//	  staged owners for the duration. Routing stays on the current
+//	  ring, so reads always land where the data already is. When a
+//	  machine's transfer drains it reports transfer-done to the
+//	  coordinator.
+//	commit(v, members) — after every live participant reported, the
+//	  coordinator broadcasts commit and all routers adopt ring v
+//	  atomically (per machine). The commit broadcast happens inside
+//	  one event, so a coordinator crash cannot split it.
+//	abort(v) — any death during the transition aborts it (the level-
+//	  triggered reconciler retries once failover settles); union
+//	  replication has kept every acked write durable at both owner
+//	  sets, so aborting loses nothing.
+//
+// Phases are idempotent: versions at or below the running ring are
+// ignored, so duplicated or re-driven phases are harmless.
+
+func (r *Router) applyRingConfig(src msg.DeviceID, m *msg.RingConfig) {
+	if r.halted || m.Ver <= r.ringVer {
+		return
+	}
+	switch m.Phase {
+	case msg.RingPrepare:
+		if len(m.Members) == 0 || (r.pendingRing != nil && m.Ver <= r.pendingVer) {
+			return
+		}
+		joining := !r.InRing() && memberOf(m.Members, r.cfg.id)
+		r.pendingVer = m.Ver
+		r.pendingMembers = append([]msg.DeviceID(nil), m.Members...)
+		r.pendingRing = NewRing(m.Members, r.cfg.vnodes)
+		r.pendingFrom = src
+		r.xferReported = false
+		r.stats.RingStaged++
+		r.cl.tracef("m%d ring stage v%d members=%v", r.cfg.id, m.Ver, m.Members)
+		r.startXfer()
+		if joining {
+			// Joining: wipe whatever a previous ring stint left behind
+			// before reporting transfer-done — a commit must never find
+			// stale keys here. Keys this very transition is syncing over
+			// are kept: a watermark at the ring version current NOW (pinned,
+			// so a commit mid-sweep cannot reinterpret it) proves freshness.
+			minVer := r.ringVer
+			ver := m.Ver
+			r.xferLeft++
+			r.purgeKeys(r.store.KeyList(), func(key string) bool {
+				w, ok := r.wm[key]
+				return ok && w.epoch>>8 >= minVer
+			}, func() {
+				if r.pendingRing != nil && r.pendingVer == ver {
+					r.xferLeft--
+					r.xferCheck()
+				}
+			})
+		}
+		r.xferCheck()
+	case msg.RingCommit:
+		members := m.Members
+		if len(members) == 0 && r.pendingRing != nil && m.Ver == r.pendingVer {
+			members = r.pendingMembers
+		}
+		if len(members) == 0 {
+			return
+		}
+		r.ring = NewRing(members, r.cfg.vnodes)
+		r.ringVer = m.Ver
+		r.clearPending()
+		r.recalcEpoch()
+		r.stats.RingCommits++
+		r.cl.tracef("m%d ring commit v%d members=%v epoch=%d", r.cfg.id, m.Ver, members, r.epoch)
+		r.purgeKeys(r.store.KeyList(), r.keepOwned, nil)
+	case msg.RingAbort:
+		if r.pendingRing == nil || m.Ver != r.pendingVer {
+			return
+		}
+		r.clearPending()
+		r.stats.RingAborts++
+		r.cl.tracef("m%d ring abort v%d", r.cfg.id, m.Ver)
+		r.purgeKeys(r.store.KeyList(), r.keepOwned, nil)
+	}
+}
+
+func (r *Router) clearPending() {
+	r.pendingRing = nil
+	r.pendingVer = 0
+	r.pendingMembers = nil
+	r.pendingFrom = 0
+	r.xferLeft = 0
+	r.xferReported = false
+}
+
+// startXfer enqueues one sync task per local key whose owner set
+// changes under the staged ring and this machine currently leads. The
+// tasks ride the per-key gates, so they serialize behind (and carry
+// the values of) any in-flight client writes.
+func (r *Router) startXfer() {
+	count := 0
+	for _, key := range r.store.KeyList() {
+		cur := r.owners(key)
+		if len(cur) == 0 || cur[0] != r.cfg.id {
+			continue
+		}
+		if ownersEqual(cur, r.pendingRing.Owners(key, r.dead, r.cfg.replicas)) {
+			continue
+		}
+		count++
+		r.stats.Xfers++
+		r.enqueue(&writeTask{key: key, sync: true, xfer: true, xferVer: r.pendingVer})
+	}
+	r.xferLeft = count
+}
+
+// xferCheck reports this machine's transfer complete to the
+// coordinator, exactly once per staged ring, when nothing is left.
+func (r *Router) xferCheck() {
+	if r.pendingRing == nil || r.xferLeft != 0 || r.xferReported {
+		return
+	}
+	r.xferReported = true
+	rep := r.Conditions()
+	rep.TransferVer = r.pendingVer
+	r.cl.tracef("m%d ring xfer done v%d", r.cfg.id, r.pendingVer)
+	r.SendControl(r.pendingFrom, rep)
+}
+
+// onDrain executes a reconciler order. Upgrade is legal only out of
+// the ring (flashing never races serving); an unknown mode is ignored.
+func (r *Router) onDrain(m *msg.Drain) {
+	switch m.Mode {
+	case msg.DrainCordon:
+		if !r.cordoned {
+			r.cordoned = true
+			r.stats.Cordons++
+			r.cl.tracef("m%d cordoned", r.cfg.id)
+		}
+	case msg.DrainUncordon:
+		r.cordoned = false
+	case msg.DrainUpgrade:
+		if r.InRing() || r.upgrading || r.confVer >= m.ConfigVersion {
+			return
+		}
+		r.upgrading = true
+		r.stats.Upgrades++
+		v := m.ConfigVersion
+		r.cl.tracef("m%d upgrading to conf v%d", r.cfg.id, v)
+		r.eng.After(r.cfg.upgradeDelay, func() {
+			if r.halted {
+				return
+			}
+			r.confVer = v
+			r.upgrading = false
+			r.cl.tracef("m%d upgraded to conf v%d", r.cfg.id, v)
+		})
+	}
+}
+
+// keepOwned keeps a key after a ring adoption iff this machine still
+// owns it (any replica slot) or a task for it is in flight. Purging
+// strays matters for safety, not just space: a stale copy on a
+// non-owner could be served as truth if later deaths promote the
+// machine back into the key's owner set.
+func (r *Router) keepOwned(key string) bool {
+	if r.gates[key] != nil {
+		return true
+	}
+	return memberOf(r.owners(key), r.cfg.id)
+}
+
+// purgeKeys deletes the listed keys from the local store, skipping
+// those keep() wants, one at a time in sorted order — chained through
+// the store's completion callbacks so the sweep cannot overrun the
+// store queue bound. done (optional) fires when the sweep ends.
+func (r *Router) purgeKeys(keys []string, keep func(string) bool, done func()) {
+	if r.halted {
+		return
+	}
+	for i, key := range keys {
+		if keep(key) {
+			continue
+		}
+		delete(r.wm, key)
+		r.stats.Strays++
+		rest := keys[i+1:]
+		del := kvs.EncodeRequest(kvs.Request{Op: kvs.OpDelete, Key: key})
+		r.store.ServeNetwork(del, func([]byte) {
+			r.purgeKeys(rest, keep, done)
+		})
+		return
+	}
+	if done != nil {
+		done()
 	}
 }
 

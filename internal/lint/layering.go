@@ -133,14 +133,21 @@ var layerDAG = map[string][]string{
 		"nocpu/internal/smartnic",
 	},
 
+	// Fleet reconciliation: level-triggered policy (observe→diff→act)
+	// over the fabric's membership/drain mechanisms (E19). Policy rides
+	// ABOVE mechanism: reconcile imports fabric, never the reverse.
+	"nocpu/internal/reconcile": {
+		"nocpu/internal/fabric", "nocpu/internal/msg", "nocpu/internal/sim",
+	},
+
 	// Experiment harness.
 	"nocpu/internal/exp": {
 		"nocpu/internal/bus", "nocpu/internal/chaos", "nocpu/internal/core",
 		"nocpu/internal/fabric", "nocpu/internal/faultinject", "nocpu/internal/iommu",
 		"nocpu/internal/kvs", "nocpu/internal/metrics", "nocpu/internal/msg",
 		"nocpu/internal/netsim", "nocpu/internal/overload", "nocpu/internal/physmem",
-		"nocpu/internal/sim", "nocpu/internal/smartnic", "nocpu/internal/smartssd",
-		"nocpu/internal/trace",
+		"nocpu/internal/reconcile", "nocpu/internal/sim", "nocpu/internal/smartnic",
+		"nocpu/internal/smartssd", "nocpu/internal/trace",
 	},
 
 	// The linter itself (host tooling).

@@ -245,6 +245,75 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 		write("seed-fabricresp-truncated", w.buf)
 	}
 
+	// Fleet-reconciliation adversarial seeds (spec gossip, condition
+	// report, drain, staged ring config).
+	// A SpecGossip truncated mid-ConfigVersion: SpecVer and Size present,
+	// the u32 cut to 2 bytes.
+	{
+		var pw writer
+		pw.u64(4)                           // SpecVer
+		pw.u16(8)                           // Size
+		pw.buf = append(pw.buf, 0x02, 0x00) // half a config version
+		var w writer
+		w.u16(1)
+		w.u16(uint16(Broadcast))
+		w.u16(uint16(KindSpecGossip))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-specgossip-truncated", w.buf)
+	}
+
+	// A CondReport cut after the three condition flags: the four trailing
+	// u32 fields are entirely missing.
+	{
+		var pw writer
+		pw.u64(11) // Seq
+		pw.bool(true)
+		pw.bool(false)
+		pw.bool(true)
+		var w writer
+		w.u16(3)
+		w.u16(1)
+		w.u16(uint16(KindCondReport))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-condreport-truncated", w.buf)
+	}
+
+	// A Drain order with an unknown mode: must decode cleanly (mode
+	// policy is the receiver's judgment, not the codec's) and be ignored
+	// by the router.
+	write("seed-drain-unknownmode", Envelope{Src: 1, Dst: 5, Seq: 2, Inc: 1,
+		Msg: &Drain{Mode: 0xEE, ConfigVersion: 9}}.Encode())
+
+	// A RingConfig claiming 0xFFF0 members in a 7-byte payload: the
+	// member-list bomb guard must refuse without allocating.
+	{
+		var pw writer
+		pw.u32(3)          // Ver
+		pw.u8(RingPrepare) // Phase
+		pw.u16(0xFFF0)     // member-count bomb
+		var w writer
+		w.u16(1)
+		w.u16(uint16(Broadcast))
+		w.u16(uint16(KindRingConfig))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-ringconfig-bomb", w.buf)
+	}
+
+	// A RingConfig commit for an empty membership: decode must succeed
+	// (an empty ring is the coordinator's error, surfaced at the router,
+	// never the codec's).
+	write("seed-ringconfig-empty", Envelope{Src: 1, Dst: Broadcast, Seq: 3,
+		Msg: &RingConfig{Ver: 9, Phase: RingCommit}}.Encode())
+
 	// Format-agnostic adversarial seeds.
 	write("seed-empty", []byte{})
 	write("seed-shorthdr", []byte{1, 0, 2, 0})

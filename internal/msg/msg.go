@@ -149,6 +149,17 @@ const (
 	KindReplicateAck // backup → primary: write is durable at the replica
 	KindRingUpdate   // head node → all machines: membership epoch + dead set
 
+	// Fleet reconciliation (internal/reconcile). The management-plane
+	// vocabulary of the level-triggered fleet reconciler: declared specs
+	// gossip between machines, machines report status conditions, and
+	// planned membership change runs as a prepare/commit protocol over
+	// staged ring configurations. Like the fabric kinds, Src/Dst are
+	// machine addresses.
+	KindSpecGossip // reconciler → machines: declared fleet spec (versioned)
+	KindCondReport // machine → reconciler: status conditions + transfer done
+	KindDrain      // reconciler → machine: cordon / uncordon / upgrade order
+	KindRingConfig // coordinator → machines: staged membership (prepare/commit/abort)
+
 	kindMax
 )
 
@@ -173,6 +184,8 @@ var kindNames = map[Kind]string{
 	KindFabricReq:    "fabric.req", KindFabricResp: "fabric.resp",
 	KindReplicate: "replicate", KindReplicateAck: "replicate.ack",
 	KindRingUpdate: "ring.update",
+	KindSpecGossip: "spec.gossip", KindCondReport: "cond.report",
+	KindDrain: "drain", KindRingConfig: "ring.config",
 }
 
 func (k Kind) String() string {

@@ -53,6 +53,11 @@ func allMessages() []Message {
 		&Replicate{Epoch: 2, Seq: 77, Del: false, Sync: true, Key: "key-00001", Value: []byte{9, 9}},
 		&ReplicateAck{Seq: 77, OK: true, Epoch: 2, Dead: []DeviceID{5, 6}},
 		&RingUpdate{Epoch: 3, Dead: []DeviceID{2, 5, 6}},
+		&SpecGossip{SpecVer: 4, Size: 8, ConfigVersion: 2, MaxUnavailable: 1},
+		&CondReport{Seq: 11, Ready: true, Cordoned: false, Upgrading: true,
+			ConfigVersion: 2, RingVer: 3, PendingVer: 4, TransferVer: 4, Keys: 140},
+		&Drain{Mode: DrainUpgrade, ConfigVersion: 2},
+		&RingConfig{Ver: 3, Phase: RingPrepare, Members: []DeviceID{1, 2, 3, 9}},
 	}
 }
 

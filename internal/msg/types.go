@@ -968,6 +968,138 @@ func (m *RingUpdate) decode(r *reader) {
 	m.Dead = decodeDevs(r)
 }
 
+// --- Fleet reconciliation messages (internal/reconcile) ---
+//
+// Like the fabric kinds above, these ride the Envelope framing with
+// machine addresses. They are the management-bus vocabulary of the
+// fleet reconciler: desired state gossips between per-NIC reconcilers,
+// machines report status conditions, and planned membership change is
+// a prepare/commit protocol over ring configurations.
+
+// RingConfig phases (RingConfig.Phase).
+const (
+	RingPrepare uint8 = iota + 1 // stage the new membership; start key transfer
+	RingCommit                   // every transfer done: atomically adopt the ring
+	RingAbort                    // a participant died mid-transition; drop the staging
+)
+
+// Drain modes (Drain.Mode).
+const (
+	DrainCordon   uint8 = iota + 1 // stop accepting new client ingress
+	DrainUncordon                  // resume client ingress
+	DrainUpgrade                   // flash ConfigVersion and report back when done
+)
+
+// SpecGossip carries the declared fleet spec between reconcilers. The
+// decentralized flavor gossips it peer-to-peer so every machine knows
+// the goal state and any live machine can act on it; the head-node
+// flavor hands it to the head alone. SpecVer orders revisions: a
+// receiver adopts a spec only if SpecVer exceeds what it holds.
+type SpecGossip struct {
+	SpecVer        uint64
+	Size           uint16 // desired in-ring machine count
+	ConfigVersion  uint32 // desired config/firmware version on every member
+	MaxUnavailable uint8  // disruption budget for voluntary actions
+}
+
+func (*SpecGossip) Kind() Kind { return KindSpecGossip }
+func (m *SpecGossip) encode(w *writer) {
+	w.u64(m.SpecVer)
+	w.u16(m.Size)
+	w.u32(m.ConfigVersion)
+	w.u8(m.MaxUnavailable)
+}
+func (m *SpecGossip) decode(r *reader) {
+	m.SpecVer = r.u64()
+	m.Size = r.u16()
+	m.ConfigVersion = r.u32()
+	m.MaxUnavailable = r.u8()
+}
+
+// CondReport is one machine's status-condition report (machine-
+// controller style): readiness, cordon/upgrade state, the config and
+// ring versions it runs, and — when TransferVer is nonzero — the
+// completion notice for a staged ring transition's key transfer.
+type CondReport struct {
+	Seq           uint64
+	Ready         bool
+	Cordoned      bool
+	Upgrading     bool
+	ConfigVersion uint32
+	RingVer       uint32
+	PendingVer    uint32 // staged-but-uncommitted ring version (0: none)
+	TransferVer   uint32 // nonzero: transfer for this staged ring version is done
+	Keys          uint32 // local shard size (status detail)
+}
+
+func (*CondReport) Kind() Kind { return KindCondReport }
+func (m *CondReport) encode(w *writer) {
+	w.u64(m.Seq)
+	w.bool(m.Ready)
+	w.bool(m.Cordoned)
+	w.bool(m.Upgrading)
+	w.u32(m.ConfigVersion)
+	w.u32(m.RingVer)
+	w.u32(m.PendingVer)
+	w.u32(m.TransferVer)
+	w.u32(m.Keys)
+}
+func (m *CondReport) decode(r *reader) {
+	m.Seq = r.u64()
+	m.Ready = r.bool()
+	m.Cordoned = r.bool()
+	m.Upgrading = r.bool()
+	m.ConfigVersion = r.u32()
+	m.RingVer = r.u32()
+	m.PendingVer = r.u32()
+	m.TransferVer = r.u32()
+	m.Keys = r.u32()
+}
+
+// Drain is the reconciler's order to one machine: cordon (stop taking
+// client traffic), uncordon, or upgrade to ConfigVersion (legal only
+// while the machine is out of the ring, so flashing never races
+// serving). An unknown mode is ignored by the receiver.
+type Drain struct {
+	Mode          uint8
+	ConfigVersion uint32
+}
+
+func (*Drain) Kind() Kind { return KindDrain }
+func (m *Drain) encode(w *writer) {
+	w.u8(m.Mode)
+	w.u32(m.ConfigVersion)
+}
+func (m *Drain) decode(r *reader) {
+	m.Mode = r.u8()
+	m.ConfigVersion = r.u32()
+}
+
+// RingConfig is the membership-change protocol frame. Prepare stages
+// Members as ring version Ver and starts the key transfer (each current
+// primary re-replicates the keys whose owner set changes); Commit
+// atomically adopts the staged ring; Abort drops it. Ver is strictly
+// increasing per cluster, and a router ignores any phase for a version
+// at or below the one it already runs, which makes every phase
+// idempotent under duplication.
+type RingConfig struct {
+	Ver     uint32
+	Phase   uint8
+	Members []DeviceID
+}
+
+func (*RingConfig) Kind() Kind { return KindRingConfig }
+func (m *RingConfig) encode(w *writer) {
+	w.u32(m.Ver)
+	w.u8(m.Phase)
+	encodeDevs(w, m.Members)
+}
+func (m *RingConfig) decode(r *reader) {
+	m.Ver = r.u32()
+	m.Phase = r.u8()
+	m.Members = decodeDevs(r)
+}
+
 // newMessage returns a zero value of the message type for kind, or nil
 // for an unknown kind.
 func newMessage(k Kind) Message {
@@ -1048,6 +1180,14 @@ func newMessage(k Kind) Message {
 		return &ReplicateAck{}
 	case KindRingUpdate:
 		return &RingUpdate{}
+	case KindSpecGossip:
+		return &SpecGossip{}
+	case KindCondReport:
+		return &CondReport{}
+	case KindDrain:
+		return &Drain{}
+	case KindRingConfig:
+		return &RingConfig{}
 	}
 	return nil
 }
