@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race fuzz chaos overload fabric reconcile benchguard check bench tables
+.PHONY: build test vet lint allows race fuzz chaos overload fabric reconcile benchguard check bench tables
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,21 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Custom determinism/decentralization analyzers (internal/lint), run via
-# the go vet -vettool protocol. See internal/lint/lint.go for the rules
-# and the //lint:allow escape hatch.
+# Custom determinism/decentralization/wire-compat analyzers
+# (internal/lint), run via the go vet -vettool protocol. See
+# internal/lint/lint.go for the rules and the //lint:allow escape
+# hatch. After an intentional append-only wire change, regenerate the
+# schema baseline with NOCPU_REGEN_WIRELOCK=1 make lint and commit
+# internal/msg/wire.lock.
 lint:
 	$(GO) build -o bin/nocpu-lint ./cmd/nocpu-lint
 	$(GO) vet -vettool=bin/nocpu-lint ./...
+
+# Inventory of every //lint:allow suppression in the tree (file:line,
+# rule, mandatory reason) — the whole exception surface in one listing.
+allows:
+	$(GO) build -o bin/nocpu-lint ./cmd/nocpu-lint
+	./bin/nocpu-lint -allows .
 
 race:
 	$(GO) test -race ./...

@@ -15,7 +15,18 @@
 // Analysis is restricted to this module's packages: for anything else
 // (standard library dependencies vetted for their side of the protocol)
 // the driver just writes the expected empty facts file and exits
-// cleanly.
+// cleanly. Module packages additionally exchange analyzer facts through
+// the protocol's .vetx files (PackageVetx in, VetxOutput out), encoded
+// as a JSON object keyed by analyzer name — that is how nodeterminism's
+// taint summaries cross package boundaries.
+//
+// A second, vet-independent mode inventories the suppression surface:
+//
+//	nocpu-lint -allows [dir ...]
+//
+// walks the given trees (default ".") and prints every //lint:allow
+// directive as "file:line: rule: reason", so the full set of sanctioned
+// exceptions stays reviewable in one listing.
 package main
 
 import (
@@ -30,7 +41,9 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"nocpu/internal/lint"
@@ -48,6 +61,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -55,6 +69,7 @@ type vetConfig struct {
 
 func main() {
 	flag.Var(versionFlag{}, "V", "print version and exit (the go command probes this)")
+	allows := flag.Bool("allows", false, "report every //lint:allow directive under the given directories and exit")
 	// The go command's second probe: `nocpu-lint -flags` must describe
 	// the supported flags as JSON so vet can validate user flags.
 	if len(os.Args) > 1 && os.Args[1] == "-flags" {
@@ -62,6 +77,9 @@ func main() {
 		os.Exit(0)
 	}
 	flag.Parse()
+	if *allows {
+		os.Exit(runAllows(flag.Args()))
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: nocpu-lint <vetconfig>.cfg ...  (run via go vet -vettool)")
 		os.Exit(1)
@@ -91,15 +109,16 @@ func runConfig(cfgPath string) (bool, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return false, fmt.Errorf("%s: %w", cfgPath, err)
 	}
-	// The go command expects a facts file for every vetted unit. The
-	// suite derives no cross-package facts, so an empty one satisfies
-	// the protocol.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return false, err
+	// The go command expects a facts file for every vetted unit.
+	// Non-module packages (standard library dependencies) carry none, so
+	// an empty one satisfies the protocol; module packages get theirs
+	// written after analysis, below.
+	if !inModule(cfg.ImportPath) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				return false, err
+			}
 		}
-	}
-	if cfg.VetxOnly || !inModule(cfg.ImportPath) {
 		return false, nil
 	}
 
@@ -154,14 +173,119 @@ func runConfig(cfgPath string) (bool, error) {
 		return false, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
 
-	diags, err := analysis.Run(lint.Analyzers(), fset, files, pkg, info)
+	facts := &vetxFacts{cfg: &cfg, out: make(map[string]json.RawMessage), deps: make(map[string]map[string]json.RawMessage)}
+	diags, err := analysis.RunWithFacts(lint.Analyzers(), fset, files, pkg, info, facts)
 	if err != nil {
 		return false, fmt.Errorf("analyzing %s: %w", cfg.ImportPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := facts.write(cfg.VetxOutput); err != nil {
+			return false, err
+		}
+	}
+	// A VetxOnly unit is analyzed purely for its facts (it is a
+	// dependency of the vet target, not a target itself); its own
+	// diagnostics are the responsibility of the run that targets it.
+	if cfg.VetxOnly {
+		return false, nil
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Rule)
 	}
 	return len(diags) > 0, nil
+}
+
+// vetxFacts adapts the vet protocol's .vetx files to the suite's Facts
+// interface. A module package's .vetx file is a JSON object mapping
+// analyzer name to that analyzer's opaque fact blob; an empty file means
+// no facts.
+type vetxFacts struct {
+	cfg  *vetConfig
+	out  map[string]json.RawMessage
+	deps map[string]map[string]json.RawMessage // pkg path -> analyzer -> blob
+}
+
+func (s *vetxFacts) Get(pkgPath, analyzer string) []byte {
+	m, ok := s.deps[pkgPath]
+	if !ok {
+		m = make(map[string]json.RawMessage)
+		file := s.cfg.PackageVetx[pkgPath]
+		if file == "" {
+			if mapped, ok := s.cfg.ImportMap[pkgPath]; ok {
+				file = s.cfg.PackageVetx[mapped]
+			}
+		}
+		if file != "" {
+			if data, err := os.ReadFile(file); err == nil && len(data) > 0 {
+				_ = json.Unmarshal(data, &m) // a stale or foreign blob means no facts
+			}
+		}
+		s.deps[pkgPath] = m
+	}
+	return m[analyzer]
+}
+
+func (s *vetxFacts) Set(analyzer string, blob []byte) {
+	s.out[analyzer] = json.RawMessage(blob)
+}
+
+// write persists the collected fact blobs as this unit's .vetx file.
+func (s *vetxFacts) write(path string) error {
+	if len(s.out) == 0 {
+		return os.WriteFile(path, nil, 0o666)
+	}
+	data, err := json.Marshal(s.out)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+// runAllows implements `nocpu-lint -allows [dir ...]`: walk the trees,
+// parse every non-testdata Go file, and print each //lint:allow
+// directive as "file:line: rule: reason". Exit status 1 means the walk
+// or a parse failed, not that directives exist — an allow is sanctioned
+// by definition; this mode exists to keep the full list reviewable.
+func runAllows(roots []string) int {
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	exit := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				// testdata trees hold deliberate violations (and allow
+				// fixtures) for the analyzer tests; they are not part of
+				// the suppression surface of the real tree.
+				if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocpu-lint: -allows: %v\n", err)
+			exit = 1
+		}
+	}
+	for _, a := range analysis.Inventory(fset, files) {
+		fmt.Printf("%s:%d: %s: %s\n", a.File, a.Line, a.Rule, a.Reason)
+	}
+	return exit
 }
 
 // inModule reports whether the vetted unit is one of ours. Test

@@ -39,6 +39,18 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	// Allowed reports whether a //lint:allow directive for rule covers
+	// pos. Report already applies this filter; analyzers that derive
+	// facts from sanctioned findings (nodeterminism's taint) query it
+	// directly.
+	Allowed func(pos token.Pos, rule string) bool
+	// DepFacts returns the fact blob a direct or indirect dependency
+	// exported for this analyzer, or nil when the dependency exported
+	// nothing (or the driver has no facts channel).
+	DepFacts func(pkgPath string) []byte
+	// ExportFacts records this package's fact blob for importing
+	// packages. Nil when the driver has no facts channel.
+	ExportFacts func(blob []byte)
 }
 
 // Reportf reports a finding at pos.
@@ -54,12 +66,29 @@ type Diagnostic struct {
 	Rule string
 }
 
+// Facts is the cross-package side channel for analyzers that summarize
+// their package for importers (the vet .vetx protocol, or an in-memory
+// map in tests). Blobs are opaque to the framework; each analyzer
+// defines its own encoding.
+type Facts interface {
+	// Get returns the blob pkgPath exported for analyzer, or nil.
+	Get(pkgPath, analyzer string) []byte
+	// Set records this package's blob for analyzer.
+	Set(analyzer string, blob []byte)
+}
+
 // Run applies every analyzer to the package and returns the surviving
 // diagnostics in file/position order. It implements the one suite-wide
 // behavior shared by the vettool and the test harness: //lint:allow
 // suppression (see Suppressed) and the requirement that every allow
 // directive carries a reason.
 func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	return RunWithFacts(analyzers, fset, files, pkg, info, nil)
+}
+
+// RunWithFacts is Run with a facts channel for interprocedural
+// analyzers; facts may be nil.
+func RunWithFacts(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts Facts) ([]Diagnostic, error) {
 	allows := collectAllows(fset, files)
 	var out []Diagnostic
 	for _, a := range analyzers {
@@ -75,6 +104,14 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 					out = append(out, d)
 				}
 			},
+			Allowed: func(pos token.Pos, rule string) bool {
+				return allows.suppresses(fset.Position(pos), rule)
+			},
+		}
+		if facts != nil {
+			name := a.Name
+			pass.DepFacts = func(pkgPath string) []byte { return facts.Get(pkgPath, name) }
+			pass.ExportFacts = func(blob []byte) { facts.Set(name, blob) }
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
@@ -110,7 +147,26 @@ type allowKey struct {
 
 type allowSet struct {
 	keys      map[allowKey]bool
+	list      []AllowDirective
 	malformed []Diagnostic
+}
+
+// AllowDirective is one well-formed //lint:allow occurrence: where it
+// sits, which rule it silences, and the mandatory justification.
+type AllowDirective struct {
+	File   string
+	Line   int
+	Rule   string
+	Reason string
+}
+
+// Inventory returns every well-formed //lint:allow directive in the
+// files, in source order — the raw material of `nocpu-lint -allows`,
+// which keeps the suite's entire suppression surface reviewable in one
+// listing. Malformed directives (no reason) are excluded here; they
+// surface as findings instead.
+func Inventory(fset *token.FileSet, files []*ast.File) []AllowDirective {
+	return collectAllows(fset, files).list
 }
 
 // suppresses reports whether a directive for rule covers a diagnostic at
@@ -143,6 +199,12 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 					continue
 				}
 				s.keys[allowKey{posn.Filename, posn.Line, fields[0]}] = true
+				s.list = append(s.list, AllowDirective{
+					File:   posn.Filename,
+					Line:   posn.Line,
+					Rule:   fields[0],
+					Reason: strings.Join(fields[1:], " "),
+				})
 			}
 		}
 	}

@@ -124,3 +124,29 @@ func h() {
 		t.Fatalf("diagnostics not sorted: %v", diags)
 	}
 }
+
+func TestInventoryListsWellFormedDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "inv.go", `package a
+func g() {}
+func h() {
+	g() //lint:allow callsite the call is idempotent
+	//lint:allow otherrule above-the-line form, reason spans words
+	g()
+	g() //lint:allow
+}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Inventory(fset, []*ast.File{f})
+	if len(got) != 2 {
+		t.Fatalf("want 2 well-formed directives (the reasonless one is malformed, not inventory), got %v", got)
+	}
+	if got[0].Rule != "callsite" || got[0].Line != 4 || got[0].Reason != "the call is idempotent" {
+		t.Errorf("first directive wrong: %+v", got[0])
+	}
+	if got[1].Rule != "otherrule" || got[1].Reason != "above-the-line form, reason spans words" {
+		t.Errorf("second directive wrong: %+v", got[1])
+	}
+}

@@ -47,6 +47,11 @@ func TestData() string {
 
 // Run loads <dir>/src/<pkgpath>, applies the analyzer, and compares
 // diagnostics against the package's want comments.
+//
+// Testdata packages the target imports are analyzed first (in
+// dependency order, diagnostics discarded) with a shared in-memory
+// facts store, so interprocedural analyzers see the same cross-package
+// summaries here that the vet driver gives them via .vetx files.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
 	t.Helper()
 	l := newLoader(dir)
@@ -54,11 +59,37 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
 	if err != nil {
 		t.Fatalf("loading %s: %v", pkgpath, err)
 	}
-	diags, err := analysis.Run([]*analysis.Analyzer{a}, l.fset, files, pkg, l.info)
+	facts := &memFacts{m: make(map[string]map[string][]byte)}
+	for _, dep := range l.order {
+		if dep == pkgpath {
+			continue
+		}
+		facts.cur = dep
+		if _, err := analysis.RunWithFacts([]*analysis.Analyzer{a}, l.fset, l.files[dep], l.pkgs[dep], l.info, facts); err != nil {
+			t.Fatalf("running %s on dependency %s: %v", a.Name, dep, err)
+		}
+	}
+	facts.cur = pkgpath
+	diags, err := analysis.RunWithFacts([]*analysis.Analyzer{a}, l.fset, files, pkg, l.info, facts)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
 	}
 	checkWants(t, l.fset, files, diags)
+}
+
+// memFacts is the in-memory analogue of the vet driver's .vetx channel.
+type memFacts struct {
+	cur string // package currently being analyzed (Set has no path param)
+	m   map[string]map[string][]byte
+}
+
+func (f *memFacts) Get(pkgPath, analyzer string) []byte { return f.m[pkgPath][analyzer] }
+
+func (f *memFacts) Set(analyzer string, blob []byte) {
+	if f.m[f.cur] == nil {
+		f.m[f.cur] = make(map[string][]byte)
+	}
+	f.m[f.cur][analyzer] = blob
 }
 
 type loader struct {
@@ -66,6 +97,7 @@ type loader struct {
 	fset  *token.FileSet
 	pkgs  map[string]*types.Package
 	files map[string][]*ast.File
+	order []string // load completion order: dependencies before dependents
 	info  *types.Info
 }
 
@@ -119,6 +151,9 @@ func (l *loader) load(pkgpath string) (*types.Package, []*ast.File, error) {
 	pkg, _ := conf.Check(pkgpath, l.fset, files, l.info)
 	l.pkgs[pkgpath] = pkg
 	l.files[pkgpath] = files
+	// Imports were loaded recursively inside Check, so appending here
+	// yields a topological order with dependencies first.
+	l.order = append(l.order, pkgpath)
 	return pkg, files, nil
 }
 

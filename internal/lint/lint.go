@@ -17,7 +17,17 @@
 //     switch over the bus-protocol message kinds exhaustive so a new
 //     kind cannot be dropped silently by old dispatch code.
 //
-//  3. Overload safety. Every queue a message or request can wait in is
+//  3. Wire compatibility. The bus protocol is a real wire format that
+//     must keep decoding frames from older builds across rolling
+//     upgrades (E19's campaigns): encode and decode of every kind must
+//     agree on the op sequence, every kind must be registered
+//     end-to-end (type, decode dispatcher, fuzz seed), and the schema
+//     may evolve only by trailing-field additions against the
+//     committed internal/msg/wire.lock. Enforced by the wireproto
+//     analyzer, which extracts the schema from the codec bodies by
+//     symbolic interpretation.
+//
+//  4. Overload safety. Every queue a message or request can wait in is
 //     either bounded — len() checked against a limit, with a
 //     deterministic shed/drop at the limit — or annotated with a reason
 //     it cannot grow without bound. Enforced by the boundedqueue
@@ -55,6 +65,7 @@ func Analyzers() []*analysis.Analyzer {
 		Layering,
 		Kindswitch,
 		Boundedqueue,
+		Wireproto,
 	}
 }
 

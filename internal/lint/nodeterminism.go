@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"encoding/json"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strconv"
 	"strings"
@@ -16,12 +18,40 @@ import (
 // clocks, ambient RNGs and concurrency primitives are all bugs waiting
 // to break the golden-trace tests, and are reported here instead.
 //
+// The check is interprocedural: beyond flagging direct uses, it
+// computes a call-graph taint. A function whose body transitively
+// reaches a wall clock, an ambient RNG or a goroutine spawn through any
+// chain of intra-module calls is tainted, and a call to it from
+// simulation code is flagged at the call site with the chain. Taint
+// flows only from sources the direct check does not already report —
+// //lint:allow-sanctioned uses and code outside the simulation scope —
+// so an allow on a definition ("host-side CLI logging") never quietly
+// licenses simulation code to route through it. Summaries cross package
+// boundaries via the vet facts channel, so the chain may span packages.
+//
+// Carve-out: functions defined in internal/sim never propagate taint.
+// The engine is the sanctioned abstraction over real time and (with the
+// planned parallel-DES backend) real threads; its internals are audited
+// by its own tests, and everything above it consumes only the virtual
+// clock it exposes.
+//
 // Test files are exempt: host-side test timeouts and t.Parallel are
 // about the machine running the tests, not the machine being simulated.
+// nodeterminismName is the analyzer's rule name; a named constant so
+// taint helpers can query pass.Allowed without referring to the
+// Analyzer var (which would be an initialization cycle through Run).
+const nodeterminismName = "nodeterminism"
+
 var Nodeterminism = &analysis.Analyzer{
-	Name: "nodeterminism",
-	Doc:  "forbid wall-clock time, ambient randomness and concurrency in simulation code",
+	Name: nodeterminismName,
+	Doc:  "forbid wall-clock time, ambient randomness and concurrency in simulation code, including transitively through helper calls",
 	Run:  runNodeterminism,
+}
+
+// trustedPkgs never propagate taint to callers: their internals are the
+// sanctioned determinism boundary.
+var trustedPkgs = map[string]bool{
+	"nocpu/internal/sim": true,
 }
 
 // bannedImports are packages simulation code must not import at all.
@@ -48,37 +78,297 @@ var bannedTimeFuncs = map[string]string{
 	"NewTimer":  "use sim.Engine.After; the returned sim.Timer can be stopped",
 }
 
+// taintFact is one tainted function's exported summary: what it
+// ultimately reaches and through which call chain (this function
+// first). Serialized as the package's nodeterminism fact blob.
+type taintFact struct {
+	Root  string   `json:"root"`  // e.g. "time.Now" or "goroutine spawn"
+	Chain []string `json:"chain"` // function names from this fn to the source
+}
+
+// funcInfo is the per-function analysis state.
+type funcInfo struct {
+	obj     *types.Func
+	decl    *ast.FuncDecl
+	inSim   bool // sim-scoped non-test code: direct findings are reported
+	sources []taintSource
+	calls   []taintCall
+	// taint resolution state
+	state resolveState
+	fact  *taintFact
+}
+
+type taintSource struct {
+	pos  ast.Node
+	desc string // "time.Now", "goroutine spawn", ...
+	// silent sources are not reported directly — uses of a banned
+	// package are already covered by the import diagnostic — but still
+	// seed taint when that diagnostic is suppressed.
+	silent bool
+	// allowPos is where a //lint:allow sanctions this source: the source
+	// itself, or the banned import for silent package uses.
+	allowPos token.Pos
+}
+
+type taintCall struct {
+	expr   *ast.CallExpr
+	callee *types.Func
+}
+
+type resolveState uint8
+
+const (
+	unresolved resolveState = iota
+	resolving
+	resolved
+)
+
 func runNodeterminism(pass *analysis.Pass) error {
-	if !simScoped(pass.Pkg.Path()) {
-		return nil
-	}
+	inScope := simScoped(pass.Pkg.Path())
+	t := &tainter{pass: pass, funcs: make(map[*types.Func]*funcInfo)}
+
 	for _, f := range pass.Files {
 		if isTestFile(pass, f) {
 			continue
 		}
+		impPos := make(map[string]token.Pos)
 		for _, imp := range f.Imports {
 			path, _ := strconv.Unquote(imp.Path.Value)
 			if why, bad := bannedImports[path]; bad {
-				pass.Reportf(imp.Pos(), "import of %s is nondeterministic in simulation code: %s", path, why)
-			}
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), "goroutine inside the single-threaded event loop: determinism requires one thread; model concurrency as scheduled events")
-			case *ast.SelectStmt:
-				pass.Reportf(n.Pos(), "select inside the single-threaded event loop: channel timing is scheduler-dependent; model it as scheduled events")
-			case *ast.SelectorExpr:
-				if pkg, ok := importedPkg(pass, n.X); ok && pkg == "time" {
-					if why, bad := bannedTimeFuncs[n.Sel.Name]; bad {
-						pass.Reportf(n.Pos(), "time.%s reads the host wall clock; %s", n.Sel.Name, why)
-					}
+				impPos[path] = imp.Pos()
+				if inScope {
+					pass.Reportf(imp.Pos(), "import of %s is nondeterministic in simulation code: %s", path, why)
 				}
 			}
-			return true
-		})
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			t.funcs[obj] = &funcInfo{obj: obj, decl: fd, inSim: inScope}
+			t.scanBody(t.funcs[obj], impPos)
+		}
+	}
+
+	// Direct findings first (reported exactly as before); sanctioned or
+	// out-of-scope sources become taint roots instead.
+	for _, fi := range t.funcs {
+		for _, src := range fi.sources {
+			if fi.inSim {
+				t.reportSource(src)
+			}
+		}
+	}
+
+	// Then the interprocedural pass: flag sim-scoped calls into tainted
+	// functions, local or imported.
+	t.depFacts = make(map[string]map[string]taintFact)
+	for _, fi := range sortedFuncs(t.funcs, pass) {
+		if !fi.inSim {
+			continue
+		}
+		for _, call := range fi.calls {
+			if fact := t.taintOf(call.callee); fact != nil {
+				pass.Reportf(call.expr.Pos(),
+					"call to %s is transitively nondeterministic: reaches %s via %s; the source is sanctioned at its definition (//lint:allow or non-simulation code), but this call runs inside the simulation — route it through the sim.Engine abstractions instead",
+					call.callee.Name(), fact.Root, strings.Join(fact.Chain, " -> "))
+			}
+		}
+	}
+
+	t.exportFacts()
+	return nil
+}
+
+type tainter struct {
+	pass     *analysis.Pass
+	funcs    map[*types.Func]*funcInfo
+	depFacts map[string]map[string]taintFact // pkg path -> func key -> fact
+}
+
+// scanBody records a function's direct nondeterminism sources and its
+// outgoing calls. impPos locates the file's banned imports, so a use of
+// such a package is sanctioned by the allow on its import line.
+func (t *tainter) scanBody(fi *funcInfo, impPos map[string]token.Pos) {
+	pass := t.pass
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			fi.sources = append(fi.sources, taintSource{pos: n, desc: "goroutine spawn", allowPos: n.Pos()})
+		case *ast.SelectStmt:
+			fi.sources = append(fi.sources, taintSource{pos: n, desc: "select", allowPos: n.Pos()})
+		case *ast.SelectorExpr:
+			if pkg, ok := importedPkg(pass, n.X); ok {
+				if pkg == "time" {
+					if _, bad := bannedTimeFuncs[n.Sel.Name]; bad {
+						fi.sources = append(fi.sources, taintSource{pos: n, desc: "time." + n.Sel.Name, allowPos: n.Pos()})
+					}
+				} else if _, bad := bannedImports[pkg]; bad {
+					fi.sources = append(fi.sources, taintSource{pos: n, desc: pkg + "." + n.Sel.Name, silent: true, allowPos: impPos[pkg]})
+				}
+			}
+		case *ast.CallExpr:
+			var id *ast.Ident
+			switch fun := unparen(n.Fun).(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			}
+			if id != nil {
+				if callee, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+					fi.calls = append(fi.calls, taintCall{n, callee})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportSource emits the classic direct diagnostic for one source.
+func (t *tainter) reportSource(src taintSource) {
+	switch {
+	case src.silent:
+		// covered by the import diagnostic
+	case src.desc == "goroutine spawn":
+		t.pass.Reportf(src.pos.Pos(), "goroutine inside the single-threaded event loop: determinism requires one thread; model concurrency as scheduled events")
+	case src.desc == "select":
+		t.pass.Reportf(src.pos.Pos(), "select inside the single-threaded event loop: channel timing is scheduler-dependent; model it as scheduled events")
+	case strings.HasPrefix(src.desc, "time."):
+		name := strings.TrimPrefix(src.desc, "time.")
+		t.pass.Reportf(src.pos.Pos(), "time.%s reads the host wall clock; %s", name, bannedTimeFuncs[name])
+	}
+}
+
+// sourceTaints reports whether a direct source seeds taint: only
+// sources the direct check does NOT report do — a reported source
+// already fails the build, so propagating it would just cascade noise.
+func (t *tainter) sourceTaints(fi *funcInfo, src taintSource) bool {
+	if !fi.inSim {
+		return true // non-simulation code: never reported, always taints
+	}
+	return src.allowPos.IsValid() && t.pass.Allowed(src.allowPos, nodeterminismName)
+}
+
+// taintOf resolves a callee's taint fact, following local declarations
+// recursively and imported ones through the facts channel. Cycles
+// resolve as clean on the back edge; a source anywhere in the cycle
+// still taints it through the forward edges.
+func (t *tainter) taintOf(callee *types.Func) *taintFact {
+	if callee.Pkg() == nil {
+		return nil // builtin
+	}
+	if trustedPkgs[callee.Pkg().Path()] {
+		return nil // determinism boundary: internal/sim internals are sanctioned
+	}
+	if callee.Pkg() != t.pass.Pkg {
+		return t.importedTaint(callee)
+	}
+	fi, ok := t.funcs[callee]
+	if !ok || fi.state == resolving {
+		return nil
+	}
+	if fi.state == resolved {
+		return fi.fact
+	}
+	fi.state = resolving
+	defer func() { fi.state = resolved }()
+	for _, src := range fi.sources {
+		if t.sourceTaints(fi, src) {
+			fi.fact = &taintFact{Root: src.desc, Chain: []string{callee.Name()}}
+			return fi.fact
+		}
+	}
+	for _, call := range fi.calls {
+		sub := t.taintOf(call.callee)
+		if sub == nil {
+			continue
+		}
+		// A call the direct pass reports (sim scope, not allowed) stops
+		// propagation: the finding already exists at that call site.
+		if fi.inSim && !t.pass.Allowed(call.expr.Pos(), nodeterminismName) {
+			continue
+		}
+		fi.fact = &taintFact{Root: sub.Root, Chain: append([]string{callee.Name()}, sub.Chain...)}
+		return fi.fact
 	}
 	return nil
+}
+
+// importedTaint looks a cross-package callee up in its package's
+// exported facts.
+func (t *tainter) importedTaint(callee *types.Func) *taintFact {
+	if t.pass.DepFacts == nil {
+		return nil
+	}
+	path := callee.Pkg().Path()
+	facts, ok := t.depFacts[path]
+	if !ok {
+		facts = make(map[string]taintFact)
+		if blob := t.pass.DepFacts(path); blob != nil {
+			_ = json.Unmarshal(blob, &facts) // an unreadable blob means no facts
+		}
+		t.depFacts[path] = facts
+	}
+	if fact, ok := facts[funcKey(callee)]; ok {
+		return &fact
+	}
+	return nil
+}
+
+// exportFacts publishes this package's tainted functions for importers.
+func (t *tainter) exportFacts() {
+	if t.pass.ExportFacts == nil {
+		return
+	}
+	out := make(map[string]taintFact)
+	for obj := range t.funcs {
+		if fact := t.taintOf(obj); fact != nil {
+			out[funcKey(obj)] = *fact
+		}
+	}
+	if len(out) == 0 {
+		return
+	}
+	blob, err := json.Marshal(out)
+	if err == nil {
+		t.pass.ExportFacts(blob)
+	}
+}
+
+// funcKey names a function in fact blobs: "F" or "T.Method".
+func funcKey(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// sortedFuncs returns the function infos in source order so diagnostics
+// and fact resolution are deterministic.
+func sortedFuncs(m map[*types.Func]*funcInfo, pass *analysis.Pass) []*funcInfo {
+	out := make([]*funcInfo, 0, len(m))
+	for _, fi := range m {
+		out = append(out, fi)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].decl.Pos() > out[j].decl.Pos(); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
 }
 
 // importedPkg resolves expr to an imported package's path when expr is a

@@ -10,3 +10,11 @@ import (
 func TestNodeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lint.Nodeterminism, "nodeterminism/a")
 }
+
+func TestNodeterminismTaint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Nodeterminism, "nodeterminism/taint")
+}
+
+func TestNodeterminismCrossPackageTaint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Nodeterminism, "nodeterminism/b")
+}

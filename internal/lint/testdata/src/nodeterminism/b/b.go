@@ -1,0 +1,18 @@
+// Package b exercises cross-package taint: dep's exported facts flag
+// calls into its sanctioned wall-clock readers here.
+package b
+
+import "nodeterminism/dep"
+
+func useDep() int64 {
+	return dep.WallStamp() // want `call to WallStamp is transitively nondeterministic: reaches time\.Now via WallStamp`
+}
+
+func useMethod() int64 {
+	var c dep.Clock
+	return c.Read() // want `call to Read is transitively nondeterministic: reaches time\.Now via Read`
+}
+
+func fine() int {
+	return dep.Clean(1) // no finding
+}

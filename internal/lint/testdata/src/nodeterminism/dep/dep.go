@@ -1,0 +1,24 @@
+// Package dep is the dependency side of the cross-package taint suite:
+// its sanctioned wall-clock readers export taint facts that the
+// importing package's analysis consumes.
+package dep
+
+import "time"
+
+// WallStamp is host-side; simulation code must not call it.
+func WallStamp() int64 {
+	//lint:allow nodeterminism host-side CLI timestamp, not simulation state
+	return time.Now().UnixNano()
+}
+
+// Clock carries the method-key case (funcKey "Clock.Read").
+type Clock struct{}
+
+// Read is host-side; simulation code must not call it.
+func (c Clock) Read() int64 {
+	//lint:allow nodeterminism host-side CLI timestamp, not simulation state
+	return time.Now().UnixNano()
+}
+
+// Clean is deterministic: importers may call it freely.
+func Clean(n int) int { return n + 1 }

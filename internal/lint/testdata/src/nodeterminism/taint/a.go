@@ -1,0 +1,66 @@
+// Package taint exercises the interprocedural leg of nodeterminism:
+// helpers whose sanctioned (allow-suppressed) sources make them
+// transitively nondeterministic are flagged at their call sites.
+package taint
+
+import "time"
+
+// stamp's wall-clock read is sanctioned for the host-side path, so the
+// read itself is quiet — but the sanction does not extend to callers.
+func stamp() int64 {
+	//lint:allow nodeterminism host-side log timestamp, not simulation state
+	return time.Now().UnixNano()
+}
+
+// helper is a sanctioned wrapper: its call into stamp is allowed, so
+// the taint keeps flowing through it with a longer chain.
+func helper() int64 {
+	//lint:allow nodeterminism host-side wrapper; simulation code must not call this
+	return stamp()
+}
+
+func caller() int64 {
+	return stamp() // want `call to stamp is transitively nondeterministic: reaches time\.Now via stamp`
+}
+
+func top() int64 {
+	return helper() // want `call to helper is transitively nondeterministic: reaches time\.Now via helper -> stamp`
+}
+
+// spawn's goroutine is sanctioned; callers are still flagged.
+func spawn() {
+	go func() {}() //lint:allow nodeterminism host-side watchdog thread
+}
+
+func callSpawn() {
+	spawn() // want `call to spawn is transitively nondeterministic: reaches goroutine spawn via spawn`
+}
+
+// direct's source is reported right here, so it does NOT propagate:
+// one finding, not a cascade through every caller.
+func direct() {
+	time.Sleep(1) // want `time\.Sleep reads the host wall clock`
+}
+
+func callDirect() {
+	direct() // no finding: direct's source is already reported above
+}
+
+// ping/pong form a clean call cycle: resolution terminates, no taint.
+func ping(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return ping(n - 1)
+}
+
+func useCycle() int {
+	return ping(3) // no finding
+}

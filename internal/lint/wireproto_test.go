@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nocpu/internal/lint"
+	"nocpu/internal/lint/analysistest"
+)
+
+func TestWireprotoSymmetry(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Wireproto, "wireproto/asym")
+}
+
+func TestWireprotoRegistration(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Wireproto, "wireproto/unreg")
+}
+
+func TestWireprotoLockDiff(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Wireproto, "wireproto/lockdiff")
+}

@@ -1,0 +1,312 @@
+package lint
+
+// The wire-schema model behind the wireproto analyzer: an ordered
+// sequence of primitive codec operations per message kind, a canonical
+// text serialization (the committed internal/msg/wire.lock), and the
+// append-only compatibility diff between a committed lock and the
+// schema extracted from the tree.
+//
+// The model is deliberately tiny. A message body is a sequence of ops;
+// an op is either a scalar codec call (u8/u16/u32/u64/bool/str/bytes),
+// a counted repetition (rep — a length prefix followed by that many
+// element groups), or a trailing optional group (opt — present only
+// when bytes remain, the protocol's one evolution mechanism). Field
+// names ride along for diagnostics and lockfile readability but do not
+// participate in compatibility: renaming a Go field is not a wire
+// change.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpKind is one primitive wire operation.
+type OpKind string
+
+// Scalar op kinds mirror the writer/reader method vocabulary
+// (internal/msg/wire.go). The two structural kinds group sub-ops.
+const (
+	OpU8    OpKind = "u8"
+	OpU16   OpKind = "u16"
+	OpU32   OpKind = "u32"
+	OpU64   OpKind = "u64"
+	OpBool  OpKind = "bool"  // one byte on the wire, kept distinct
+	OpStr   OpKind = "str"   // u16 length prefix + bytes
+	OpBytes OpKind = "bytes" // u32 length prefix + bytes
+	OpRep   OpKind = "rep"   // repetition of Body, count read just before
+	OpOpt   OpKind = "opt"   // trailing optional group: decoded only if bytes remain
+)
+
+// Op is one operation in a message's wire layout.
+type Op struct {
+	Kind OpKind
+	Name string // source field name when determinable ("" otherwise)
+	Body []Op   // rep/opt only
+}
+
+// MsgSchema is the extracted wire layout of one message kind.
+type MsgSchema struct {
+	Kind     uint16 // wire discriminator value
+	KindName string // constant name, e.g. KindHello
+	TypeName string // Go message type, e.g. Hello
+	Ops      []Op
+}
+
+// WireSchema is the whole protocol, sorted by kind number.
+type WireSchema struct {
+	Msgs []MsgSchema
+}
+
+// sortMsgs orders messages by wire kind for canonical output.
+func (s *WireSchema) sortMsgs() {
+	sort.Slice(s.Msgs, func(i, j int) bool { return s.Msgs[i].Kind < s.Msgs[j].Kind })
+}
+
+// lockHeader is the first line of every lockfile; Parse refuses
+// anything else so a future v2 cannot be mistaken for v1.
+const lockHeader = "wire.lock v1"
+
+// lockPreamble explains the file to a human reader; Parse skips
+// comment lines, so regeneration always reproduces it.
+const lockPreamble = `# Machine-extracted wire-protocol schema (wireproto analyzer).
+# One "msg <kind> <KindConst> <GoType>" block per message, listing the
+# exact codec op sequence of its encoder. make lint diffs the tree
+# against this file and fails on any reorder, retype or removal; only
+# trailing-field additions are compatible. After an intentional
+# append-only change, regenerate with:
+#
+#	NOCPU_REGEN_WIRELOCK=1 make lint
+#
+# and commit the result.`
+
+// Format renders the schema in canonical lockfile form. The output is
+// deterministic: messages sorted by kind, tabs for nesting, "." for a
+// field with no recoverable name.
+func Format(s *WireSchema) string {
+	s.sortMsgs()
+	var b strings.Builder
+	b.WriteString(lockPreamble)
+	b.WriteString("\n")
+	b.WriteString(lockHeader)
+	b.WriteString("\n")
+	for _, m := range s.Msgs {
+		fmt.Fprintf(&b, "msg %d %s %s\n", m.Kind, m.KindName, m.TypeName)
+		formatOps(&b, m.Ops, 1)
+	}
+	return b.String()
+}
+
+func formatOps(b *strings.Builder, ops []Op, depth int) {
+	indent := strings.Repeat("\t", depth)
+	for _, op := range ops {
+		name := op.Name
+		if name == "" {
+			name = "."
+		}
+		switch op.Kind {
+		case OpRep, OpOpt:
+			fmt.Fprintf(b, "%s%s %s\n", indent, op.Kind, name)
+			formatOps(b, op.Body, depth+1)
+			fmt.Fprintf(b, "%send\n", indent)
+		default:
+			fmt.Fprintf(b, "%s%s %s\n", indent, op.Kind, name)
+		}
+	}
+}
+
+// Parse reads a lockfile produced by Format. It is forgiving about
+// comments and blank lines but strict about structure: unknown ops,
+// unbalanced groups or a missing header are errors, because a lockfile
+// that cannot be trusted is worse than none.
+func Parse(text string) (*WireSchema, error) {
+	lines := strings.Split(text, "\n")
+	i := 0
+	sawHeader := false
+	for ; i < len(lines); i++ {
+		l := strings.TrimSpace(lines[i])
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		if l != lockHeader {
+			return nil, fmt.Errorf("line %d: expected %q header, got %q", i+1, lockHeader, l)
+		}
+		sawHeader = true
+		i++
+		break
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("missing %q header", lockHeader)
+	}
+	s := &WireSchema{}
+	var cur *MsgSchema
+	// stack of op lists being filled; stack[0] is the current message's
+	// top level, deeper entries are open rep/opt bodies.
+	var stack []*[]Op
+	for ; i < len(lines); i++ {
+		l := strings.TrimSpace(lines[i])
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		fields := strings.Fields(l)
+		switch fields[0] {
+		case "msg":
+			if len(stack) > 1 {
+				return nil, fmt.Errorf("line %d: msg inside an open group", i+1)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: msg wants <kind> <KindConst> <GoType>", i+1)
+			}
+			var kind uint16
+			if _, err := fmt.Sscanf(fields[1], "%d", &kind); err != nil {
+				return nil, fmt.Errorf("line %d: bad kind number %q", i+1, fields[1])
+			}
+			s.Msgs = append(s.Msgs, MsgSchema{Kind: kind, KindName: fields[2], TypeName: fields[3]})
+			cur = &s.Msgs[len(s.Msgs)-1]
+			stack = []*[]Op{&cur.Ops}
+		case "end":
+			if len(stack) <= 1 {
+				return nil, fmt.Errorf("line %d: end with no open group", i+1)
+			}
+			stack = stack[:len(stack)-1]
+		case string(OpRep), string(OpOpt):
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: op before any msg", i+1)
+			}
+			op := Op{Kind: OpKind(fields[0]), Name: opName(fields)}
+			top := stack[len(stack)-1]
+			*top = append(*top, op)
+			stack = append(stack, &(*top)[len(*top)-1].Body)
+		case string(OpU8), string(OpU16), string(OpU32), string(OpU64),
+			string(OpBool), string(OpStr), string(OpBytes):
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: op before any msg", i+1)
+			}
+			top := stack[len(stack)-1]
+			*top = append(*top, Op{Kind: OpKind(fields[0]), Name: opName(fields)})
+		default:
+			return nil, fmt.Errorf("line %d: unknown op %q", i+1, fields[0])
+		}
+	}
+	if len(stack) > 1 {
+		return nil, fmt.Errorf("unclosed group at end of file")
+	}
+	s.sortMsgs()
+	return s, nil
+}
+
+func opName(fields []string) string {
+	if len(fields) < 2 || fields[1] == "." {
+		return ""
+	}
+	return fields[1]
+}
+
+// opsCompatEqual reports whether two op sequences describe the same
+// wire bytes. Names are ignored (a Go rename is not a wire change);
+// structure and op kinds must match exactly, including group bodies.
+func opsCompatEqual(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || !opsCompatEqual(a[i].Body, b[i].Body) {
+			return false
+		}
+	}
+	return true
+}
+
+// opLabel names an op for diagnostics: "str Name" or just "str".
+func opLabel(op Op) string {
+	if op.Name == "" {
+		return string(op.Kind)
+	}
+	return fmt.Sprintf("%s %s", op.Kind, op.Name)
+}
+
+// CompatViolation is one append-only-rule violation found by
+// CompatDiff, attributed to a kind constant so the analyzer can anchor
+// the diagnostic at that kind's encoder.
+type CompatViolation struct {
+	KindName string
+	Msg      string
+}
+
+// CompatDiff checks the extracted schema (cur) against the committed
+// lock (old) under the append-only evolution rule and returns the
+// violations in deterministic (lock) order. Allowed changes: appending
+// ops at the tail of an existing message (trailing fields), and adding
+// whole new kinds under fresh kind numbers. Everything else — removing
+// a kind, renumbering it, and any reorder/retype/removal inside the
+// locked op prefix — breaks decoding of old frames and is reported.
+func CompatDiff(old, cur *WireSchema) []CompatViolation {
+	var out []CompatViolation
+	report := func(kind, msg string) { out = append(out, CompatViolation{kind, msg}) }
+
+	curByName := make(map[string]*MsgSchema, len(cur.Msgs))
+	curByNum := make(map[uint16]*MsgSchema, len(cur.Msgs))
+	for i := range cur.Msgs {
+		m := &cur.Msgs[i]
+		curByName[m.KindName] = m
+		curByNum[m.Kind] = m
+	}
+	oldNums := make(map[uint16]string, len(old.Msgs))
+	for _, m := range old.Msgs {
+		oldNums[m.Kind] = m.KindName
+	}
+
+	for _, om := range old.Msgs {
+		cm, ok := curByName[om.KindName]
+		if !ok {
+			report(om.KindName, fmt.Sprintf(
+				"kind %s (%d) is in wire.lock but gone from the tree: removing a wire kind orphans every peer still sending it", om.KindName, om.Kind))
+			continue
+		}
+		if cm.Kind != om.Kind {
+			report(om.KindName, fmt.Sprintf(
+				"kind %s renumbered %d -> %d: the discriminator is wire-visible, so old frames would dispatch to the wrong decoder", om.KindName, om.Kind, cm.Kind))
+		}
+		diffOps(om.KindName, om.Ops, cm.Ops, report)
+	}
+	// New kinds are welcome, but not on a number the lock already owns
+	// under a different name (that is a renumber in disguise).
+	for _, cm := range cur.Msgs {
+		if _, locked := oldNums[cm.Kind]; locked && oldNums[cm.Kind] != cm.KindName {
+			if _, isOld := lockedName(old, cm.KindName); !isOld {
+				report(cm.KindName, fmt.Sprintf(
+					"new kind %s reuses wire number %d, which wire.lock assigns to %s", cm.KindName, cm.Kind, oldNums[cm.Kind]))
+			}
+		}
+	}
+	return out
+}
+
+func lockedName(s *WireSchema, name string) (*MsgSchema, bool) {
+	for i := range s.Msgs {
+		if s.Msgs[i].KindName == name {
+			return &s.Msgs[i], true
+		}
+	}
+	return nil, false
+}
+
+// diffOps enforces the prefix rule for one message: the locked ops must
+// survive unchanged, in order, at the head of the current ops; only
+// appended trailing ops are new fields.
+func diffOps(kind string, old, cur []Op, report func(kind, msg string)) {
+	if len(cur) < len(old) {
+		for _, op := range old[len(cur):] {
+			report(kind, fmt.Sprintf(
+				"field %q removed from %s: old frames still carry it, so every later field would decode shifted", opLabel(op), kind))
+		}
+		old = old[:len(cur)]
+	}
+	for i := range old {
+		if old[i].Kind != cur[i].Kind || !opsCompatEqual(old[i].Body, cur[i].Body) {
+			report(kind, fmt.Sprintf(
+				"field %d of %s changed: wire.lock has %q, tree has %q — reordering or retyping a locked field breaks decode of old frames (wire evolution is append-only; only trailing additions are compatible)",
+				i, kind, opLabel(old[i]), opLabel(cur[i])))
+		}
+	}
+}

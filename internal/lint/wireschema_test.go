@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSchema() *WireSchema {
+	return &WireSchema{Msgs: []MsgSchema{
+		{Kind: 2, KindName: "KindB", TypeName: "B", Ops: []Op{
+			{Kind: OpU32, Name: "len(Items)"},
+			{Kind: OpRep, Name: "Items", Body: []Op{
+				{Kind: OpU16, Name: "ID"},
+				{Kind: OpStr, Name: "Label"},
+			}},
+		}},
+		{Kind: 1, KindName: "KindA", TypeName: "A", Ops: []Op{
+			{Kind: OpU16, Name: "X"},
+			{Kind: OpBool},
+			{Kind: OpOpt, Name: "Inc", Body: []Op{{Kind: OpU32, Name: "Inc"}}},
+		}},
+	}}
+}
+
+func TestWireLockRoundTrip(t *testing.T) {
+	s := sampleSchema()
+	text := Format(s)
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(Format(s)): %v", err)
+	}
+	if got := Format(parsed); got != text {
+		t.Fatalf("round trip is not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, got)
+	}
+}
+
+func TestWireLockCanonicalization(t *testing.T) {
+	// Format sorts by kind number regardless of input order.
+	text := Format(sampleSchema())
+	ia, ib := strings.Index(text, "msg 1 KindA"), strings.Index(text, "msg 2 KindB")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("messages not in kind order:\n%s", text)
+	}
+	// An unnamed op renders as "." and parses back to "".
+	if !strings.Contains(text, "\tbool .\n") {
+		t.Fatalf("unnamed op not rendered as '.':\n%s", text)
+	}
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Msgs[0].Ops[1].Name != "" {
+		t.Fatalf("'.' should parse to empty name, got %q", parsed.Msgs[0].Ops[1].Name)
+	}
+	// Comments and blank lines are transparent, so regeneration is
+	// idempotent with the preamble in place.
+	reparsed, err := Parse("# leading comment\n\n" + text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Format(reparsed) != text {
+		t.Fatal("comments/blank lines changed the parsed schema")
+	}
+}
+
+func TestWireLockParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"missing header", "msg 1 KindA A\n", "header"},
+		{"unknown op", "wire.lock v1\nmsg 1 KindA A\n\tvarint X\n", "unknown op"},
+		{"unclosed group", "wire.lock v1\nmsg 1 KindA A\n\trep Items\n", "unclosed group"},
+		{"stray end", "wire.lock v1\nmsg 1 KindA A\n\tend\n", "no open group"},
+		{"op before msg", "wire.lock v1\nu16 X\n", "before any msg"},
+		{"bad kind number", "wire.lock v1\nmsg x KindA A\n", "bad kind number"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.text); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: got err %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestCompatDiff(t *testing.T) {
+	old := sampleSchema()
+	violations := func(cur *WireSchema) []string {
+		var out []string
+		for _, v := range CompatDiff(old, cur) {
+			out = append(out, v.KindName+": "+v.Msg)
+		}
+		return out
+	}
+	hasViolation := func(vs []string, substr string) bool {
+		for _, v := range vs {
+			if strings.Contains(v, substr) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Identical schema: clean.
+	if vs := violations(sampleSchema()); len(vs) != 0 {
+		t.Fatalf("identical schema flagged: %v", vs)
+	}
+
+	// Trailing addition to an existing message and a new kind: clean.
+	cur := sampleSchema()
+	cur.Msgs[1].Ops = append(cur.Msgs[1].Ops, Op{Kind: OpU64, Name: "New"})
+	cur.Msgs = append(cur.Msgs, MsgSchema{Kind: 3, KindName: "KindC", TypeName: "C",
+		Ops: []Op{{Kind: OpU8, Name: "Q"}}})
+	if vs := violations(cur); len(vs) != 0 {
+		t.Fatalf("append-only evolution flagged: %v", vs)
+	}
+
+	// Renaming a field is not a wire change.
+	cur = sampleSchema()
+	for i := range cur.Msgs {
+		if cur.Msgs[i].KindName == "KindA" {
+			cur.Msgs[i].Ops[0].Name = "Renamed"
+		}
+	}
+	if vs := violations(cur); len(vs) != 0 {
+		t.Fatalf("pure rename flagged: %v", vs)
+	}
+
+	// Removed trailing field.
+	cur = sampleSchema()
+	for i := range cur.Msgs {
+		if cur.Msgs[i].KindName == "KindA" {
+			cur.Msgs[i].Ops = cur.Msgs[i].Ops[:2]
+		}
+	}
+	if vs := violations(cur); !hasViolation(vs, "removed from KindA") {
+		t.Fatalf("removed field not flagged: %v", vs)
+	}
+
+	// Retyped locked field.
+	cur = sampleSchema()
+	for i := range cur.Msgs {
+		if cur.Msgs[i].KindName == "KindA" {
+			cur.Msgs[i].Ops[0].Kind = OpU32
+		}
+	}
+	if vs := violations(cur); !hasViolation(vs, "field 0 of KindA changed") {
+		t.Fatalf("retyped field not flagged: %v", vs)
+	}
+
+	// Rep element change is a structural change, not a trailing add.
+	cur = sampleSchema()
+	for i := range cur.Msgs {
+		if cur.Msgs[i].KindName == "KindB" {
+			cur.Msgs[i].Ops[1].Body[0].Kind = OpU32
+		}
+	}
+	if vs := violations(cur); !hasViolation(vs, "field 1 of KindB changed") {
+		t.Fatalf("rep-body change not flagged: %v", vs)
+	}
+
+	// Vanished kind.
+	cur = sampleSchema()
+	cur.Msgs = cur.Msgs[:1] // drops KindA after sortMsgs? ensure by name
+	kept := cur.Msgs[:0]
+	for _, m := range sampleSchema().Msgs {
+		if m.KindName != "KindA" {
+			kept = append(kept, m)
+		}
+	}
+	cur.Msgs = kept
+	if vs := violations(cur); !hasViolation(vs, "gone from the tree") {
+		t.Fatalf("vanished kind not flagged: %v", vs)
+	}
+
+	// Renumbered kind.
+	cur = sampleSchema()
+	for i := range cur.Msgs {
+		if cur.Msgs[i].KindName == "KindA" {
+			cur.Msgs[i].Kind = 7
+		}
+	}
+	if vs := violations(cur); !hasViolation(vs, "renumbered 1 -> 7") {
+		t.Fatalf("renumbered kind not flagged: %v", vs)
+	}
+
+	// New kind reusing a locked number.
+	cur = sampleSchema()
+	kept = cur.Msgs[:0]
+	for _, m := range sampleSchema().Msgs {
+		if m.KindName != "KindA" {
+			kept = append(kept, m)
+		}
+	}
+	cur.Msgs = append(kept, MsgSchema{Kind: 1, KindName: "KindNew", TypeName: "New",
+		Ops: []Op{{Kind: OpU8}}})
+	vs := violations(cur)
+	if !hasViolation(vs, "reuses wire number 1") {
+		t.Fatalf("number reuse not flagged: %v", vs)
+	}
+}

@@ -314,6 +314,69 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 	write("seed-ringconfig-empty", Envelope{Src: 1, Dst: Broadcast, Seq: 3,
 		Msg: &RingConfig{Ver: 9, Phase: RingCommit}}.Encode())
 
+	// A Drain order truncated mid-ConfigVersion: Mode present, the u32
+	// cut to 2 bytes.
+	{
+		var pw writer
+		pw.u8(DrainCordon)
+		pw.buf = append(pw.buf, 0x09, 0x00) // half a config version
+		var w writer
+		w.u16(1)
+		w.u16(5)
+		w.u16(uint16(KindDrain))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-drain-truncated", w.buf)
+	}
+
+	// A FabricReq whose inner payload-length field claims far more bytes
+	// than the frame carries: the bytes reader must refuse, not allocate.
+	{
+		var pw writer
+		pw.u16(3)          // Origin
+		pw.u64(31)         // ReqID
+		pw.u8(0)           // Hops
+		pw.u32(0xFFFFFFF0) // payload claims ~4GiB...
+		pw.buf = append(pw.buf, 0xAB)
+		var w writer
+		w.u16(3)
+		w.u16(7)
+		w.u16(uint16(KindFabricReq))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-fabricreq-overflow", w.buf)
+	}
+
+	// A RingConfig prepare whose member list is cut mid-element: the
+	// count promises two u16 members, only one and a half arrive.
+	{
+		var pw writer
+		pw.u32(4)          // Ver
+		pw.u8(RingPrepare) // Phase
+		pw.u16(2)          // two members promised...
+		pw.u16(5)          // one delivered
+		pw.buf = append(pw.buf, 0x06) // half of the second
+		var w writer
+		w.u16(1)
+		w.u16(uint16(Broadcast))
+		w.u16(uint16(KindRingConfig))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-ringconfig-truncated", w.buf)
+	}
+
+	// A SpecGossip at the numeric extremes: max spec version, max fleet
+	// size, max config version. Decodes cleanly; overflow handling is the
+	// reconciler's problem and the mutator should probe around it.
+	write("seed-specgossip-extremes", Envelope{Src: 2, Dst: Broadcast, Seq: 4, Inc: 1,
+		Msg: &SpecGossip{SpecVer: ^uint64(0), Size: 0xFFFF, ConfigVersion: 0xFFFFFFFF}}.Encode())
+
 	// Format-agnostic adversarial seeds.
 	write("seed-empty", []byte{})
 	write("seed-shorthdr", []byte{1, 0, 2, 0})
