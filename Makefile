@@ -3,13 +3,15 @@
 # tests, a short fuzz run of the wire-format decoder, the E15 chaos tier
 # (seeded crash schedules under race), the E16 overload tier (seeded
 # open-loop load ramps under race), the E17 fabric tier (rack-scale
-# determinism, ring properties and machine-kill chaos under race), and
+# determinism, ring properties and machine-kill chaos under race),
 # the E19 reconcile tier (self-healing fleet campaigns: membership
-# repair, rolling upgrades and same-frame double failures under race).
+# repair, rolling upgrades and same-frame double failures under race),
+# and the E20 tenancy tier (seeded adversary attack matrix and the
+# tenant-ledger S1/S2/S3 audits under race).
 
 GO ?= go
 
-.PHONY: build test vet lint allows race fuzz chaos overload fabric reconcile benchguard check bench tables
+.PHONY: build test vet lint allows race fuzz chaos overload fabric reconcile tenancy benchguard check bench tables
 
 build:
 	$(GO) build ./...
@@ -78,17 +80,26 @@ reconcile:
 	$(GO) test -race ./internal/reconcile
 	$(GO) test -race -run 'TestE19' ./internal/exp
 
+# Tenancy tier (E20): the tenant registry/ledger and seeded-adversary
+# unit suites plus the E20 attack-matrix gate — every cell of the
+# matrix (both machine flavors, both fabric control architectures)
+# must audit 0 S1 / 0 S2 / 0 S3 — under the race detector. Seeds are
+# fixed, so failures reproduce bit-for-bit.
+tenancy:
+	$(GO) test -race ./internal/tenant ./internal/adversary
+	$(GO) test -race -run 'TestE20' ./internal/exp
+
 # Simulator-speed guard: re-runs the BENCH_e17.json cell and fails on a
 # >30% wall-clock regression. Machine-dependent by nature, so it is not
 # part of `check`; CI runs it on its pinned runner class.
 benchguard:
 	NOCPU_BENCH_GUARD=1 $(GO) test -run 'TestE17BenchGuard' -count=1 ./internal/exp -v
 
-check: vet lint build race fuzz chaos overload fabric reconcile
+check: vet lint build race fuzz chaos overload fabric reconcile tenancy
 
 bench:
 	$(GO) test -run=^$$ -bench . -benchtime=100x .
 
-# Regenerate all experiment tables (E1-E19).
+# Regenerate all experiment tables (E1-E20).
 tables:
 	$(GO) run ./cmd/nocpu-bench

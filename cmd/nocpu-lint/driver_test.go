@@ -87,18 +87,20 @@ func TestSeededWireBreakFailsVet(t *testing.T) {
 
 	// Trailing addition: a new optional field after the locked prefix is
 	// the sanctioned evolution path — it must pass against the old lock,
-	// and regeneration must pin it.
+	// and regeneration must pin it. Heartbeat is the seed target because
+	// it has no trailing optional yet (CreditUpdate's slot is taken by
+	// ForInc, and only the last field may be conditional).
 	src := string(pristine)
 	src = strings.Replace(src,
-		"	Window  uint32 // configured window size (0 = flow control off)",
-		"	Window  uint32 // configured window size (0 = flow control off)\n\tBurst   uint32 // optional burst allowance (trailing, 0 = absent)", 1)
+		"type Heartbeat struct{ Seq uint64 }",
+		"type Heartbeat struct {\n\tSeq  uint64\n\tBurst uint32 // optional burst hint (trailing, 0 = absent)\n}", 1)
 	src = strings.Replace(src,
-		"w.u32(m.Window)\n\tw.u32(m.Credits)\n}",
-		"w.u32(m.Window)\n\tw.u32(m.Credits)\n\tif m.Burst != 0 {\n\t\tw.u32(m.Burst)\n\t}\n}", 1)
+		"func (m *Heartbeat) encode(w *writer) { w.u64(m.Seq) }",
+		"func (m *Heartbeat) encode(w *writer) {\n\tw.u64(m.Seq)\n\tif m.Burst != 0 {\n\t\tw.u32(m.Burst)\n\t}\n}", 1)
 	src = strings.Replace(src,
-		"m.Window = r.u32()\n\tm.Credits = r.u32()\n}",
-		"m.Window = r.u32()\n\tm.Credits = r.u32()\n\tif r.err == nil && r.off < len(r.buf) {\n\t\tm.Burst = r.u32()\n\t}\n}", 1)
-	if !strings.Contains(src, "Burst") {
+		"func (m *Heartbeat) decode(r *reader) { m.Seq = r.u64() }",
+		"func (m *Heartbeat) decode(r *reader) {\n\tm.Seq = r.u64()\n\tif r.err == nil && r.off < len(r.buf) {\n\t\tm.Burst = r.u32()\n\t}\n}", 1)
+	if strings.Count(src, "Burst") != 4 { // struct field + encoder guard/write + decoder read
 		t.Fatal("trailing-addition edit did not apply")
 	}
 	writeFile(t, typesPath, src)

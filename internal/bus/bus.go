@@ -30,6 +30,7 @@ import (
 	"nocpu/internal/msg"
 	"nocpu/internal/physmem"
 	"nocpu/internal/sim"
+	"nocpu/internal/tenant"
 	"nocpu/internal/trace"
 )
 
@@ -117,6 +118,14 @@ type Stats struct {
 	// IngressShed counts envelopes refused at the ingress bound with a
 	// NackOverload.
 	IngressShed uint64
+	// StaleCreditDropped counts CreditUpdates a port refused because they
+	// were fenced to a previous incarnation (a replayed replenishment
+	// must not inflate the new life's window).
+	StaleCreditDropped uint64
+	// TenantDenied counts cross-tenant accesses the bus refused (grants,
+	// mappings, scoped discovery, stale replays, budget exhaustion) —
+	// each with a typed, attributed denial in the tenancy registry.
+	TenantDenied uint64
 }
 
 // Handler receives messages delivered to a device.
@@ -195,6 +204,13 @@ type Bus struct {
 	// the overload audit's Q1 invariant.
 	ingressG *metrics.Gauge
 
+	// tenancy, when set, is the multi-tenant isolation registry: the bus
+	// scopes broadcasts to isolation domains, refuses cross-tenant
+	// grants and mappings, applies per-tenant credit windows, and
+	// records every refusal as a typed, attributed denial. nil (the
+	// default) disables all of it — byte-identical legacy behavior.
+	tenancy *tenant.Registry
+
 	stats Stats
 }
 
@@ -264,6 +280,58 @@ func (b *Bus) Stats() Stats { return b.stats }
 // bus-originated traffic.
 func (b *Bus) SetFaultPlane(p *faultinject.Plane) { b.plane = p }
 
+// SetTenancy installs (or, with nil, removes) the multi-tenant
+// isolation registry. Call before devices attach so per-tenant credit
+// windows take effect from the first send.
+func (b *Bus) SetTenancy(reg *tenant.Registry) { b.tenancy = reg }
+
+// windowFor is the effective credit window of one device: the tenant's
+// declared budget when it has one, the global Config.CreditWindow
+// otherwise. A tenant budget can turn flow control on for its devices
+// even when the global window is 0.
+func (b *Bus) windowFor(id msg.DeviceID) int {
+	w := b.cfg.CreditWindow
+	if b.tenancy != nil {
+		if t := b.tenancy.DeviceTenant(id); t != 0 {
+			if bw := b.tenancy.Budget(t).CreditWindow; bw != 0 {
+				w = int(bw)
+			}
+		}
+	}
+	return w
+}
+
+// tenantOf is the isolation domain of a device (0 when tenancy is off
+// or the device is unbound).
+func (b *Bus) tenantOf(id msg.DeviceID) tenant.ID {
+	if b.tenancy == nil {
+		return 0
+	}
+	return b.tenancy.DeviceTenant(id)
+}
+
+// recordDenial books one refused cross-tenant access in the registry,
+// attributed to the offending tenant (no-op with tenancy off).
+func (b *Bus) recordDenial(attacker, victim tenant.ID, class tenant.Class, detail string) {
+	if b.tenancy == nil {
+		return
+	}
+	b.stats.TenantDenied++
+	b.tenancy.Record(b.eng.Now(), attacker, victim, class, detail)
+}
+
+// reportDenial records a refusal and additionally tells the offender
+// with a typed DenialReport wire message — the S1 invariant's "never
+// silently dropped" clause: the attacker provably observed a refusal.
+func (b *Bus) reportDenial(offender *attachment, victim tenant.ID, class tenant.Class, of msg.Kind, detail string) {
+	at := b.tenantOf(offender.id)
+	b.recordDenial(at, victim, class, detail)
+	b.sendFromBus(offender, &msg.DenialReport{
+		Tenant: uint16(at), Victim: uint16(victim),
+		Class: uint8(class), Of: uint16(of), Detail: detail,
+	})
+}
+
 // Port is a device's attachment point to the bus.
 type Port struct {
 	bus     *Bus
@@ -298,9 +366,13 @@ func (p *Port) NewIncarnation() uint32 {
 	// with a full window (the bus resets its side on rejoin).
 	p.stalled = nil
 	p.stallG.Set(0)
-	p.credits = p.bus.cfg.CreditWindow
+	p.credits = p.window()
 	return p.inc
 }
+
+// window is the port's effective credit window (per-tenant budget when
+// tenancy declares one, the global config otherwise).
+func (p *Port) window() int { return p.bus.windowFor(p.id) }
 
 // Attach connects a device to the bus. The IOMMU handle is how the bus —
 // and only the bus — programs the device's translations. A device with
@@ -320,7 +392,7 @@ func (b *Bus) Attach(id msg.DeviceID, name string, role msg.Role, mmu *iommu.IOM
 		b.memctrl = id
 	}
 	b.devices[id] = &attachment{id: id, name: name, role: role, handler: h, mmu: mmu, mmuEngine: sim.NewServer(b.eng)}
-	p := &Port{bus: b, id: id, credits: b.cfg.CreditWindow}
+	p := &Port{bus: b, id: id, credits: b.windowFor(id)}
 	p.stallG = metrics.NewGauge(p.stallBound())
 	return p, nil
 }
@@ -348,7 +420,7 @@ func (p *Port) Send(dst msg.DeviceID, m msg.Message) uint32 {
 	b := p.bus
 	p.nextSeq++
 	env := msg.Envelope{Src: p.id, Dst: dst, Seq: p.nextSeq, Inc: p.inc, Msg: m}
-	if b.cfg.CreditWindow > 0 {
+	if p.window() > 0 {
 		if p.credits == 0 {
 			// Out of credits: stall instead of flooding the wire. The
 			// stall queue is itself bounded; past the bound the send is
@@ -356,6 +428,8 @@ func (p *Port) Send(dst msg.DeviceID, m msg.Message) uint32 {
 			// recovers — exactly as for a wire loss.
 			if len(p.stalled) >= p.stallBound() {
 				b.stats.StallDropped++
+				b.recordDenial(b.tenantOf(p.id), 0, tenant.DenyBudget,
+					fmt.Sprintf("%s stall queue overflow, %v dropped", b.nameOf(p.id), m.Kind()))
 				return env.Seq
 			}
 			b.stats.CreditStalls++
@@ -399,15 +473,28 @@ func (p *Port) transmit(env msg.Envelope) {
 
 // stallBound is the port stall queue's capacity: four windows' worth of
 // backlog, enough to ride out a replenishment round trip at full rate.
-func (p *Port) stallBound() int { return 4 * p.bus.cfg.CreditWindow }
+func (p *Port) stallBound() int { return 4 * p.window() }
 
 // AddCredits returns n spent credits to the port (the payload of a bus
 // CreditUpdate), saturating at the configured window, then drains
 // stalled sends in FIFO order — each drained send spends one of the
-// fresh credits.
-func (p *Port) AddCredits(n uint32) {
-	w := p.bus.cfg.CreditWindow
+// fresh credits. forInc is the incarnation the bus fenced the credit
+// to: a mismatch means the update was issued for (or replayed from) a
+// different life of this port and is refused with a typed drop —
+// trusting the sender identity alone would let a captured replenishment
+// inflate the window after a crash recovery.
+func (p *Port) AddCredits(n, forInc uint32) {
+	w := p.window()
 	if w <= 0 {
+		return
+	}
+	if forInc != p.inc {
+		b := p.bus
+		b.stats.StaleCreditDropped++
+		b.tr.Record(b.eng.Now(), b.nameOf(p.id), "bus", "credit.stale-dropped",
+			fmt.Sprintf("for inc %d, port inc %d", forInc, p.inc))
+		b.recordDenial(b.tenantOf(p.id), 0, tenant.DenyStaleCredit,
+			fmt.Sprintf("%s replayed credit for incarnation %d, port at %d", b.nameOf(p.id), forInc, p.inc))
 		return
 	}
 	p.credits += int(n)
@@ -449,8 +536,12 @@ func (b *Bus) shedIngress(env msg.Envelope) {
 
 // replenish accounts one absorbed envelope against the sender's credit
 // window and returns the spent credit once half a window accumulates.
+// The update is fenced to the sender's current incarnation so a
+// captured replenishment replayed after a crash recovery is refused by
+// the port (ForInc 0 — the never-crashed common case — encodes to the
+// legacy wire form).
 func (b *Bus) replenish(src *attachment) {
-	w := b.cfg.CreditWindow
+	w := b.windowFor(src.id)
 	if w <= 0 {
 		return
 	}
@@ -459,7 +550,7 @@ func (b *Bus) replenish(src *attachment) {
 		n := src.creditsUsed
 		src.creditsUsed = 0
 		b.stats.CreditUpdates++
-		b.sendFromBus(src, &msg.CreditUpdate{Window: uint32(w), Credits: uint32(n)})
+		b.sendFromBus(src, &msg.CreditUpdate{Window: uint32(w), Credits: uint32(n), ForInc: src.inc})
 	}
 }
 
@@ -480,13 +571,6 @@ func (b *Bus) process(env msg.Envelope) {
 		return
 	}
 
-	// The envelope is absorbed (even if fenced or deduplicated below):
-	// its flow-control credit flows back to the sender. Fabric-injected
-	// duplicates can over-credit by one and wire losses under-credit —
-	// the window saturation bounds the former, sender timeouts ride out
-	// the latter; the overload experiments run without fault injection.
-	b.replenish(src)
-
 	// Incarnation fencing. A device revived after a crash stamps its
 	// envelopes with a bumped incarnation: adopt it on first sight (and
 	// forget the dedup window — the new life's sequence counter restarts
@@ -498,8 +582,20 @@ func (b *Bus) process(env msg.Envelope) {
 		b.dedup.Forget(env.Src)
 	} else if env.Inc < src.inc {
 		b.stats.DeadSenderDropped++
+		b.recordDenial(b.tenantOf(src.id), 0, tenant.DenyStaleReplay,
+			fmt.Sprintf("%s replayed %v stamped by incarnation %d, current %d",
+				src.name, env.Msg.Kind(), env.Inc, src.inc))
 		return
 	}
+
+	// The envelope is absorbed (even if deduplicated below): its
+	// flow-control credit flows back to the sender. Fabric-injected
+	// duplicates can over-credit by one and wire losses under-credit —
+	// the window saturation bounds the former, sender timeouts ride out
+	// the latter; the overload experiments run without fault injection.
+	// Crediting happens after incarnation adoption so the replenishment
+	// is fenced to the life that actually sent the envelope.
+	b.replenish(src)
 
 	if b.dedup.Duplicate(env.Src, env.Seq) {
 		b.stats.DupSuppressed++
@@ -522,11 +618,29 @@ func (b *Bus) process(env msg.Envelope) {
 
 	if env.Dst == msg.Broadcast {
 		b.stats.Broadcasts++
+		// Tenancy scopes broadcast fan-out to the sender's isolation
+		// domain (plus untenanted infrastructure): a tenant cannot probe
+		// another tenant's services by discovery. The scoped-away
+		// audience is reported back once, typed, so the abuse is never a
+		// silent narrowing.
+		var scopedFrom tenant.ID
 		for _, a := range b.sortedDevices() {
 			if a.id == env.Src || !a.alive {
 				continue
 			}
+			if b.tenancy != nil && !b.tenancy.SameDomain(env.Src, a.id) {
+				if scopedFrom == 0 {
+					scopedFrom = b.tenantOf(a.id)
+				}
+				continue
+			}
 			b.deliver(env, a)
+		}
+		if scopedFrom != 0 {
+			if _, isDiscover := env.Msg.(*msg.DiscoverReq); isDiscover {
+				b.reportDenial(src, scopedFrom, tenant.DenyDiscovery, env.Msg.Kind(),
+					fmt.Sprintf("%s discovery scoped away from %v", src.name, scopedFrom))
+			}
 		}
 		return
 	}
@@ -552,6 +666,19 @@ func (b *Bus) process(env msg.Envelope) {
 			// forged AllocResp is refused.
 			b.nack(src, env, msg.NackUnauthorized, "only the memory controller may send alloc responses")
 			return
+		}
+		if ar.OK && b.tenancy != nil {
+			// Cross-tenant mapping: the requesting device must share the
+			// app's isolation domain before the bus touches its IOMMU.
+			// (The device's own domain check would also refuse — this is
+			// defense in depth, and it attributes the denial.)
+			if terr := b.tenancy.CheckDevApp(dst.id, ar.App); terr != nil {
+				e := terr.(*tenant.Error)
+				b.reportDenial(dst, e.Victim, tenant.DenyMapping, env.Msg.Kind(), e.Detail)
+				env.Msg = &msg.AllocResp{App: ar.App, OK: false, Reason: "cross-tenant mapping refused", VA: ar.VA}
+				b.deliver(env, dst)
+				return
+			}
 		}
 		if ar.OK {
 			if err := b.programMappings(dst, ar); err != nil {
@@ -691,6 +818,12 @@ func (b *Bus) handleBusMessage(src *attachment, env msg.Envelope) {
 		b.handleAuthResp(src, m)
 	case *msg.StateQuery:
 		b.sendFromBus(src, b.stateRespFor(src, m.Nonce))
+	case *msg.TenantGrant:
+		if b.tenancy == nil {
+			b.nack(src, env, msg.NackUnknownKind, "tenancy is not enabled on this bus")
+			return
+		}
+		b.tenancy.Apply(m)
 	default:
 		b.nack(src, env, msg.NackUnknownKind, "bus cannot handle "+env.Msg.Kind().String())
 	}
@@ -880,6 +1013,24 @@ func (b *Bus) handleGrant(src *attachment, m *msg.GrantReq) {
 	deny := func(reason string) {
 		b.stats.GrantsDenied++
 		b.sendFromBus(src, &msg.GrantResp{App: m.App, OK: false, Reason: reason, VA: m.VA, Target: m.Target})
+	}
+	// Cross-tenant grants are refused outright — before any mechanism
+	// check, so ownership state leaks nothing across the boundary:
+	// neither the target device nor the app may live in a different
+	// isolation domain than the requester. Attributed and reported (S1).
+	if b.tenancy != nil {
+		if !b.tenancy.SameDomain(src.id, m.Target) {
+			deny("cross-tenant grant refused")
+			b.reportDenial(src, b.tenantOf(m.Target), tenant.DenyGrant, msg.KindGrantReq,
+				fmt.Sprintf("%s may not grant app %d to %v in %v", src.name, m.App, m.Target, b.tenantOf(m.Target)))
+			return
+		}
+		if terr := b.tenancy.CheckDevApp(m.Target, m.App); terr != nil {
+			e := terr.(*tenant.Error)
+			deny("cross-tenant grant refused")
+			b.reportDenial(src, e.Victim, tenant.DenyGrant, msg.KindGrantReq, e.Detail)
+			return
+		}
 	}
 	// The bus's own sanity checks (mechanism, not policy): requester must
 	// own the range, target must exist.
@@ -1093,6 +1244,25 @@ func (b *Bus) failDevice(a *attachment, reason string) {
 	}
 	b.stats.Resets++
 	b.sendFromBus(a, &msg.Reset{Reason: reason})
+}
+
+// Replay injects a captured envelope verbatim — source address,
+// sequence tag and incarnation stamp all preserved — through the bus's
+// normal ingress path, modeling a malicious endpoint retransmitting a
+// frame it sniffed earlier. The bus's defenses (incarnation fencing,
+// dedup window, tenancy checks) see exactly what they would see from a
+// real replay attack.
+func (b *Bus) Replay(env msg.Envelope) {
+	size := msg.EncodedSize(env.Msg)
+	wire := b.cfg.HopLatency + sim.Duration(float64(size)/b.cfg.BytesPerNs)
+	b.eng.After(wire, func() {
+		if bound := b.cfg.IngressBound; bound > 0 && b.proc.Pending() >= bound {
+			b.shedIngress(env)
+			return
+		}
+		b.proc.Submit(b.cfg.ProcPerMsg, func() { b.process(env) })
+		b.ingressG.Set(b.proc.Pending())
+	})
 }
 
 // FailDevice force-fails a device by id (fault injection in tests and the

@@ -20,7 +20,7 @@ func creditCfg(window int) Config {
 func autoCredit(d *testDev) {
 	d.onMsg = func(env msg.Envelope) {
 		if cu, ok := env.Msg.(*msg.CreditUpdate); ok {
-			d.port.AddCredits(cu.Credits)
+			d.port.AddCredits(cu.Credits, cu.ForInc)
 		}
 	}
 }
@@ -92,9 +92,9 @@ func TestStallOverflowDropsDeterministically(t *testing.T) {
 
 	// Return two credits (one at a time — AddCredits saturates at the
 	// window): exactly the two oldest stalled sends drain.
-	a.port.AddCredits(1)
+	a.port.AddCredits(1, 0)
 	h.eng.Run()
-	a.port.AddCredits(1)
+	a.port.AddCredits(1, 0)
 	h.eng.Run()
 	var seqs []uint64
 	for _, e := range b.inbox {
@@ -125,6 +125,86 @@ func TestNewIncarnationResetsCredits(t *testing.T) {
 	}
 	if g := a.port.StallGauge(); g.Cur() != 0 {
 		t.Errorf("stall queue after restart = %d, want 0", g.Cur())
+	}
+}
+
+// A CreditUpdate fenced to a previous incarnation is refused with a
+// typed drop: a captured replenishment replayed after a crash recovery
+// must not inflate the new life's window. (Regression: acceptance used
+// to trust the sender's port identity alone.)
+func TestStaleIncarnationCreditReplayDropped(t *testing.T) {
+	h := newHarness(t, creditCfg(2))
+	a := h.addDev(1, "a", msg.RoleAccelerator)
+	h.addDev(2, "b", msg.RoleAccelerator)
+	autoCredit(a)
+	h.boot()
+
+	// A "captured" replenishment from incarnation 0's life.
+	captured := &msg.CreditUpdate{Window: 2, Credits: 2, ForInc: a.port.Incarnation()}
+
+	// The device crashes and recovers: its port begins incarnation 1.
+	a.port.NewIncarnation()
+	if c := a.port.Credits(); c != 2 {
+		t.Fatalf("credits after restart = %d, want full window", c)
+	}
+	// Spend the window so a successful replay would be observable.
+	a.port.Send(2, &msg.Heartbeat{Seq: 1})
+	a.port.Send(2, &msg.Heartbeat{Seq: 2})
+	if c := a.port.Credits(); c != 0 {
+		t.Fatalf("credits = %d, want 0 before replay", c)
+	}
+
+	// Replay the stale replenishment: fenced, typed, counted — and the
+	// balance untouched.
+	a.port.AddCredits(captured.Credits, captured.ForInc)
+	if c := a.port.Credits(); c != 0 {
+		t.Errorf("credits = %d after stale replay, want 0 (window inflated!)", c)
+	}
+	if st := h.bus.Stats(); st.StaleCreditDropped != 1 {
+		t.Errorf("StaleCreditDropped = %d, want 1", st.StaleCreditDropped)
+	}
+
+	// A correctly fenced update for the current incarnation still lands.
+	a.port.AddCredits(1, a.port.Incarnation())
+	if c := a.port.Credits(); c != 1 {
+		t.Errorf("credits = %d after valid update, want 1", c)
+	}
+}
+
+// The bus replenishes with ForInc matching the sender's current
+// incarnation, so the normal path keeps flowing after a recovery.
+func TestReplenishFencedToCurrentIncarnation(t *testing.T) {
+	h := newHarness(t, creditCfg(2))
+	a := h.addDev(1, "a", msg.RoleAccelerator)
+	h.addDev(2, "b", msg.RoleAccelerator)
+	autoCredit(a)
+	h.boot()
+
+	a.port.NewIncarnation() // recovered device: incarnation 1
+	a.inbox = nil           // ignore boot-time (incarnation-0) traffic
+	for i := 0; i < 6; i++ {
+		a.port.Send(2, &msg.Heartbeat{Seq: uint64(i + 1)})
+	}
+	h.eng.Run()
+
+	st := h.bus.Stats()
+	if st.CreditUpdates == 0 {
+		t.Fatal("bus never replenished")
+	}
+	if st.StaleCreditDropped != 0 {
+		t.Errorf("StaleCreditDropped = %d on the healthy path, want 0", st.StaleCreditDropped)
+	}
+	got := 0
+	for _, e := range a.inbox {
+		if cu, ok := e.Msg.(*msg.CreditUpdate); ok {
+			got++
+			if cu.ForInc != 1 {
+				t.Errorf("CreditUpdate.ForInc = %d, want current incarnation 1", cu.ForInc)
+			}
+		}
+	}
+	if got == 0 {
+		t.Fatal("no CreditUpdate reached the device")
 	}
 }
 

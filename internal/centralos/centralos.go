@@ -405,6 +405,23 @@ func (c *CPU) AttachDeviceIOMMU(id msg.DeviceID, mmu *iommu.IOMMU) {
 	c.iommus[id] = mmu
 }
 
+// Misprogram models a compromised (or merely buggy) kernel: it maps the
+// app's pages straight into the named device's translation unit, no
+// authorization asked. In the centralized architecture the kernel IS
+// the authorization, so nothing stands in the way; on a machine whose
+// devices carry per-device isolation domains (core.Options.Tenancy),
+// the device's own IOMMU refuses the foreign context and the returned
+// error is the typed refusal. E20's compromised-kernel cell measures
+// exactly this difference in blast radius.
+func (c *CPU) Misprogram(dev msg.DeviceID, app msg.AppID, va, bytes uint64) error {
+	mmu, ok := c.iommus[dev]
+	if !ok {
+		return fmt.Errorf("centralos: no iommu handle for device %d", dev)
+	}
+	_, err := c.mapRegion(app, va, bytes, []*iommu.IOMMU{mmu})
+	return err
+}
+
 // RegisterFile mounts a file into the kernel's registry.
 func (c *CPU) RegisterFile(name string, dev msg.DeviceID) {
 	c.registry[name] = dev
@@ -449,7 +466,7 @@ func (c *CPU) receive(env msg.Envelope) {
 		c.onPeerFailed(m.Device)
 	case *msg.CreditUpdate:
 		// Flow-control replenishment: pure port plumbing.
-		c.port.AddCredits(m.Credits)
+		c.port.AddCredits(m.Credits, m.ForInc)
 	}
 }
 

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"nocpu/internal/accel"
@@ -27,6 +28,7 @@ import (
 	"nocpu/internal/device"
 	"nocpu/internal/faultinject"
 	"nocpu/internal/interconnect"
+	"nocpu/internal/iommu"
 	"nocpu/internal/kvs"
 	"nocpu/internal/memctrl"
 	"nocpu/internal/msg"
@@ -34,6 +36,7 @@ import (
 	"nocpu/internal/sim"
 	"nocpu/internal/smartnic"
 	"nocpu/internal/smartssd"
+	"nocpu/internal/tenant"
 	"nocpu/internal/trace"
 )
 
@@ -102,6 +105,14 @@ type Options struct {
 	// to co-schedule N machines on one deterministic clock; nil (the
 	// default) keeps the single-machine behavior bit-identical.
 	Engine *sim.Engine
+	// Tenancy, when non-nil, enables per-tenant isolation everywhere at
+	// once: the bus scopes discovery and grants to domains, every
+	// device's IOMMU refuses contexts/mappings for foreign apps (even
+	// when a compromised kernel programs them), the NICs partition rx
+	// per tenant, and KVS stores enforce key ownership and admission
+	// budgets. Nil (the default) keeps the machine bit-identical to a
+	// tenancy-free build.
+	Tenancy *tenant.Registry
 }
 
 // System is an assembled machine.
@@ -169,6 +180,11 @@ func New(opts Options) (*System, error) {
 	}
 	s.Fabric = interconnect.NewFabric(s.Eng, s.Mem, opts.Costs)
 	s.Bus = bus.New(s.Eng, opts.Bus, s.Tracer)
+	if opts.Tenancy != nil {
+		// Before any device attaches, so per-tenant credit windows apply
+		// from the first send.
+		s.Bus.SetTenancy(opts.Tenancy)
+	}
 	if opts.FaultPlane != nil {
 		s.Bus.SetFaultPlane(opts.FaultPlane)
 		s.Fabric.SetFaultPlane(opts.FaultPlane)
@@ -191,6 +207,7 @@ func New(opts Options) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.applyTenancy(mcCfg.Device.ID, s.Memctrl.Device().IOMMU())
 	case Centralized:
 		cpuCfg := opts.CPU
 		cpuCfg.ID = s.claimID()
@@ -245,9 +262,30 @@ func New(opts Options) (*System, error) {
 		if s.CPU != nil {
 			s.CPU.AttachDeviceIOMMU(acfg.Device.ID, a.Device().IOMMU())
 		}
+		s.applyTenancy(acfg.Device.ID, a.Device().IOMMU())
 		s.Accel = a
 	}
 	return s, nil
+}
+
+// applyTenancy installs the per-device isolation-domain check on a
+// device's translation unit: the device itself refuses contexts and
+// mappings for apps outside its tenant, whoever asks — including the
+// head node. This is the decentralized half of the E20 argument.
+func (s *System) applyTenancy(id msg.DeviceID, mmu *iommu.IOMMU) {
+	if s.Opts.Tenancy == nil {
+		return
+	}
+	reg := s.Opts.Tenancy
+	check := reg.DomainCheckFor(id)
+	mmu.SetDomainCheck(func(p iommu.PASID) error {
+		err := check(msg.AppID(p))
+		var terr *tenant.Error
+		if errors.As(err, &terr) {
+			reg.RecordError(s.Eng.Now(), terr)
+		}
+		return err
+	})
 }
 
 // MustNew is New for static configuration.
@@ -292,6 +330,7 @@ func (s *System) AddSSD(name string, cfg smartssd.Config) (*smartssd.SSD, error)
 	if s.CPU != nil {
 		s.CPU.AttachDeviceIOMMU(cfg.Device.ID, ssd.Device().IOMMU())
 	}
+	s.applyTenancy(cfg.Device.ID, ssd.Device().IOMMU())
 	s.SSDs = append(s.SSDs, ssd)
 	return ssd, nil
 }
@@ -309,6 +348,7 @@ func (s *System) AddNIC(name string, cfg smartnic.Config) (*smartnic.NIC, error)
 	if cfg.Device.ResetDelay == 0 {
 		cfg.Device.ResetDelay = 100 * sim.Microsecond
 	}
+	cfg.Tenancy = s.Opts.Tenancy
 	nic, err := smartnic.New(s.Eng, s.Bus, s.Fabric, s.Tracer, cfg)
 	if err != nil {
 		return nil, err
@@ -316,6 +356,7 @@ func (s *System) AddNIC(name string, cfg smartnic.Config) (*smartnic.NIC, error)
 	if s.CPU != nil {
 		s.CPU.AttachDeviceIOMMU(cfg.Device.ID, nic.Device().IOMMU())
 	}
+	s.applyTenancy(cfg.Device.ID, nic.Device().IOMMU())
 	s.NICs = append(s.NICs, nic)
 	return nic, nil
 }
@@ -425,6 +466,7 @@ func (s *System) NewKVS(o KVSOptions) *kvs.Store {
 		QueueEntries:  o.QueueEntries,
 		InflightBound: o.InflightBound,
 		CacheEntries:  o.CacheEntries,
+		Tenancy:       s.Opts.Tenancy,
 	}
 	switch {
 	case s.CPU != nil && o.Mediated:

@@ -346,7 +346,7 @@ func (d *Device) receive(env msg.Envelope) {
 	case *msg.CreditUpdate:
 		// Flow-control replenishment is port plumbing, not device logic:
 		// hand it straight to the bus port, which drains stalled sends.
-		d.busPort.AddCredits(m.Credits)
+		d.busPort.AddCredits(m.Credits, m.ForInc)
 	default:
 		if h, ok := d.handlers[env.Msg.Kind()]; ok {
 			h(env)

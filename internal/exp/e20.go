@@ -1,0 +1,420 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"nocpu/internal/adversary"
+	"nocpu/internal/core"
+	"nocpu/internal/fabric"
+	"nocpu/internal/kvs"
+	"nocpu/internal/metrics"
+	"nocpu/internal/netsim"
+	"nocpu/internal/sim"
+	"nocpu/internal/tenant"
+)
+
+// E20 is the adversarial multi-tenancy experiment: a seeded malicious
+// device (tenant 2) mounts the full attack matrix — rogue DMA, stale
+// credit replay, stale-incarnation frame replay, discovery abuse,
+// doorbell floods, cross-tenant KVS probing — against a well-behaved
+// tenant (tenant 1) on both machine flavors and on the N-machine
+// fabric, while the tenancy ledger audits three invariants:
+//
+//	S1  no cross-tenant access ever succeeds, and every refusal is
+//	    typed (an error, a DenialReport, a denial record) — never a
+//	    silent drop;
+//	S2  the victim's goodput and p99 under attack stay within the
+//	    declared bound of its unattacked baseline;
+//	S3  every denial is attributed to the attacker, and only the
+//	    attacker's budget is exhausted.
+//
+// The blast-radius comparison is the compromised-kernel cell: a
+// centralos head that misprograms a cross-tenant mapping succeeds
+// instantly when the kernel is the only authority, and is refused by
+// the device's own isolation-domain check when per-device enforcement
+// is on — the paper's decentralization argument restated as a security
+// property.
+
+// E20 tuning. The attacked phase overlays an open-loop cross-tenant
+// probe spam on the victim's closed-loop workload; budgets for the
+// attacking tenant keep the damage on the attacker's side of the
+// boundary. S2's declared bound is deliberately loose — the claim is
+// containment, not zero interference.
+const (
+	e20Seed      = uint64(0xE20)
+	e20Keys      = 48
+	e20ValSize   = 64
+	e20Workers   = 8
+	e20PerWorker = 64
+
+	e20SpamRate   = 400_000.0 // attacker probes/s, open loop
+	e20SpamWindow = 2 * sim.Millisecond
+
+	e20MinGoodput = 0.50 // S2: attacked goodput >= 50% of baseline
+	e20MaxP99Mult = 8.0  // S2: attacked p99 <= 8x baseline
+
+	e20AdversaryID = 90
+	e20FloodSends  = 40
+
+	e20FabricN         = 8
+	e20FabricKeys      = 64
+	e20FabricWorkers   = 16
+	e20FabricPerWorker = 32
+)
+
+func e20Key(i int) string { return fmt.Sprintf("t1/e20-%04d", i) }
+
+// e20Budget is the attacking tenant's declared share. RxBound only
+// applies on the single machine (the KVS store answers sheds at the
+// edge); the fabric router wire-drops edge sheds, so the fabric cell
+// contains the attacker at the stores' admission budget instead.
+func e20Budget(rxBound uint32) tenant.Budget {
+	return tenant.Budget{CreditWindow: 4, KVSInflight: 2, RxBound: rxBound}
+}
+
+// e20Cell is one audited attack run.
+type e20Cell struct {
+	label    string
+	rep      tenant.Report
+	refused  int
+	mounted  int
+	baseline netsim.Stats
+	attacked netsim.Stats
+	denAtk   int // denials attributed to the attacker
+	denVic   int // denials attributed to the victim (must be 0)
+	probes   uint64
+	leaked   uint64
+}
+
+func (c *e20Cell) goodputRatio() float64 {
+	if c.baseline.Throughput() == 0 {
+		return 0
+	}
+	return c.attacked.Throughput() / c.baseline.Throughput()
+}
+
+// e20Audit runs the shared ledger judgment for one cell.
+func e20Audit(cell *e20Cell, led *tenant.Ledger, reg *tenant.Registry) {
+	led.AuditGoodput(c2f(cell.baseline), c2f(cell.attacked),
+		cell.baseline.Latency.P99(), cell.attacked.Latency.P99(),
+		e20MinGoodput, e20MaxP99Mult)
+	led.AuditAttribution(reg.Denials())
+	led.AuditContainment(e20BudgetDenials(reg, 2), e20BudgetDenials(reg, 1))
+	cell.denAtk = len(reg.DenialsBy(2))
+	cell.denVic = len(reg.DenialsBy(1))
+	cell.rep = led.Report()
+}
+
+func c2f(s netsim.Stats) float64 { return float64(s.Completed) }
+
+// e20BudgetDenials counts budget-exhaustion denials charged to one
+// tenant.
+func e20BudgetDenials(reg *tenant.Registry, t tenant.ID) uint64 {
+	var n uint64
+	for _, d := range reg.DenialsBy(t) {
+		if d.Class == tenant.DenyBudget {
+			n++
+		}
+	}
+	return n
+}
+
+// e20NoteOutcomes feeds the adversary's outcome log to the ledger.
+func e20NoteOutcomes(led *tenant.Ledger, cell *e20Cell, outcomes []adversary.Outcome) {
+	for _, o := range outcomes {
+		led.NoteAttack(o.Class, !o.Refused, o.Typed, o.Attack+": "+o.Detail)
+		cell.mounted++
+		if o.Refused && o.Typed {
+			cell.refused++
+		}
+	}
+}
+
+// e20VictimLoad is the well-behaved tenant's closed-loop get workload,
+// stamped t1 at the NIC edge.
+func e20VictimLoad(eng *sim.Engine, seed uint64, workers, perWorker, keys int, target netsim.Target) *netsim.ClosedLoop {
+	return &netsim.ClosedLoop{
+		Eng: eng, Rand: sim.NewRand(seed), Workers: workers, PerWorker: perWorker,
+		Gen: func(rd *sim.Rand, seq uint64) []byte {
+			return kvs.EncodeRequest(kvs.Request{Op: kvs.OpGet, Key: e20Key(rd.Intn(keys))})
+		},
+		IsError: kvsIsError,
+		Target:  target,
+	}
+}
+
+// e20Spam is the attacker's open-loop cross-tenant probe generator,
+// stamped t2 at the edge. Replies are classified into the cell's
+// leak/denial tallies; StatusShed is the attacker's own budget biting.
+func e20Spam(eng *sim.Engine, seed uint64, keys int, target netsim.Target, cell *e20Cell) *netsim.OpenLoop {
+	return &netsim.OpenLoop{
+		Eng: eng, Rand: sim.NewRand(seed), Rate: e20SpamRate, Duration: e20SpamWindow,
+		Gen: func(rd *sim.Rand, seq uint64) []byte {
+			return kvs.EncodeRequest(kvs.Request{Op: kvs.OpGet, Key: e20Key(rd.Intn(keys))})
+		},
+		IsError: func(b []byte) bool {
+			cell.probes++
+			resp, err := kvs.DecodeResponse(b)
+			if err != nil {
+				return true
+			}
+			if resp.Status == kvs.StatusOK || resp.Status == kvs.StatusNotFound {
+				cell.leaked++
+			}
+			return false
+		},
+		Target: target,
+	}
+}
+
+// e20Machine runs the full matrix on one booted machine.
+func e20Machine(kind machineKind) *e20Cell {
+	seed := e20Seed ^ uint64(kind)<<8
+	reg := tenant.NewRegistry()
+	reg.BindApp(1, 1) // the victim store's address space is tenant 1's
+	reg.SetBudget(2, e20Budget(2))
+	rig := newKVSRig(kind, seed, func(o *core.Options) { o.Tenancy = reg }, nil)
+	// The victim's NIC joins its tenant's domain (so discovery scoping
+	// has something to hide from the adversary).
+	nicID := rig.sys.NIC().Device().ID()
+	reg.BindDevice(nicID, 1)
+
+	cell := &e20Cell{label: kind.label()}
+	led := tenant.NewLedger(2, 1)
+	eng := rig.sys.Eng
+	stamped := func(tn uint16) netsim.Target {
+		return func(p []byte, reply func([]byte)) {
+			rig.sys.NIC().DeliverFrom(tn, rig.store.AppID(), p, reply)
+		}
+	}
+
+	// Preload and baseline, attacker not yet attached.
+	e20Run(rig, e20Preload(eng, seed^1, stamped(1)))
+	base := e20VictimLoad(eng, seed^2, e20Workers, e20PerWorker, e20Keys, stamped(1))
+	e20Run(rig, base)
+	cell.baseline = base.Stats()
+
+	adv, err := adversary.Attach(eng, rig.sys.Bus, rig.sys.Mem, reg, adversary.Config{
+		ID: e20AdversaryID, Tenant: 2, Seed: seed ^ 0xAD,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("exp: e20 adversary: %v", err))
+	}
+	eng.Run()
+
+	// Control-plane attack matrix.
+	run := func() { eng.Run() }
+	adv.AttackRogueDMA(1)
+	adv.AttackStaleCredit(run)
+	adv.AttackReplay(nicID, run)
+	adv.AttackDiscovery("kvstore", run)
+	adv.AttackFlood(nicID, e20FloodSends, run)
+	adv.AttackKVSProbe(rig.sys.NIC(), rig.store.AppID(),
+		[]string{"t1/e20-0000", "t1/absent", "t1/e20-0001"}, run)
+
+	// Compromised kernel (centralized only): the head node misprograms a
+	// cross-tenant mapping into the adversary's device. The device's own
+	// domain check must refuse it, typed.
+	if rig.sys.CPU != nil {
+		rig.sys.CPU.AttachDeviceIOMMU(e20AdversaryID, adv.IOMMU())
+		merr := rig.sys.CPU.Misprogram(e20AdversaryID, 1, 0x4000_0000, 2*4096)
+		var terr *tenant.Error
+		typed := errors.As(merr, &terr)
+		led.NoteAttack(tenant.DenyDMA, merr == nil, typed, fmt.Sprintf("kernel misprogram: %v", merr))
+		cell.mounted++
+		if merr != nil && typed {
+			cell.refused++
+		}
+	}
+	e20NoteOutcomes(led, cell, adv.Outcomes())
+
+	// Attacked phase: probe spam overlaid on the victim's workload.
+	spam := e20Spam(eng, seed^3, e20Keys, stamped(2), cell)
+	spamDone := false
+	spam.Run(func() { spamDone = true })
+	atk := e20VictimLoad(eng, seed^4, e20Workers, e20PerWorker, e20Keys, stamped(1))
+	e20Run(rig, atk)
+	rig.drain(&spamDone)
+	cell.attacked = atk.Stats()
+	led.NoteAttack(tenant.DenyKVS, cell.leaked > 0, cell.probes > cell.leaked,
+		fmt.Sprintf("probe spam: %d probes, %d leaked", cell.probes, cell.leaked))
+	cell.mounted++
+	if cell.leaked == 0 {
+		cell.refused++
+	}
+
+	e20Audit(cell, led, reg)
+	return cell
+}
+
+// e20Preload writes the victim's keys, stamped t1.
+func e20Preload(eng *sim.Engine, seed uint64, target netsim.Target) *netsim.ClosedLoop {
+	return &netsim.ClosedLoop{
+		Eng: eng, Rand: sim.NewRand(seed), Workers: 8, PerWorker: (e20Keys + 7) / 8,
+		Gen: func(rd *sim.Rand, seq uint64) []byte {
+			return kvs.EncodeRequest(kvs.Request{
+				Op: kvs.OpPut, Key: e20Key(int(seq) % e20Keys), Value: make([]byte, e20ValSize),
+			})
+		},
+		Target: target,
+	}
+}
+
+func e20Run(rig *kvsRig, cl *netsim.ClosedLoop) {
+	done := false
+	cl.Run(func() { done = true })
+	rig.drain(&done)
+}
+
+// e20Misprogram runs the blast-radius control: a centralized machine
+// WITHOUT per-device checks, whose kernel maps tenant 1's app into an
+// arbitrary device unchallenged.
+func e20Misprogram() string {
+	rig := newKVSRig(kindCentralDirect, e20Seed^0xBAD, nil, nil)
+	nicID := rig.sys.NIC().Device().ID()
+	if err := rig.sys.CPU.Misprogram(nicID, 1, 0x4000_0000, 2*4096); err != nil {
+		return fmt.Sprintf("unexpected refusal: %v", err)
+	}
+	return "mapping installed unchallenged"
+}
+
+// e20Fabric runs the KVS half of the matrix rack-wide: cross-tenant
+// probe spam against an N-machine sharded fabric under each control
+// architecture, with one shared registry.
+func e20Fabric(flavor fabric.Flavor) *e20Cell {
+	seed := e20Seed ^ 0xF ^ uint64(flavor)<<12
+	reg := tenant.NewRegistry()
+	reg.SetBudget(2, e20Budget(0)) // no rx partition: routers wire-drop edge sheds
+	cl := fabric.MustNew(fabric.Config{
+		N: e20FabricN, Flavor: flavor, Seed: seed,
+		MachineMemory: e17Memory, Tenancy: reg,
+	})
+	if err := cl.Boot(); err != nil {
+		panic(fmt.Sprintf("exp: e20 fabric boot: %v", err))
+	}
+	label := "fabric decentralized"
+	if flavor == fabric.FlavorHead {
+		label = "fabric head-node"
+	}
+	cell := &e20Cell{label: fmt.Sprintf("%s N=%d", label, e20FabricN)}
+	led := tenant.NewLedger(2, 1)
+
+	target := func(tn uint16) netsim.Target {
+		rr := 0
+		return func(p []byte, reply func([]byte)) {
+			live := cl.LiveIDs()
+			rr++
+			cl.TenantIngress(live[rr%len(live)], tn)(p, reply)
+		}
+	}
+	drain := func(done *bool) { e17Drain(cl, done) }
+
+	pre := &netsim.ClosedLoop{
+		Eng: cl.Eng, Rand: sim.NewRand(seed ^ 1), Workers: 8, PerWorker: (e20FabricKeys + 7) / 8,
+		Gen: func(rd *sim.Rand, seq uint64) []byte {
+			return kvs.EncodeRequest(kvs.Request{
+				Op: kvs.OpPut, Key: e20Key(int(seq) % e20FabricKeys), Value: make([]byte, e20ValSize),
+			})
+		},
+		Target: target(1),
+	}
+	done := false
+	pre.Run(func() { done = true })
+	drain(&done)
+
+	base := e20VictimLoad(cl.Eng, seed^2, e20FabricWorkers, e20FabricPerWorker, e20FabricKeys, target(1))
+	done = false
+	base.Run(func() { done = true })
+	drain(&done)
+	cell.baseline = base.Stats()
+
+	// Admission flood: the attacker hammers its own shard with a
+	// concurrent burst far past its per-tenant inflight budget — the
+	// stores must shed the excess as DenyBudget on the attacker's tab.
+	burn := &netsim.ClosedLoop{
+		Eng: cl.Eng, Rand: sim.NewRand(seed ^ 5), Workers: 1, PerWorker: 1,
+		Gen: func(rd *sim.Rand, seq uint64) []byte {
+			return kvs.EncodeRequest(kvs.Request{Op: kvs.OpPut, Key: "t2/burn", Value: make([]byte, e20ValSize)})
+		},
+		Target: target(2),
+	}
+	done = false
+	burn.Run(func() { done = true })
+	drain(&done)
+	flood := &netsim.ClosedLoop{
+		Eng: cl.Eng, Rand: sim.NewRand(seed ^ 6), Workers: 16, PerWorker: 8,
+		Gen: func(rd *sim.Rand, seq uint64) []byte {
+			return kvs.EncodeRequest(kvs.Request{Op: kvs.OpGet, Key: "t2/burn"})
+		},
+		Target: target(2),
+	}
+	done = false
+	flood.Run(func() { done = true })
+	drain(&done)
+	floodSheds := e20BudgetDenials(reg, 2)
+	led.NoteAttack(tenant.DenyBudget, false, floodSheds > 0,
+		fmt.Sprintf("admission flood: %d budget sheds", floodSheds))
+	cell.mounted++
+	if floodSheds > 0 {
+		cell.refused++
+	}
+
+	spam := e20Spam(cl.Eng, seed^3, e20FabricKeys, target(2), cell)
+	spamDone := false
+	spam.Run(func() { spamDone = true })
+	atk := e20VictimLoad(cl.Eng, seed^4, e20FabricWorkers, e20FabricPerWorker, e20FabricKeys, target(1))
+	done = false
+	atk.Run(func() { done = true })
+	drain(&done)
+	drain(&spamDone)
+	cell.attacked = atk.Stats()
+
+	led.NoteAttack(tenant.DenyKVS, cell.leaked > 0, cell.probes > cell.leaked,
+		fmt.Sprintf("rack probe spam: %d probes, %d leaked", cell.probes, cell.leaked))
+	cell.mounted++
+	if cell.leaked == 0 {
+		cell.refused++
+	}
+	e20Audit(cell, led, reg)
+	return cell
+}
+
+// E20Tenancy runs the blast-radius ledger.
+func E20Tenancy() *Result {
+	res := &Result{ID: "E20", Title: "Adversarial multi-tenancy: attack matrix and blast radius"}
+
+	matrix := metrics.NewTable(
+		fmt.Sprintf("attack matrix per machine flavor (attacker t2 budget: credits=4 kvs=2 rx=2; S2 bound: goodput >= %.0f%%, p99 <= %.0fx)",
+			e20MinGoodput*100, e20MaxP99Mult),
+		"machine", "attacks", "refused typed", "S1 viol", "S2 viol", "S3 viol",
+		"victim goodput", "base p99", "attacked p99", "denials->t2", "denials->t1")
+	cells := []*e20Cell{
+		e20Machine(kindDecentralized),
+		e20Machine(kindCentralDirect),
+		e20Fabric(fabric.FlavorDecentralized),
+		e20Fabric(fabric.FlavorHead),
+	}
+	for _, c := range cells {
+		matrix.AddRow(c.label, c.mounted, c.refused, c.rep.S1Viols, c.rep.S2Viols, c.rep.S3Viols,
+			fmt.Sprintf("%.0f%%", c.goodputRatio()*100),
+			c.baseline.Latency.P99(), c.attacked.Latency.P99(), c.denAtk, c.denVic)
+		for _, v := range c.rep.Violations {
+			res.Notes = append(res.Notes, fmt.Sprintf("VIOLATION [%s]: %s", c.label, v))
+		}
+	}
+	res.Tables = append(res.Tables, matrix)
+
+	blast := metrics.NewTable(
+		"compromised-kernel blast radius: head node maps tenant 1's app into a foreign device",
+		"per-device domain checks", "outcome")
+	blast.AddRow("on (decentralized enforcement)", "refused by the device's IOMMU, typed tenant error")
+	blast.AddRow("off (kernel is sole authority)", e20Misprogram())
+	res.Tables = append(res.Tables, blast)
+
+	res.Notes = append(res.Notes,
+		"S1: cross-tenant accesses that succeeded or were refused silently; S2: victim goodput/p99 excursions beyond the declared bound; S3: misattributed denials or uncontained budget damage",
+		"every cell must read 0/0/0 — the table is a regression oracle, not a benchmark",
+		"fabric cells contain the attacker at the shard stores' admission budget; single-machine cells also shed at the NIC rx partition")
+	return res
+}

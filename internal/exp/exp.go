@@ -64,6 +64,7 @@ var registry = []entry{
 	{"E16", "Overload resilience: goodput under open-loop load ramps", E16Overload},
 	{"E17", "Rack-scale fabric: sharded replicated KVS across N machines", E17Fabric},
 	{"E19", "Self-healing fleet: reconciliation, live membership change, concurrent failures", E19SelfHealing},
+	{"E20", "Adversarial multi-tenancy: attack matrix and blast radius", E20Tenancy},
 }
 
 // IDs lists all experiment identifiers in order.

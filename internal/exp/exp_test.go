@@ -7,13 +7,13 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	// E1–E17 are contiguous; E18 is unassigned and E19 is the
-	// self-healing fleet experiment.
-	want := make([]string, 0, 18)
+	// E1–E17 are contiguous; E18 is unassigned, E19 is the self-healing
+	// fleet experiment and E20 the adversarial-tenancy matrix.
+	want := make([]string, 0, 19)
 	for i := 1; i <= 17; i++ {
 		want = append(want, fmt.Sprintf("E%d", i))
 	}
-	want = append(want, "E19")
+	want = append(want, "E19", "E20")
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("expected %d experiments, have %v", len(want), ids)

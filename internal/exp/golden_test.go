@@ -12,12 +12,17 @@ import (
 // (NIC/virtqueue/SSD data plane under load), E9 (doorbell batching —
 // virtqueue event timing), E10 (bus speed sensitivity — wire and
 // processing latency), E15 (crash-restart-rejoin chaos schedules), E16
-// (overload ramps) and E17 (rack-scale fabric scaling and kill chaos,
+// (overload ramps), E17 (rack-scale fabric scaling and kill chaos,
 // run with NO reconciler attached — pinning it proves the E19
-// reconcile layer is byte-invisible until Attach is called). Any
-// accidental event, cost, or ordering change from a feature that
-// should be gated off shifts at least one of these tables.
-var goldenIDs = []string{"E1", "E2", "E9", "E10", "E15", "E16", "E17"}
+// reconcile layer is byte-invisible until Attach is called) and E20
+// (the adversarial-tenancy matrix — pinning it proves both that the
+// attack runs are reproducible per seed AND, together with the other
+// goldens all running tenancy-off, that the tenancy hooks compiled
+// into bus/NIC/KVS/IOMMU are byte-invisible until a registry is
+// configured). Any accidental event, cost, or ordering change from a
+// feature that should be gated off shifts at least one of these
+// tables.
+var goldenIDs = []string{"E1", "E2", "E9", "E10", "E15", "E16", "E17", "E20"}
 
 // TestTablesGolden asserts the pinned experiment tables are byte-
 // identical to the recorded goldens. The overload defenses (credit flow

@@ -9,6 +9,7 @@ import (
 	"nocpu/internal/kvs"
 	"nocpu/internal/msg"
 	"nocpu/internal/sim"
+	"nocpu/internal/tenant"
 )
 
 // Flavor selects the fabric's control architecture.
@@ -86,6 +87,13 @@ type Config struct {
 	// determinism test.
 	Trace      bool
 	TraceLimit int
+
+	// Tenancy, when set, is the rack-wide tenant registry shared by
+	// every machine (one registry, one engine — still deterministic).
+	// Each machine's devices install per-tenant isolation-domain checks
+	// and its stores enforce key ownership; nil keeps the legacy
+	// untenanted fabric byte-identical.
+	Tenancy *tenant.Registry
 }
 
 // Machine is one member of the rack: a complete emulated system plus
@@ -173,6 +181,7 @@ func New(cfg Config) (*Cluster, error) {
 			MemoryBytes: cfg.MachineMemory,
 			NoTrace:     true,
 			Engine:      c.Eng,
+			Tenancy:     cfg.Tenancy,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fabric: machine %d: %w", id, err)
@@ -315,6 +324,17 @@ func (c *Cluster) Ingress(id msg.DeviceID) func([]byte, func([]byte)) {
 	m := c.Machine(id)
 	return func(payload []byte, reply func([]byte)) {
 		m.Sys.NIC().Deliver(RouterApp, payload, reply)
+	}
+}
+
+// TenantIngress is Ingress with an edge-authenticated tenant stamp:
+// the NIC, not the payload, asserts which tenant each request belongs
+// to, and the router re-stamps the decoded request before routing so
+// the claim survives inter-machine hops.
+func (c *Cluster) TenantIngress(id msg.DeviceID, tn uint16) func([]byte, func([]byte)) {
+	m := c.Machine(id)
+	return func(payload []byte, reply func([]byte)) {
+		m.Sys.NIC().DeliverFrom(tn, RouterApp, payload, reply)
 	}
 }
 

@@ -392,6 +392,28 @@ func (r *Router) ServeNetwork(payload []byte, reply func([]byte)) {
 	r.onClient(payload, reply)
 }
 
+// ServeTenantNetwork implements smartnic.TenantApp: the NIC edge
+// authenticated the client as tenant tn, and the stamp is re-encoded
+// into the request before routing so it survives fabric hops — the
+// owning machine's store sees the same authenticated tenant the entry
+// machine did, wherever the key lives.
+func (r *Router) ServeTenantNetwork(tn uint16, payload []byte, reply func([]byte)) {
+	if r.halted {
+		return
+	}
+	if len(payload) > 0 && payload[0] == frameMagic {
+		r.onFrame(payload[1:]) // peer frames carry no tenant
+		return
+	}
+	if tn != 0 {
+		if req, err := kvs.DecodeRequest(payload); err == nil {
+			req.Tenant = uint32(tn)
+			payload = kvs.EncodeRequest(req)
+		}
+	}
+	r.onClient(payload, reply)
+}
+
 // --- client ingress ---
 
 func (r *Router) onClient(payload []byte, reply func([]byte)) {

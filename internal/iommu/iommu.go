@@ -128,11 +128,12 @@ func (f *Fault) Error() string {
 
 // Stats counts translation activity for the experiment harness.
 type Stats struct {
-	Translations uint64
-	TLBHits      uint64
-	TLBMisses    uint64
-	WalkReads    uint64 // physical memory reads performed by table walks
-	Faults       uint64
+	Translations  uint64
+	TLBHits       uint64
+	TLBMisses     uint64
+	WalkReads     uint64 // physical memory reads performed by table walks
+	Faults        uint64
+	DomainDenials uint64 // context/mapping attempts refused by the domain check
 }
 
 // IOMMU is one device's translation unit.
@@ -145,6 +146,14 @@ type IOMMU struct {
 	// pageTableFrames tracks frames backing the radix trees per PASID so
 	// DestroyContext can return them.
 	tableFrames map[PASID][]physmem.Frame
+
+	// domainCheck, when set, is consulted before a context is created or
+	// extended: the tenancy layer's isolation-domain boundary, enforced
+	// at the device. The IOMMU belongs to exactly one device, so even a
+	// compromised kernel holding the IOMMU handle cannot program a
+	// mapping the device's own domain check refuses. nil means no
+	// tenancy (the default): any PASID may be instantiated.
+	domainCheck func(PASID) error
 }
 
 // Config sets the TLB geometry. The zero value selects DefaultConfig;
@@ -178,6 +187,22 @@ func New(name string, mem *physmem.Memory, cfg Config) *IOMMU {
 // Stats returns a copy of the counters.
 func (u *IOMMU) Stats() Stats { return u.st }
 
+// SetDomainCheck installs the tenancy domain check. The check sees every
+// CreateContext, Map and MapHuge; a non-nil return refuses the operation
+// with the check's (typed, attributed) error. Passing nil uninstalls it.
+func (u *IOMMU) SetDomainCheck(check func(PASID) error) { u.domainCheck = check }
+
+func (u *IOMMU) checkDomain(p PASID) error {
+	if u.domainCheck == nil {
+		return nil
+	}
+	if err := u.domainCheck(p); err != nil {
+		u.st.DomainDenials++
+		return err
+	}
+	return nil
+}
+
 // Contexts returns the number of live PASID contexts.
 func (u *IOMMU) Contexts() int { return len(u.ctx) }
 
@@ -206,6 +231,9 @@ func (u *IOMMU) CreateContext(p PASID) error {
 	}
 	if _, ok := u.ctx[p]; ok {
 		return fmt.Errorf("iommu %s: PASID %d already exists", u.name, p)
+	}
+	if err := u.checkDomain(p); err != nil {
+		return err
 	}
 	root, err := u.allocTable(p)
 	if err != nil {
@@ -261,6 +289,9 @@ func (u *IOMMU) Map(p PASID, va VirtAddr, frame physmem.Frame, perm Perm) error 
 	root, ok := u.ctx[p]
 	if !ok {
 		return fmt.Errorf("iommu %s: map on unknown PASID %d", u.name, p)
+	}
+	if err := u.checkDomain(p); err != nil {
+		return err
 	}
 	if va%physmem.PageSize != 0 {
 		return fmt.Errorf("iommu %s: map of unaligned va %#x", u.name, uint64(va))
@@ -319,6 +350,9 @@ func (u *IOMMU) MapHuge(p PASID, va VirtAddr, frame physmem.Frame, perm Perm) er
 	root, ok := u.ctx[p]
 	if !ok {
 		return fmt.Errorf("iommu %s: map on unknown PASID %d", u.name, p)
+	}
+	if err := u.checkDomain(p); err != nil {
+		return err
 	}
 	if uint64(va)%HugePageSize != 0 {
 		return fmt.Errorf("iommu %s: huge map of unaligned va %#x", u.name, uint64(va))

@@ -46,6 +46,11 @@ const (
 	StatusError
 	StatusUnavailable // store not (yet) connected to its file
 	StatusShed        // admission control refused: deadline unmeetable
+	// StatusDenied is a tenancy refusal: the requesting tenant may not
+	// touch the key it named. Always typed — a cross-tenant probe gets
+	// this status, never a silent drop and never NotFound (which would
+	// leak key existence across the boundary).
+	StatusDenied
 )
 
 // Request is a decoded client request.
@@ -56,11 +61,21 @@ const (
 // ones. It is a trailing optional wire field — encoded only when
 // nonzero — so deadline-free requests are byte-identical to the
 // pre-deadline format and old encodings still decode (Deadline 0).
+//
+// Tenant, when nonzero, is the requesting isolation domain. The NIC
+// edge stamps it (smartnic.DeliverFrom) — the store overwrites whatever
+// a client wrote here, so the field is an authenticated transit stamp,
+// not a client claim; it exists on the wire so the fabric router can
+// carry the stamp across machine hops. A second trailing optional: when
+// Tenant is present Deadline is encoded too (even if zero), keeping the
+// two distinguishable by remaining length, and all tenant-free requests
+// stay byte-identical to the pre-tenancy format.
 type Request struct {
 	Op       Op
 	Key      string
 	Value    []byte
 	Deadline uint64
+	Tenant   uint32
 }
 
 // Response is a decoded store response.
@@ -70,11 +85,15 @@ type Response struct {
 }
 
 // EncodeRequest serializes: op u8 | keyLen u16 | key | valLen u32 | val
-// [| deadline u64 when nonzero].
+// [| deadline u64 when nonzero or tenant present [| tenant u32 when
+// nonzero]].
 func EncodeRequest(r Request) []byte {
 	n := 7 + len(r.Key) + len(r.Value)
-	if r.Deadline != 0 {
+	if r.Deadline != 0 || r.Tenant != 0 {
 		n += 8
+	}
+	if r.Tenant != 0 {
+		n += 4
 	}
 	b := make([]byte, n)
 	b[0] = byte(r.Op)
@@ -83,8 +102,12 @@ func EncodeRequest(r Request) []byte {
 	off := 3 + len(r.Key)
 	binary.LittleEndian.PutUint32(b[off:], uint32(len(r.Value)))
 	copy(b[off+4:], r.Value)
-	if r.Deadline != 0 {
-		binary.LittleEndian.PutUint64(b[off+4+len(r.Value):], r.Deadline)
+	tail := off + 4 + len(r.Value)
+	if r.Deadline != 0 || r.Tenant != 0 {
+		binary.LittleEndian.PutUint64(b[tail:], r.Deadline)
+	}
+	if r.Tenant != 0 {
+		binary.LittleEndian.PutUint32(b[tail+8:], r.Tenant)
 	}
 	return b
 }
@@ -108,6 +131,9 @@ func DecodeRequest(b []byte) (Request, error) {
 	}
 	if len(b) >= 7+kl+vl+8 {
 		r.Deadline = binary.LittleEndian.Uint64(b[7+kl+vl:])
+	}
+	if len(b) >= 7+kl+vl+12 {
+		r.Tenant = binary.LittleEndian.Uint32(b[7+kl+vl+8:])
 	}
 	return r, nil
 }

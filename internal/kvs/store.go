@@ -8,6 +8,7 @@ import (
 	"nocpu/internal/msg"
 	"nocpu/internal/sim"
 	"nocpu/internal/smartnic"
+	"nocpu/internal/tenant"
 )
 
 // Mode selects which machine's control/data planes the store uses.
@@ -64,6 +65,14 @@ type Config struct {
 	// overload grow it without limit. 0 = unbounded, the legacy
 	// behavior.
 	InflightBound int
+	// Tenancy enables per-tenant isolation: requests stamped with a
+	// tenant (Request.Tenant, written by the NIC edge) may touch only
+	// keys their domain owns (KeyTenant), and each tenant's admitted
+	// concurrency is capped by its registry Budget.KVSInflight. Untenanted
+	// requests (Tenant 0) are trusted infrastructure — replication and
+	// recovery traffic — and bypass both checks. nil = off, the legacy
+	// behavior.
+	Tenancy *tenant.Registry
 }
 
 // DefaultIndexCost models an on-NIC hash probe.
@@ -92,6 +101,12 @@ type Stats struct {
 	// pass before the reply. Every shed request gets a StatusShed
 	// response — refused, never silently lost.
 	Shed uint64
+	// Denied counts cross-tenant key accesses refused with StatusDenied;
+	// TenantShed counts requests refused against a per-tenant admission
+	// budget (StatusShed, also included in Shed). Both are attributed in
+	// the tenancy registry.
+	Denied     uint64
+	TenantShed uint64
 }
 
 // Store is the KVS application hosted on the smart NIC.
@@ -124,8 +139,12 @@ type Store struct {
 	estServe sim.Duration
 	// inflight counts admitted-but-unreplied requests against
 	// Config.InflightBound; inflightG tracks it for the Q1 audit.
-	inflight  int
-	inflightG *metrics.Gauge
+	// tenInflight partitions the same count per tenant, charged against
+	// each tenant's registry Budget.KVSInflight so one tenant's flood
+	// can exhaust only its own admission slots.
+	inflight    int
+	inflightG   *metrics.Gauge
+	tenInflight map[tenant.ID]int
 
 	stats Stats
 }
@@ -141,7 +160,7 @@ func New(cfg Config) *Store {
 	if cfg.RetryEvery == 0 {
 		cfg.RetryEvery = 500 * sim.Microsecond
 	}
-	s := &Store{cfg: cfg, index: make(map[string]loc)}
+	s := &Store{cfg: cfg, index: make(map[string]loc), tenInflight: make(map[tenant.ID]int)}
 	s.inflightG = metrics.NewGauge(cfg.InflightBound)
 	if cfg.CacheEntries > 0 {
 		s.cache = newValueCache(cfg.CacheEntries)
@@ -190,6 +209,7 @@ func (s *Store) Boot(rt *smartnic.Runtime) {
 	s.snap = nil
 	s.index = make(map[string]loc)
 	s.fileEnd = 0
+	s.tenInflight = make(map[tenant.ID]int)
 	if s.cache != nil {
 		s.cache.clear()
 	}
@@ -385,16 +405,60 @@ func (s *Store) ShedResponse() []byte {
 }
 
 // ServeNetwork implements smartnic.App: decode, admit, execute, reply.
+// The request's Tenant stamp is taken as-is — this is the trusted path
+// (replication, recovery, and fabric frames whose stamp was written at
+// the originating machine's edge).
 func (s *Store) ServeNetwork(payload []byte, reply func([]byte)) {
 	req, err := DecodeRequest(payload)
 	if err != nil {
 		reply(EncodeResponse(Response{Status: StatusError}))
 		return
 	}
+	s.serve(req, reply)
+}
+
+// ServeTenantNetwork implements smartnic.TenantApp: the NIC edge
+// authenticated the caller as tn, and that stamp overrides whatever the
+// client wrote into the payload — a forged Request.Tenant never
+// survives the edge.
+func (s *Store) ServeTenantNetwork(tn uint16, payload []byte, reply func([]byte)) {
+	req, err := DecodeRequest(payload)
+	if err != nil {
+		reply(EncodeResponse(Response{Status: StatusError}))
+		return
+	}
+	req.Tenant = uint32(tn)
+	s.serve(req, reply)
+}
+
+// serve admits and executes one decoded request.
+func (s *Store) serve(req Request, reply func([]byte)) {
 	if !s.ready {
 		s.stats.Unavailable++
 		reply(EncodeResponse(Response{Status: StatusUnavailable}))
 		return
+	}
+	// Tenancy gate, ahead of all admission: a cross-tenant probe is
+	// refused with a typed StatusDenied (never NotFound, which would
+	// leak key existence) and recorded against the probing tenant; a
+	// tenant at its admission budget sheds only its own requests.
+	who := tenant.ID(req.Tenant)
+	if reg := s.cfg.Tenancy; reg != nil && who != 0 {
+		if owner := KeyTenant(req.Key); owner != 0 && owner != who {
+			s.stats.Denied++
+			reg.Record(s.rt.Engine().Now(), who, owner, tenant.DenyKVS,
+				fmt.Sprintf("%v %v %q refused", who, req.Op, req.Key))
+			reply(EncodeResponse(Response{Status: StatusDenied}))
+			return
+		}
+		if b := reg.Budget(who); b.KVSInflight > 0 && s.tenInflight[who] >= int(b.KVSInflight) {
+			s.stats.Shed++
+			s.stats.TenantShed++
+			reg.Record(s.rt.Engine().Now(), who, 0, tenant.DenyBudget,
+				fmt.Sprintf("%v over kvs budget %d", who, b.KVSInflight))
+			reply(EncodeResponse(Response{Status: StatusShed}))
+			return
+		}
 	}
 	// Deadline-based admission: working on a request that will miss its
 	// deadline anyway steals service time from requests that can still
@@ -425,6 +489,9 @@ func (s *Store) ServeNetwork(payload []byte, reply func([]byte)) {
 	}
 	s.inflight++
 	s.inflightG.Set(s.inflight)
+	if who != 0 {
+		s.tenInflight[who]++
+	}
 	start := s.rt.Engine().Now()
 	done := func(b []byte) {
 		// Fold the observed service time into the admission estimate
@@ -433,6 +500,9 @@ func (s *Store) ServeNetwork(payload []byte, reply func([]byte)) {
 		s.estServe += (sample - s.estServe) / 8
 		s.inflight--
 		s.inflightG.Set(s.inflight)
+		if who != 0 {
+			s.tenInflight[who]--
+		}
 		reply(b)
 	}
 	// Charge the NIC-local index probe before touching the data plane.

@@ -1,0 +1,33 @@
+package kvs
+
+import "nocpu/internal/tenant"
+
+// KeyTenant returns the isolation domain that owns a key, derived from
+// the conventional "t<id>/" name prefix ("t3/orders" belongs to tenant
+// 3). Keys without the prefix are shared. Deriving ownership from the
+// key itself is stateless — it survives replication, re-replication
+// after a membership change, and log-scan recovery without a side
+// table, because the owner travels with every record.
+func KeyTenant(key string) tenant.ID {
+	if len(key) < 3 || key[0] != 't' {
+		return 0
+	}
+	var id uint64
+	for i := 1; i < len(key); i++ {
+		c := key[i]
+		if c == '/' {
+			if i == 1 {
+				return 0 // "t/..." names no tenant
+			}
+			return tenant.ID(id)
+		}
+		if c < '0' || c > '9' {
+			return 0
+		}
+		id = id*10 + uint64(c-'0')
+		if id > 0xFFFF {
+			return 0
+		}
+	}
+	return 0 // no '/': not a tenant-owned name
+}

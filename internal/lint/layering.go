@@ -55,6 +55,7 @@ var layerDAG = map[string][]string{
 	"nocpu/internal/faultinject": {"nocpu/internal/msg", "nocpu/internal/sim"},
 	"nocpu/internal/netsim":      {"nocpu/internal/metrics", "nocpu/internal/sim"},
 	"nocpu/internal/chaos":       {"nocpu/internal/faultinject", "nocpu/internal/sim"},
+	"nocpu/internal/tenant":      {"nocpu/internal/msg", "nocpu/internal/sim"},
 	"nocpu/internal/overload": {
 		"nocpu/internal/metrics", "nocpu/internal/netsim", "nocpu/internal/sim",
 	},
@@ -69,7 +70,7 @@ var layerDAG = map[string][]string{
 	"nocpu/internal/bus": {
 		"nocpu/internal/faultinject", "nocpu/internal/iommu", "nocpu/internal/metrics",
 		"nocpu/internal/msg", "nocpu/internal/physmem", "nocpu/internal/sim",
-		"nocpu/internal/trace",
+		"nocpu/internal/tenant", "nocpu/internal/trace",
 	},
 
 	// Self-managing devices (§2): bus/infra only, never centralos/exp.
@@ -86,7 +87,7 @@ var layerDAG = map[string][]string{
 		"nocpu/internal/bus", "nocpu/internal/device", "nocpu/internal/interconnect",
 		"nocpu/internal/iommu", "nocpu/internal/metrics", "nocpu/internal/msg",
 		"nocpu/internal/physmem", "nocpu/internal/sim", "nocpu/internal/smartssd",
-		"nocpu/internal/trace", "nocpu/internal/virtio",
+		"nocpu/internal/tenant", "nocpu/internal/trace", "nocpu/internal/virtio",
 	},
 	"nocpu/internal/memctrl": {
 		"nocpu/internal/bus", "nocpu/internal/device", "nocpu/internal/interconnect",
@@ -112,7 +113,7 @@ var layerDAG = map[string][]string{
 	// Applications ride on the NIC runtime.
 	"nocpu/internal/kvs": {
 		"nocpu/internal/metrics", "nocpu/internal/msg", "nocpu/internal/sim",
-		"nocpu/internal/smartnic",
+		"nocpu/internal/smartnic", "nocpu/internal/tenant",
 	},
 	"nocpu/internal/admin": {"nocpu/internal/msg", "nocpu/internal/smartnic"},
 
@@ -122,7 +123,17 @@ var layerDAG = map[string][]string{
 		"nocpu/internal/device", "nocpu/internal/faultinject", "nocpu/internal/interconnect",
 		"nocpu/internal/iommu", "nocpu/internal/kvs", "nocpu/internal/memctrl",
 		"nocpu/internal/msg", "nocpu/internal/physmem", "nocpu/internal/sim",
-		"nocpu/internal/smartnic", "nocpu/internal/smartssd", "nocpu/internal/trace",
+		"nocpu/internal/smartnic", "nocpu/internal/smartssd", "nocpu/internal/tenant",
+		"nocpu/internal/trace",
+	},
+
+	// Seeded malicious device (E20): attaches raw to the bus — no chassis,
+	// no runtime — and mounts the attack matrix against the isolation
+	// mechanisms. Harness-side tooling, same tier as the apps it probes.
+	"nocpu/internal/adversary": {
+		"nocpu/internal/bus", "nocpu/internal/iommu", "nocpu/internal/kvs",
+		"nocpu/internal/msg", "nocpu/internal/physmem", "nocpu/internal/sim",
+		"nocpu/internal/smartnic", "nocpu/internal/tenant",
 	},
 
 	// Rack-scale fabric: N machines (core) on one engine, joined by a
@@ -130,7 +141,7 @@ var layerDAG = map[string][]string{
 	"nocpu/internal/fabric": {
 		"nocpu/internal/chaos", "nocpu/internal/core", "nocpu/internal/faultinject",
 		"nocpu/internal/kvs", "nocpu/internal/msg", "nocpu/internal/sim",
-		"nocpu/internal/smartnic",
+		"nocpu/internal/smartnic", "nocpu/internal/tenant",
 	},
 
 	// Fleet reconciliation: level-triggered policy (observe→diff→act)
@@ -142,12 +153,13 @@ var layerDAG = map[string][]string{
 
 	// Experiment harness.
 	"nocpu/internal/exp": {
-		"nocpu/internal/bus", "nocpu/internal/chaos", "nocpu/internal/core",
-		"nocpu/internal/fabric", "nocpu/internal/faultinject", "nocpu/internal/iommu",
-		"nocpu/internal/kvs", "nocpu/internal/metrics", "nocpu/internal/msg",
-		"nocpu/internal/netsim", "nocpu/internal/overload", "nocpu/internal/physmem",
-		"nocpu/internal/reconcile", "nocpu/internal/sim", "nocpu/internal/smartnic",
-		"nocpu/internal/smartssd", "nocpu/internal/trace",
+		"nocpu/internal/adversary", "nocpu/internal/bus", "nocpu/internal/chaos",
+		"nocpu/internal/core", "nocpu/internal/fabric", "nocpu/internal/faultinject",
+		"nocpu/internal/iommu", "nocpu/internal/kvs", "nocpu/internal/metrics",
+		"nocpu/internal/msg", "nocpu/internal/netsim", "nocpu/internal/overload",
+		"nocpu/internal/physmem", "nocpu/internal/reconcile", "nocpu/internal/sim",
+		"nocpu/internal/smartnic", "nocpu/internal/smartssd", "nocpu/internal/tenant",
+		"nocpu/internal/trace",
 	},
 
 	// The linter itself (host tooling).

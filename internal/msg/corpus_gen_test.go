@@ -355,10 +355,10 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 	// count promises two u16 members, only one and a half arrive.
 	{
 		var pw writer
-		pw.u32(4)          // Ver
-		pw.u8(RingPrepare) // Phase
-		pw.u16(2)          // two members promised...
-		pw.u16(5)          // one delivered
+		pw.u32(4)                     // Ver
+		pw.u8(RingPrepare)            // Phase
+		pw.u16(2)                     // two members promised...
+		pw.u16(5)                     // one delivered
 		pw.buf = append(pw.buf, 0x06) // half of the second
 		var w writer
 		w.u16(1)
@@ -376,6 +376,50 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 	// reconciler's problem and the mutator should probe around it.
 	write("seed-specgossip-extremes", Envelope{Src: 2, Dst: Broadcast, Seq: 4, Inc: 1,
 		Msg: &SpecGossip{SpecVer: ^uint64(0), Size: 0xFFFF, ConfigVersion: 0xFFFFFFFF}}.Encode())
+
+	// Multi-tenancy adversarial seeds (tenant grant, denial report).
+	// A TenantGrant truncated mid-RxBound: the fixed body promises six
+	// fields, the last u32 is cut to 2 bytes.
+	{
+		var pw writer
+		pw.u16(2)                           // Tenant
+		pw.u16(7)                           // Device
+		pw.u32(0x100)                       // App
+		pw.u32(16)                          // CreditWindow
+		pw.u32(8)                           // KVSInflight
+		pw.buf = append(pw.buf, 0x04, 0x00) // half an rx bound
+		var w writer
+		w.u16(1)
+		w.u16(uint16(BusID))
+		w.u16(uint16(KindTenantGrant))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-tenantgrant-truncated", w.buf)
+	}
+
+	// A DenialReport whose detail-string length claims more bytes than
+	// the payload holds (payload-length header adjusted to match, so the
+	// string reader is what must refuse).
+	{
+		var pw writer
+		pw.u16(2)                    // Tenant
+		pw.u16(1)                    // Victim
+		pw.u8(3)                     // Class
+		pw.u16(uint16(KindGrantReq)) // Of
+		pw.u16(300)                  // detail claims 300 bytes...
+		pw.buf = append(pw.buf, []byte("denied")...)
+		var w writer
+		w.u16(uint16(BusID))
+		w.u16(4)
+		w.u16(uint16(KindDenialReport))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-denialreport-overflow", w.buf)
+	}
 
 	// Format-agnostic adversarial seeds.
 	write("seed-empty", []byte{})

@@ -160,6 +160,14 @@ const (
 	KindDrain      // reconciler → machine: cordon / uncordon / upgrade order
 	KindRingConfig // coordinator → machines: staged membership (prepare/commit/abort)
 
+	// Multi-tenancy (internal/tenant). TenantGrant binds a device or app
+	// to a tenant isolation domain (with optional per-tenant budgets);
+	// DenialReport is the typed, attributed refusal every cross-tenant
+	// attack receives — the S1 invariant ("never silently dropped") made
+	// a wire message so the attacker provably observed a refusal.
+	KindTenantGrant  // provisioner → bus: bind device/app to a tenant domain
+	KindDenialReport // bus/device → offender: typed cross-tenant refusal
+
 	kindMax
 )
 
@@ -186,6 +194,7 @@ var kindNames = map[Kind]string{
 	KindRingUpdate: "ring.update",
 	KindSpecGossip: "spec.gossip", KindCondReport: "cond.report",
 	KindDrain: "drain", KindRingConfig: "ring.config",
+	KindTenantGrant: "tenant.grant", KindDenialReport: "denial.report",
 }
 
 func (k Kind) String() string {

@@ -58,6 +58,8 @@ func allMessages() []Message {
 			ConfigVersion: 2, RingVer: 3, PendingVer: 4, TransferVer: 4, Keys: 140},
 		&Drain{Mode: DrainUpgrade, ConfigVersion: 2},
 		&RingConfig{Ver: 3, Phase: RingPrepare, Members: []DeviceID{1, 2, 3, 9}},
+		&TenantGrant{Tenant: 2, Device: 7, App: 0x100, CreditWindow: 16, KVSInflight: 8, RxBound: 4},
+		&DenialReport{Tenant: 2, Victim: 1, Class: 3, Of: uint16(KindGrantReq), Detail: "cross-tenant grant refused"},
 	}
 }
 

@@ -787,19 +787,34 @@ func (m *StateResp) decode(r *reader) {
 // sends. Window echoes the configured window size so a freshly reset
 // device can resynchronize its balance instead of accumulating stale
 // credit.
+// ForInc fences the replenishment to one life of the port: the bus
+// stamps the recipient incarnation it is crediting, and a port drops an
+// update stamped for a different incarnation with a typed refusal
+// (StaleCreditDropped). Without the fence, a captured CreditUpdate from
+// a previous incarnation replayed after the device's reset would
+// silently inflate the new life's window beyond what the bus granted.
+// Trailing optional, encoded only when nonzero, so never-crashed ports
+// (incarnation 0) keep the legacy wire form byte-identical.
 type CreditUpdate struct {
 	Window  uint32 // configured window size (0 = flow control off)
 	Credits uint32 // credits being returned
+	ForInc  uint32 // recipient incarnation this credit was issued for
 }
 
 func (*CreditUpdate) Kind() Kind { return KindCreditUpdate }
 func (m *CreditUpdate) encode(w *writer) {
 	w.u32(m.Window)
 	w.u32(m.Credits)
+	if m.ForInc != 0 {
+		w.u32(m.ForInc)
+	}
 }
 func (m *CreditUpdate) decode(r *reader) {
 	m.Window = r.u32()
 	m.Credits = r.u32()
+	if r.err == nil && r.off < len(r.buf) {
+		m.ForInc = r.u32()
+	}
 }
 
 // --- Rack-scale fabric messages (internal/fabric) ---
@@ -1100,6 +1115,73 @@ func (m *RingConfig) decode(r *reader) {
 	m.Members = decodeDevs(r)
 }
 
+// --- Multi-tenancy messages (internal/tenant) ---
+
+// TenantGrant binds a device and/or an app to a tenant isolation
+// domain, optionally declaring the tenant's budgets. It is the
+// provisioning message of the tenancy layer: the bus applies it to its
+// attached registry, after which the per-device domain checks, the
+// per-tenant credit window, and the KVS admission budget all enforce
+// the binding. A zero Device or App field leaves that binding untouched
+// (a grant may bind only one of the two).
+type TenantGrant struct {
+	Tenant       uint16 // tenant domain (0 is invalid)
+	Device       uint16 // device to bind (0: none)
+	App          uint32 // app/PASID to bind (0: none)
+	CreditWindow uint32 // per-tenant bus credit window (0: inherit global)
+	KVSInflight  uint32 // per-tenant KVS admission budget (0: inherit global)
+	RxBound      uint32 // per-tenant NIC rx-queue share (0: inherit global)
+}
+
+func (*TenantGrant) Kind() Kind { return KindTenantGrant }
+func (m *TenantGrant) encode(w *writer) {
+	w.u16(m.Tenant)
+	w.u16(m.Device)
+	w.u32(m.App)
+	w.u32(m.CreditWindow)
+	w.u32(m.KVSInflight)
+	w.u32(m.RxBound)
+}
+func (m *TenantGrant) decode(r *reader) {
+	m.Tenant = r.u16()
+	m.Device = r.u16()
+	m.App = r.u32()
+	m.CreditWindow = r.u32()
+	m.KVSInflight = r.u32()
+	m.RxBound = r.u32()
+}
+
+// DenialReport is the typed refusal of a cross-tenant access: the
+// tenancy invariant S1 demands that no attack is ever silently dropped,
+// so the enforcement point (bus, IOMMU front-end, KVS admission) both
+// records the denial in the registry and reports it to the offender.
+// Tenant is the attributed attacker, Victim the domain it targeted
+// (0 when the target was infrastructure rather than a tenant), Of the
+// refused message kind (KindInvalid for DMA-level denials).
+type DenialReport struct {
+	Tenant uint16 // attacking tenant (attribution, S3)
+	Victim uint16 // targeted tenant (0: infrastructure)
+	Class  uint8  // tenant.Denial class (see internal/tenant)
+	Of     uint16 // refused msg.Kind, as a raw discriminator
+	Detail string
+}
+
+func (*DenialReport) Kind() Kind { return KindDenialReport }
+func (m *DenialReport) encode(w *writer) {
+	w.u16(m.Tenant)
+	w.u16(m.Victim)
+	w.u8(m.Class)
+	w.u16(m.Of)
+	w.str(m.Detail)
+}
+func (m *DenialReport) decode(r *reader) {
+	m.Tenant = r.u16()
+	m.Victim = r.u16()
+	m.Class = r.u8()
+	m.Of = r.u16()
+	m.Detail = r.str()
+}
+
 // newMessage returns a zero value of the message type for kind, or nil
 // for an unknown kind.
 func newMessage(k Kind) Message {
@@ -1188,6 +1270,10 @@ func newMessage(k Kind) Message {
 		return &Drain{}
 	case KindRingConfig:
 		return &RingConfig{}
+	case KindTenantGrant:
+		return &TenantGrant{}
+	case KindDenialReport:
+		return &DenialReport{}
 	}
 	return nil
 }

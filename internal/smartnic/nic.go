@@ -19,6 +19,7 @@ import (
 	"nocpu/internal/metrics"
 	"nocpu/internal/msg"
 	"nocpu/internal/sim"
+	"nocpu/internal/tenant"
 	"nocpu/internal/trace"
 )
 
@@ -47,6 +48,17 @@ type Shedder interface {
 	ShedResponse() []byte
 }
 
+// TenantApp is an optional App extension for multi-tenancy. Requests
+// that enter through DeliverFrom carry an edge-authenticated tenant;
+// apps that implement TenantApp receive that stamp and must treat it as
+// authoritative over anything the payload claims. Apps without it get
+// plain ServeNetwork (the stamp is dropped at the edge).
+type TenantApp interface {
+	// ServeTenantNetwork handles one network request from tenant tn
+	// (0 = untenanted).
+	ServeTenantNetwork(tn uint16, payload []byte, reply func([]byte))
+}
+
 // Config assembles a NIC.
 type Config struct {
 	Device device.Config
@@ -59,6 +71,11 @@ type Config struct {
 	// the app has none) without consuming rx service time. 0 = unbounded,
 	// the pre-flow-control behavior.
 	RxQueueBound int
+	// Tenancy partitions the rx pipeline per tenant: a tenant whose
+	// registry Budget.RxBound is nonzero may hold at most that many rx
+	// slots, so its flood sheds at the edge before it can crowd anyone
+	// else out of RxQueueBound. nil = off, the legacy behavior.
+	Tenancy *tenant.Registry
 }
 
 // DefaultRxCost and DefaultTxCost model a programmable pipeline.
@@ -104,7 +121,14 @@ type NIC struct {
 	NetRequests uint64
 	// RxShed counts requests refused at the rx bound (replied via the
 	// app's Shedder response or, absent one, dropped on the wire).
-	RxShed uint64
+	// TenantRxShed counts the subset refused against a per-tenant rx
+	// partition rather than the shared bound.
+	RxShed       uint64
+	TenantRxShed uint64
+
+	// rxTenant counts rx slots held per tenant against each tenant's
+	// registry Budget.RxBound.
+	rxTenant map[uint16]int
 
 	// rxG tracks rx backlog depth against RxQueueBound for the overload
 	// harness's Q1 audit.
@@ -155,6 +179,7 @@ func New(eng *sim.Engine, b *bus.Bus, fab *interconnect.Fabric, tr *trace.Tracer
 		pendingIO:       make(map[ioKey]func(*msg.FileIOResp)),
 		pendingState:    make(map[uint32]func(*msg.StateResp)),
 		inflight:        make(map[uint32]*retrier),
+		rxTenant:        make(map[uint16]int),
 		rxG:             metrics.NewGauge(cfg.RxQueueBound),
 	}
 	d.Handle(msg.KindDiscoverResp, n.onDiscoverResp)
@@ -232,26 +257,62 @@ func (n *NIC) sortedAppIDs() []msg.AppID {
 // netsim workload generators — this is the NIC's MAC/PHY edge). reply is
 // invoked with the response after tx processing.
 func (n *NIC) Deliver(app msg.AppID, payload []byte, reply func([]byte)) {
+	n.deliver(0, false, app, payload, reply)
+}
+
+// DeliverFrom injects a network request whose origin the edge has
+// authenticated as tenant tn (think: the port or VLAN it arrived on).
+// The stamp is passed to TenantApp apps — overriding any claim inside
+// the payload — and the request is charged against the tenant's rx
+// partition before the shared RxQueueBound.
+func (n *NIC) DeliverFrom(tn uint16, app msg.AppID, payload []byte, reply func([]byte)) {
+	n.deliver(tn, true, app, payload, reply)
+}
+
+func (n *NIC) deliver(tn uint16, stamped bool, app msg.AppID, payload []byte, reply func([]byte)) {
 	a, ok := n.apps[app]
 	if !ok || n.dev.State() != device.StateAlive {
 		// No such app or dead NIC: the packet vanishes, as on a real wire.
 		return
 	}
-	if bound := n.cfg.RxQueueBound; bound > 0 && n.rx.Pending() >= bound {
-		// Rx pipeline is full: shed at the edge. A Shedder app still
-		// answers (through tx, so the refusal costs what any response
-		// costs); others see a wire drop, as on a real NIC whose ring
-		// overflows. Either way the request never consumes rx service.
+	shed := func(tenantShed bool) {
+		// Shed at the edge. A Shedder app still answers (through tx, so
+		// the refusal costs what any response costs); others see a wire
+		// drop, as on a real NIC whose ring overflows. Either way the
+		// request never consumes rx service.
 		n.RxShed++
+		if tenantShed {
+			n.TenantRxShed++
+		}
 		if s, ok := a.(Shedder); ok {
 			resp := s.ShedResponse()
 			n.tx.Submit(n.cfg.TxCost, func() { reply(resp) })
 		}
+	}
+	// Per-tenant rx partition first: a tenant at its own bound sheds
+	// regardless of shared headroom, and is attributed in the registry.
+	if reg := n.cfg.Tenancy; reg != nil && tn != 0 {
+		if b := reg.Budget(tenant.ID(tn)); b.RxBound > 0 && n.rxTenant[tn] >= int(b.RxBound) {
+			reg.Record(n.dev.Engine().Now(), tenant.ID(tn), 0, tenant.DenyBudget,
+				fmt.Sprintf("t%d over rx partition %d", tn, b.RxBound))
+			shed(true)
+			return
+		}
+	}
+	if bound := n.cfg.RxQueueBound; bound > 0 && n.rx.Pending() >= bound {
+		// Rx pipeline is full: shed at the shared bound.
+		shed(false)
 		return
 	}
+	n.rxTenant[tn]++
 	n.rx.Submit(n.cfg.RxCost, func() {
+		n.rxTenant[tn]--
 		n.NetRequests++
-		a.ServeNetwork(payload, func(resp []byte) {
+		serve := a.ServeNetwork
+		if ta, isTA := a.(TenantApp); isTA && stamped {
+			serve = func(p []byte, r func([]byte)) { ta.ServeTenantNetwork(tn, p, r) }
+		}
+		serve(payload, func(resp []byte) {
 			n.tx.Submit(n.cfg.TxCost, func() { reply(resp) })
 		})
 	})

@@ -1,0 +1,134 @@
+package tenant
+
+import (
+	"fmt"
+
+	"nocpu/internal/sim"
+)
+
+// Ledger is the tenancy oracle, in the chaos/overload style: the
+// experiment feeds it what the adversary attempted and what the victim
+// measured, it reads the registry's denial record, and it judges the
+// three security invariants from those observations alone:
+//
+//	S1  no cross-tenant read or write ever succeeds — every attack is
+//	    refused with a typed denial, never silently dropped;
+//	S2  a well-behaved tenant's goodput and p99 under active attack stay
+//	    within a declared bound of its unattacked baseline (performance
+//	    isolation as a security property);
+//	S3  containment — every denial is attributed to the attacking
+//	    tenant, the victim accrues no denials, and only the attacker's
+//	    budget is exhausted.
+type Ledger struct {
+	Attacker ID
+	Victim   ID
+
+	attacks uint64
+	s1Viols uint64
+	s2Viols uint64
+	s3Viols uint64
+
+	violations []string
+}
+
+// NewLedger returns a ledger judging an attack run by Attacker against
+// Victim.
+func NewLedger(attacker, victim ID) *Ledger {
+	return &Ledger{Attacker: attacker, Victim: victim}
+}
+
+// NoteAttack records the outcome of one attack attempt. succeeded means
+// the cross-tenant access went through (always an S1 violation); typed
+// means the attacker observed a typed refusal (a denial record, error,
+// NACK or DenialReport) rather than silence.
+func (l *Ledger) NoteAttack(class Class, succeeded, typed bool, detail string) {
+	l.attacks++
+	if succeeded {
+		l.s1Viols++
+		l.note("S1: %v attack succeeded: %s", class, detail)
+		return
+	}
+	if !typed {
+		l.s1Viols++
+		l.note("S1: %v attack refused silently (no typed denial): %s", class, detail)
+	}
+}
+
+// AuditAttribution judges S3's attribution half against the registry's
+// denial record: every denial accrued during the attack run must name
+// the attacker, and none may name the victim as offender.
+func (l *Ledger) AuditAttribution(denials []Denial) {
+	for _, d := range denials {
+		switch d.Tenant {
+		case l.Attacker:
+			// attributed correctly
+		case l.Victim:
+			l.s3Viols++
+			l.note("S3: denial misattributed to victim %v: %v %s", d.Tenant, d.Class, d.Detail)
+		default:
+			l.s3Viols++
+			l.note("S3: denial attributed to bystander %v: %v %s", d.Tenant, d.Class, d.Detail)
+		}
+	}
+}
+
+// AuditContainment judges S3's budget half: the attack must have
+// exhausted the attacker's budget (its pressure was absorbed somewhere
+// bounded) while leaving the victim's budget untouched.
+func (l *Ledger) AuditContainment(attackerExhaustions, victimExhaustions uint64) {
+	if attackerExhaustions == 0 {
+		l.s3Viols++
+		l.note("S3: attacker budget never exhausted — attack pressure was not contained by a bound")
+	}
+	if victimExhaustions != 0 {
+		l.s3Viols++
+		l.note("S3: victim budget exhausted %d times by the attack", victimExhaustions)
+	}
+}
+
+// AuditGoodput judges S2: under attack the victim must retain at least
+// minFrac of its baseline goodput, and its p99 must not exceed
+// maxP99Mult times the baseline p99.
+func (l *Ledger) AuditGoodput(baseOps, attackedOps float64, baseP99, attackedP99 sim.Duration, minFrac, maxP99Mult float64) {
+	if baseOps > 0 && attackedOps < minFrac*baseOps {
+		l.s2Viols++
+		l.note("S2: victim goodput %.0f under attack < %.2f x baseline %.0f", attackedOps, minFrac, baseOps)
+	}
+	if baseP99 > 0 && float64(attackedP99) > maxP99Mult*float64(baseP99) {
+		l.s2Viols++
+		l.note("S2: victim p99 %v under attack > %.1f x baseline %v", attackedP99, maxP99Mult, baseP99)
+	}
+}
+
+func (l *Ledger) note(format string, args ...any) {
+	const maxViolations = 16
+	if len(l.violations) < maxViolations {
+		l.violations = append(l.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Report is the aggregated verdict of one attack run.
+type Report struct {
+	Attacks uint64
+	S1Viols uint64 // cross-tenant accesses that succeeded or were silently dropped
+	S2Viols uint64 // victim goodput/p99 excursions beyond the declared bound
+	S3Viols uint64 // misattributed denials or uncontained budget damage
+
+	Violations []string // first few violations, for diagnostics
+}
+
+// Report tallies the run.
+func (l *Ledger) Report() Report {
+	return Report{
+		Attacks:    l.attacks,
+		S1Viols:    l.s1Viols,
+		S2Viols:    l.s2Viols,
+		S3Viols:    l.s3Viols,
+		Violations: append([]string(nil), l.violations...),
+	}
+}
+
+// Clean reports whether the run upheld all three invariants.
+func (r Report) Clean() bool {
+	return r.S1Viols == 0 && r.S2Viols == 0 && r.S3Viols == 0
+}
