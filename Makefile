@@ -6,12 +6,14 @@
 # determinism, ring properties and machine-kill chaos under race),
 # the E19 reconcile tier (self-healing fleet campaigns: membership
 # repair, rolling upgrades and same-frame double failures under race),
-# and the E20 tenancy tier (seeded adversary attack matrix and the
-# tenant-ledger S1/S2/S3 audits under race).
+# the E20 tenancy tier (seeded adversary attack matrix and the
+# tenant-ledger S1/S2/S3 audits under race), and the E21 partition tier
+# (asymmetric partitions, gray failures, epoch-lease fencing and the
+# client-history linearizability audit under race).
 
 GO ?= go
 
-.PHONY: build test vet lint allows race fuzz chaos overload fabric reconcile tenancy benchguard check bench tables
+.PHONY: build test vet lint allows race fuzz chaos overload fabric reconcile tenancy partition benchguard check bench tables
 
 build:
 	$(GO) build ./...
@@ -89,17 +91,27 @@ tenancy:
 	$(GO) test -race ./internal/tenant ./internal/adversary
 	$(GO) test -race -run 'TestE20' ./internal/exp
 
+# Partition tier (E21): the linearizability checker's unit suite, the
+# fabric lease/partition/fencing tests, the reconciler's gray-failure
+# regressions, and the E21 split-brain matrix — every schedule × flavor
+# cell must be L1-clean with zero split samples — under the race
+# detector. Seeds are fixed, so failures reproduce bit-for-bit.
+partition:
+	$(GO) test -race ./internal/linearize
+	$(GO) test -race -run 'TestTransportFailure|TestOneWayCut|TestMinorityPartition|TestFailSlow|TestTakeoverFence|TestFlappingLink|TestPartitionedActor' ./internal/fabric ./internal/reconcile
+	$(GO) test -race -run 'TestE21' ./internal/exp
+
 # Simulator-speed guard: re-runs the BENCH_e17.json cell and fails on a
 # >30% wall-clock regression. Machine-dependent by nature, so it is not
 # part of `check`; CI runs it on its pinned runner class.
 benchguard:
 	NOCPU_BENCH_GUARD=1 $(GO) test -run 'TestE17BenchGuard' -count=1 ./internal/exp -v
 
-check: vet lint build race fuzz chaos overload fabric reconcile tenancy
+check: vet lint build race fuzz chaos overload fabric reconcile tenancy partition
 
 bench:
 	$(GO) test -run=^$$ -bench . -benchtime=100x .
 
-# Regenerate all experiment tables (E1-E20).
+# Regenerate all experiment tables (E1-E21).
 tables:
 	$(GO) run ./cmd/nocpu-bench

@@ -65,6 +65,7 @@ var registry = []entry{
 	{"E17", "Rack-scale fabric: sharded replicated KVS across N machines", E17Fabric},
 	{"E19", "Self-healing fleet: reconciliation, live membership change, concurrent failures", E19SelfHealing},
 	{"E20", "Adversarial multi-tenancy: attack matrix and blast radius", E20Tenancy},
+	{"E21", "Split-brain safety: asymmetric partitions, gray failures, and the client-history audit", E21SplitBrain},
 }
 
 // IDs lists all experiment identifiers in order.

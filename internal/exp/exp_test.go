@@ -8,12 +8,13 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	// E1–E17 are contiguous; E18 is unassigned, E19 is the self-healing
-	// fleet experiment and E20 the adversarial-tenancy matrix.
-	want := make([]string, 0, 19)
+	// fleet experiment, E20 the adversarial-tenancy matrix and E21 the
+	// split-brain safety matrix.
+	want := make([]string, 0, 20)
 	for i := 1; i <= 17; i++ {
 		want = append(want, fmt.Sprintf("E%d", i))
 	}
-	want = append(want, "E19", "E20")
+	want = append(want, "E19", "E20", "E21")
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("expected %d experiments, have %v", len(want), ids)

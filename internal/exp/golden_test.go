@@ -19,10 +19,13 @@ import (
 // attack runs are reproducible per seed AND, together with the other
 // goldens all running tenancy-off, that the tenancy hooks compiled
 // into bus/NIC/KVS/IOMMU are byte-invisible until a registry is
-// configured). Any accidental event, cost, or ordering change from a
-// feature that should be gated off shifts at least one of these
-// tables.
-var goldenIDs = []string{"E1", "E2", "E9", "E10", "E15", "E16", "E17", "E20"}
+// configured) and E21 (the split-brain matrix — the only golden that
+// runs with epoch leases ON, pinning the lease/fence/detector timing
+// itself; the leases-OFF goldens E17/E19 prove the lease hooks are
+// byte-invisible until Config.Leases is set). Any accidental event,
+// cost, or ordering change from a feature that should be gated off
+// shifts at least one of these tables.
+var goldenIDs = []string{"E1", "E2", "E9", "E10", "E15", "E16", "E17", "E20", "E21"}
 
 // TestTablesGolden asserts the pinned experiment tables are byte-
 // identical to the recorded goldens. The overload defenses (credit flow

@@ -83,6 +83,20 @@ type Config struct {
 	FailTimeout    sim.Duration
 	WriteBound     int
 
+	// Leases enables epoch-lease fencing: a machine serves as primary
+	// (and may act as the reconcile actor) only while holding a
+	// virtual-clock lease countersigned by a majority of the ring
+	// membership, refuses clients with StatusFenced otherwise, and
+	// failure detection becomes directional (transport suspicion +
+	// inbound silence) instead of trusting a one-way send failure.
+	// Default off: the zero config keeps every earlier experiment
+	// byte-identical. LeaseDuration must stay below FailTimeout (the
+	// defaults are 2ms and 4ms) — that inequality is what makes a
+	// promoted primary's takeover fence outlive the deposed one's lease.
+	Leases          bool
+	LeaseDuration   sim.Duration
+	LeaseRenewEvery sim.Duration
+
 	// Trace records a bounded deterministic event log for the golden
 	// determinism test.
 	Trace      bool
@@ -148,6 +162,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.UpgradeDelay == 0 {
 		cfg.UpgradeDelay = DefaultUpgradeDelay
+	}
+	if cfg.LeaseDuration == 0 {
+		cfg.LeaseDuration = DefaultLeaseDuration
+	}
+	if cfg.LeaseRenewEvery == 0 {
+		cfg.LeaseRenewEvery = DefaultLeaseRenewEvery
 	}
 	if cfg.TraceLimit == 0 {
 		cfg.TraceLimit = 1 << 16
@@ -240,6 +260,9 @@ func (c *Cluster) Boot() error {
 			failAfter:    c.Cfg.FailTimeout,
 			upgradeDelay: c.Cfg.UpgradeDelay,
 			writeBound:   c.Cfg.WriteBound,
+			leases:       c.Cfg.Leases,
+			leaseDur:     c.Cfg.LeaseDuration,
+			leaseRenew:   c.Cfg.LeaseRenewEvery,
 		}, c.Ring, m.Store, c.Eng)
 		m.Sys.NIC().AddApp(m.Router)
 		m.alive = true
@@ -403,6 +426,13 @@ func (c *Cluster) RouterStatsSum() RouterStats {
 		sum.Strays += s.Strays
 		sum.Cordons += s.Cordons
 		sum.Upgrades += s.Upgrades
+		sum.LeaseRenews += s.LeaseRenews
+		sum.LeaseGrants += s.LeaseGrants
+		sum.LeaseRevokes += s.LeaseRevokes
+		sum.LeaseFenced += s.LeaseFenced
+		sum.LeaseLapses += s.LeaseLapses
+		sum.Suspicions += s.Suspicions
+		sum.SilenceDeaths += s.SilenceDeaths
 	}
 	return sum
 }

@@ -100,6 +100,12 @@ func (n *Network) Send(src, dst msg.DeviceID, epoch uint32, m msg.Message) {
 			lat += d.Delay
 		case faultinject.Dup:
 			copies = 2
+		case faultinject.Slow:
+			// Fail-slow: the link (or the machine behind it) is alive but
+			// degraded — everything arrives, multiplied, not dropped.
+			if d.Factor > 1 {
+				lat = sim.Duration(float64(lat) * d.Factor)
+			}
 		}
 	}
 	n.stats.Frames += uint64(copies)

@@ -29,6 +29,14 @@ const (
 	// DefaultUpgradeDelay models flashing a config/firmware version onto
 	// an out-of-ring machine (fleet reconciliation only).
 	DefaultUpgradeDelay = 2 * sim.Millisecond
+	// Epoch-lease defaults (Config.Leases). The lease must be shorter
+	// than the failure-detection timeout: by the time a majority has
+	// declared a machine dead and stopped countersigning, every lease it
+	// ever held has lapsed, so the promoted primary's takeover fence
+	// (leaseDur + failAfter past the promotion) outlives the old
+	// primary's authority.
+	DefaultLeaseDuration   = 2 * sim.Millisecond
+	DefaultLeaseRenewEvery = 500 * sim.Microsecond
 )
 
 // RouterStats counts one machine's fabric activity.
@@ -55,6 +63,15 @@ type RouterStats struct {
 	Strays      uint64 // locally purged keys (join wipe + post-adoption strays)
 	Cordons     uint64 // cordon orders honored
 	Upgrades    uint64 // upgrade orders honored
+
+	// Epoch-lease fencing (all zero unless Config.Leases is set).
+	LeaseRenews   uint64 // renewal rounds started
+	LeaseGrants   uint64 // countersigns sent to peers
+	LeaseRevokes  uint64 // typed renewal refusals sent (sender holds the peer dead)
+	LeaseFenced   uint64 // client ops refused with StatusFenced
+	LeaseLapses   uint64 // renewal rounds started with the previous lease already expired
+	Suspicions    uint64 // directional transport suspicions recorded
+	SilenceDeaths uint64 // peers declared dead by the inbound-silence detector
 }
 
 // routerConfig is assembled by the Cluster from its Config.
@@ -69,6 +86,9 @@ type routerConfig struct {
 	failAfter    sim.Duration
 	upgradeDelay sim.Duration
 	writeBound   int
+	leases       bool
+	leaseDur     sim.Duration
+	leaseRenew   sim.Duration
 }
 
 // pendingReq is a client op forwarded to another machine, awaiting its
@@ -175,6 +195,28 @@ type Router struct {
 	hbSeq    uint64
 	lastBeat map[msg.DeviceID]sim.Time
 
+	// Epoch-lease fencing (cfg.leases). The machine serves as primary
+	// only while leaseUntil is in the future, i.e. while a quorum of the
+	// ring membership countersigned its most recent renewal round.
+	// lastHeard feeds the inbound-silence failure detector (the renewal
+	// chatter gives every pair of ring members periodic traffic, which is
+	// what makes silence meaningful); suspects holds directional
+	// transport suspicion (I could not reach them — says nothing about
+	// whether they can reach me); views holds the takeover-fence history:
+	// each entry is a membership view this machine replaced, so a freshly
+	// promoted primary refuses any key whose recent-past view named a
+	// different primary until every lease that primary could possibly
+	// hold has lapsed. A history (rather than a per-key fence map) covers
+	// keys the promoted machine holds no replica of — mass view changes
+	// promote machines for key ranges they never stored, and those keys
+	// must be fenced too.
+	leaseSeq   uint64
+	leaseRound map[msg.DeviceID]bool
+	leaseUntil sim.Time
+	lastHeard  map[msg.DeviceID]sim.Time
+	suspects   map[msg.DeviceID]bool
+	views      []viewSnap
+
 	stats RouterStats
 }
 
@@ -198,8 +240,10 @@ func newRouter(cl *Cluster, cfg routerConfig, ring *Ring, store *kvs.Store, eng 
 		pending:  make(map[uint64]*pendingReq),
 		gates:    make(map[string]*keyGate),
 		inflight: make(map[uint64]*writeTask),
-		wm:       make(map[string]watermark),
-		lastBeat: make(map[msg.DeviceID]sim.Time),
+		wm:        make(map[string]watermark),
+		lastBeat:  make(map[msg.DeviceID]sim.Time),
+		lastHeard: make(map[msg.DeviceID]sim.Time),
+		suspects:  make(map[msg.DeviceID]bool),
 	}
 }
 
@@ -227,8 +271,22 @@ func (r *Router) AppID() msg.AppID { return RouterApp }
 
 // Boot implements smartnic.App. With a head node configured, the head
 // arms its failure-sweep timer and everyone else starts heartbeating.
+// With leases enabled, every machine also starts its renewal loop and
+// takes a bootstrap lease (membership is known-good at boot, so the
+// fleet does not start life fenced); the decentralized flavor arms the
+// inbound-silence detector too (under a head, heartbeat staleness at
+// the head stays the sole death authority).
 func (r *Router) Boot(rt *smartnic.Runtime) {
 	r.rt = rt
+	if r.cfg.leases {
+		if r.InRing() {
+			r.leaseUntil = r.eng.Now().Add(r.cfg.leaseDur)
+		}
+		r.armLease()
+		if r.cfg.head == 0 {
+			r.armSilence()
+		}
+	}
 	if r.cfg.head == 0 {
 		return
 	}
@@ -481,13 +539,27 @@ func (r *Router) onFrame(raw []byte) {
 	if err != nil {
 		return // a corrupt frame vanishes, like a bad checksum on a real wire
 	}
+	if r.cfg.leases {
+		// Any inbound frame — even a duplicate — is proof the sender can
+		// reach us: feed the silence detector and clear directional
+		// transport suspicion.
+		r.lastHeard[env.Src] = r.eng.Now()
+		delete(r.suspects, env.Src)
+	}
 	if r.dedup.Duplicate(env.Src, env.Seq) {
 		return
 	}
 	if r.dead[env.Src] {
 		// Fencing: traffic from machines this view declared dead is
 		// ignored, so a straggler from an old primary can never regress a
-		// promoted replica (R2).
+		// promoted replica (R2). One exception: a renewal from a machine
+		// we hold dead gets a typed LeaseRevoke (carrying our dead set)
+		// instead of silence — the fenced machine provably observes why
+		// it lost its lease.
+		if ren, ok := env.Msg.(*msg.LeaseRenew); ok && r.cfg.leases {
+			r.stats.LeaseRevokes++
+			r.cl.net.Send(r.cfg.id, env.Src, r.epoch, &msg.LeaseRevoke{Seq: ren.Seq, Dead: r.deadList()})
+		}
 		return
 	}
 	switch m := env.Msg.(type) {
@@ -514,6 +586,15 @@ func (r *Router) onFrame(raw []byte) {
 		if r.ctrl != nil {
 			r.ctrl.OnControl(env.Src, env.Msg)
 		}
+	case *msg.LeaseRenew:
+		r.onLeaseRenew(env.Src, m)
+	case *msg.LeaseGrant:
+		r.onLeaseGrant(env.Src, m)
+	case *msg.LeaseRevoke:
+		// A member refused to countersign: its view holds us dead. Merge
+		// its dead set (it cannot contain us — noteDead skips self) so we
+		// converge toward the majority view instead of renewing blind.
+		r.noteDead("revoke", m.Dead...)
 	}
 }
 
@@ -533,7 +614,17 @@ func (r *Router) onFabricReq(m *msg.FabricReq) {
 		})
 	case r.isHead() && m.Hops == 0 && len(own) > 0:
 		// Head relay: forward to the shard owner, origin preserved. Hops
-		// guards the (unreachable in a sane view) forwarding loop.
+		// guards the (unreachable in a sane view) forwarding loop. A head
+		// that lost its lease is fenced like any primary: with the sole
+		// authority partitioned away, the whole machine's typed answer is
+		// "fenced" — the contrast E21 measures against the decentralized
+		// flavor, where only the cut-off side stalls.
+		if r.cfg.leases && !r.leaseValid() {
+			r.stats.LeaseFenced++
+			r.respond(m.Origin, m.ReqID, msg.FabricServed,
+				kvs.EncodeResponse(kvs.Response{Status: kvs.StatusFenced}))
+			return
+		}
 		r.stats.HeadRelayed++
 		r.cl.net.Send(r.cfg.id, own[0], r.epoch, &msg.FabricReq{
 			Origin: m.Origin, ReqID: m.ReqID, Hops: m.Hops + 1, Payload: m.Payload,
@@ -592,8 +683,18 @@ func (r *Router) onFabricResp(m *msg.FabricResp) {
 // --- primary path ---
 
 // servePrimary executes one op this machine owns: reads hit the local
-// shard directly; mutations enter the key's replication pipeline.
+// shard directly; mutations enter the key's replication pipeline. With
+// leases enabled, both paths are fenced — reads as well as writes,
+// because a stale read from a deposed primary is just as nonlinearizable
+// as a divergent write — behind the machine lease and the key's
+// takeover fence, and every refusal is typed (StatusFenced), never a
+// silent divergence.
 func (r *Router) servePrimary(req kvs.Request, payload []byte, reply func([]byte)) {
+	if r.cfg.leases && (!r.leaseValid() || r.keyFenced(req.Key)) {
+		r.stats.LeaseFenced++
+		reply(kvs.EncodeResponse(kvs.Response{Status: kvs.StatusFenced}))
+		return
+	}
 	if req.Op != kvs.OpPut && req.Op != kvs.OpDelete {
 		r.store.ServeNetwork(payload, reply)
 		return
@@ -848,6 +949,22 @@ func (r *Router) noteUnreachable(dst msg.DeviceID) {
 	if r.halted {
 		return
 	}
+	if r.cfg.leases {
+		// Directional suspicion: failing to reach dst proves only that
+		// the forward path is broken — dst may be healthy and still
+		// hearing us (asymmetric cut), or merely slow. Record the
+		// suspicion; death is declared only once the INBOUND direction
+		// confirms it (the silence sweep, at half the usual patience for
+		// suspects). Without this, a one-way cut A→B made A declare B
+		// dead even while B answered everyone. A peer we have NEVER
+		// heard from is exempt: a connection refused during someone
+		// else's boot is normal, not evidence.
+		if _, heard := r.lastHeard[dst]; heard && !r.suspects[dst] {
+			r.suspects[dst] = true
+			r.stats.Suspicions++
+		}
+		return
+	}
 	if r.cfg.head != 0 && !r.isHead() {
 		return
 	}
@@ -884,13 +1001,25 @@ func (r *Router) noteDead(why string, ids ...msg.DeviceID) {
 	r.recalcEpoch()
 	r.cl.tracef("m%d view epoch=%d dead=%v (%s)", r.cfg.id, r.epoch, r.deadList(), why)
 
+	if r.cfg.leases {
+		// Takeover fence: record the view this change replaced. Any key
+		// whose primary differs between a recent-past view and now is
+		// refused (typed, StatusFenced) until every lease the deposed
+		// primary could possibly hold has lapsed — see keyFenced. Rings
+		// are immutable after construction, so capturing the pointer is
+		// a snapshot.
+		r.views = append(r.views, viewSnap{until: r.eng.Now(), ring: r.ring, dead: prev})
+	}
+
 	r.failPendingTo(fresh)
 	r.resyncAfter(prev)
 
 	// Gossip radius: the machine that detected the death (or the head,
 	// whose word is law) broadcasts; learners stay quiet so one death
-	// costs one broadcast wave, not a storm.
-	if why == "unreachable" || (r.isHead() && why != "ring.update") {
+	// costs one broadcast wave, not a storm. Silence-detected deaths
+	// broadcast for the same reason transport-detected ones do: the
+	// detector is the only machine that knows.
+	if why == "unreachable" || why == "silence" || (r.isHead() && why != "ring.update") {
 		r.broadcastView()
 	}
 }
@@ -1196,5 +1325,218 @@ func (r *Router) armSweep() {
 			r.noteDead("heartbeat", stale...)
 		}
 		r.armSweep()
+	})
+}
+
+// --- epoch leases (Config.Leases) ---
+//
+// The split-brain defense. A machine serves as primary (or acts as the
+// reconcile actor) only while holding a lease countersigned by a quorum
+// — a majority of the full ring membership, counting itself — within
+// the last leaseDur of virtual time. Two disjoint majorities cannot
+// exist, so two machines cannot hold live leases under contradictory
+// membership views: the side of a partition that cannot assemble a
+// quorum loses its lease within leaseDur and refuses every client op
+// with StatusFenced. Renewal runs every leaseRenew; since grantors stop
+// countersigning the moment their view declares the holder dead (and
+// dead sets never shrink), a deposed primary's authority dies no later
+// than leaseDur after its last quorum.
+
+// leaseQuorum is a majority of the full ring membership. The membership
+// (not the live view) is the electorate: a machine that declares
+// everyone else dead must still find itself short of quorum.
+func (r *Router) leaseQuorum() int { return len(r.ring.Machines())/2 + 1 }
+
+// leaseValid reports whether this machine currently holds a
+// quorum-countersigned lease. With leases disabled it is always true —
+// the gate compiles away and every earlier experiment is untouched.
+func (r *Router) leaseValid() bool {
+	if !r.cfg.leases {
+		return true
+	}
+	return r.InRing() && r.eng.Now() < r.leaseUntil
+}
+
+// LeaseValid is the exported lease probe; internal/reconcile fences the
+// actor role on it and E21's split-brain audit samples it.
+func (r *Router) LeaseValid() bool { return r.leaseValid() }
+
+// viewSnap is one entry of the takeover-fence history: the membership
+// view (ring + dead set) that was in effect strictly before `until`.
+type viewSnap struct {
+	until sim.Time
+	ring  *Ring
+	dead  map[msg.DeviceID]bool
+}
+
+// keyFenced reports whether key sits behind a still-live takeover
+// fence: the view in effect leaseDur+failAfter ago named a different
+// primary, and that primary may still hold a lease granted under it
+// (one gossip round for its last grantor to learn of the death, ≤
+// failAfter, plus the lease itself). The check consults the view
+// history rather than a per-key map so that keys promoted WITHOUT a
+// local replica are fenced too. Dead sets only grow, so a machine that
+// was primary for a key at the window's start stays primary through
+// now — checking the single view at the cutoff covers the whole window.
+func (r *Router) keyFenced(key string) bool {
+	cutoff := r.eng.Now().Add(-(r.cfg.leaseDur + r.cfg.failAfter))
+	// Views replaced at or before the cutoff can never fence again (the
+	// cutoff only advances); drop them.
+	for len(r.views) > 0 && r.views[0].until <= cutoff {
+		r.views = r.views[1:]
+	}
+	if len(r.views) == 0 {
+		return false
+	}
+	v := r.views[0] // the view in effect at the cutoff instant
+	was := v.ring.Owners(key, v.dead, r.cfg.replicas)
+	return len(was) > 0 && was[0] != r.cfg.id
+}
+
+// KeyFenced is the exported takeover-fence probe (E21 split-brain audit).
+func (r *Router) KeyFenced(key string) bool {
+	if !r.cfg.leases {
+		return false
+	}
+	return r.keyFenced(key)
+}
+
+// PrimaryFor reports whether this router's own membership view routes
+// key to itself as primary. Together with LeaseValid and KeyFenced it
+// is the "would I serve this key right now" probe: E21 counts, at every
+// sample instant, how many machines answer yes for the same key — more
+// than one is a split brain.
+func (r *Router) PrimaryFor(key string) bool {
+	own := r.owners(key)
+	return len(own) > 0 && own[0] == r.cfg.id
+}
+
+// Suspects returns the directionally-suspected peers (sorted; test and
+// diagnostic use).
+func (r *Router) Suspects() []msg.DeviceID {
+	out := make([]msg.DeviceID, 0, len(r.suspects))
+	for id := range r.suspects {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (r *Router) armLease() {
+	r.eng.After(r.cfg.leaseRenew, func() {
+		if r.halted {
+			return
+		}
+		r.renewLease()
+		r.armLease()
+	})
+}
+
+// renewLease starts one countersigning round: a fresh Seq, a self-grant,
+// and a LeaseRenew to every ring member this view holds alive. Stale
+// grants (older Seq) are ignored, so a slow round can never resurrect an
+// expired lease with old signatures.
+func (r *Router) renewLease() {
+	if !r.InRing() {
+		return
+	}
+	if r.eng.Now() >= r.leaseUntil {
+		r.stats.LeaseLapses++
+	}
+	r.leaseSeq++
+	r.stats.LeaseRenews++
+	r.leaseRound = map[msg.DeviceID]bool{r.cfg.id: true}
+	until := r.eng.Now().Add(r.cfg.leaseDur)
+	if len(r.leaseRound) >= r.leaseQuorum() {
+		// Single-member ring: the self-grant is the quorum.
+		r.extendLease(until)
+		return
+	}
+	renew := &msg.LeaseRenew{Seq: r.leaseSeq, Until: uint64(until)}
+	for _, id := range r.ring.Machines() {
+		if id == r.cfg.id || r.dead[id] {
+			continue
+		}
+		r.cl.net.Send(r.cfg.id, id, r.epoch, renew)
+	}
+}
+
+func (r *Router) extendLease(until sim.Time) {
+	if until > r.leaseUntil {
+		r.leaseUntil = until
+	}
+}
+
+// onLeaseRenew countersigns a renewal round. Frames from machines this
+// view holds dead never reach here (onFrame answers those with a typed
+// LeaseRevoke), so reaching this handler IS the grant decision.
+func (r *Router) onLeaseRenew(src msg.DeviceID, m *msg.LeaseRenew) {
+	r.stats.LeaseGrants++
+	r.cl.net.Send(r.cfg.id, src, r.epoch, &msg.LeaseGrant{Seq: m.Seq, Until: m.Until})
+}
+
+func (r *Router) onLeaseGrant(src msg.DeviceID, m *msg.LeaseGrant) {
+	if m.Seq != r.leaseSeq || r.leaseRound == nil {
+		return // a stale round's signature proves nothing about now
+	}
+	r.leaseRound[src] = true
+	if len(r.leaseRound) >= r.leaseQuorum() {
+		r.extendLease(sim.Time(m.Until))
+	}
+}
+
+// armSilence runs the decentralized inbound-silence failure detector.
+// The lease renewal chatter guarantees every pair of ring members
+// periodic traffic, so "I have heard nothing from p for failAfter" is
+// meaningful evidence — and unlike a transport-level send failure it
+// measures the direction that matters for death: whether p can still
+// reach us. Directionally-suspected peers (we failed to reach them) get
+// half the patience: two independent signals, outbound failure plus
+// inbound silence, converge on a declaration sooner than either alone.
+func (r *Router) armSilence() {
+	r.eng.After(r.cfg.failAfter/2, func() {
+		if r.halted {
+			return
+		}
+		if r.InRing() {
+			now := r.eng.Now()
+			var silent []msg.DeviceID
+			for _, id := range r.ring.Machines() {
+				if id == r.cfg.id || r.dead[id] {
+					continue
+				}
+				last, heard := r.lastHeard[id]
+				if !heard {
+					// A peer that has never spoken to us cannot be judged
+					// silent: during a staggered boot it is indistinguishable
+					// from a machine still coming up, and declaring it dead
+					// here is exactly the false positive that cascades (the
+					// boot window grows with N, so any fixed grace loses).
+					// Once it speaks, the renewal chatter keeps every pair's
+					// clock fresh within microseconds — and a booted machine
+					// that dies IS heard-from by its neighbors first, whose
+					// silence verdict then reaches us as view gossip.
+					continue
+				}
+				patience := r.cfg.failAfter
+				if r.suspects[id] {
+					patience /= 2
+				}
+				if now.Sub(last) > patience {
+					silent = append(silent, id)
+				}
+			}
+			if len(silent) > 0 {
+				r.stats.SilenceDeaths += uint64(len(silent))
+				r.noteDead("silence", silent...)
+			} else if len(r.dead) > 0 {
+				// Level-triggered view gossip: re-broadcast the dead set
+				// each sweep so machines the original wave could not reach
+				// (one-way cuts) still converge, which bounds how long a
+				// deposed primary keeps finding willing grantors.
+				r.broadcastView()
+			}
+		}
+		r.armSilence()
 	})
 }

@@ -54,6 +54,7 @@ const (
 	Delay      // deliver after an extra Delay
 	Dup        // deliver twice (identical envelope, same seq tag)
 	Reorder    // defer past later traffic (implemented as a longer delay)
+	Slow       // multiply the hop's base latency by Factor (fail-slow, not fail-stop)
 )
 
 func (o Op) String() string {
@@ -68,6 +69,8 @@ func (o Op) String() string {
 		return "dup"
 	case Reorder:
 		return "reorder"
+	case Slow:
+		return "slow"
 	}
 	return "op?"
 }
@@ -83,9 +86,10 @@ type Rule struct {
 	Src   msg.DeviceID // sender filter (0 = any)
 	Dst   msg.DeviceID // destination filter (0 = any)
 
-	Op    Op
-	Prob  float64      // apply probability; 0 means 1.0 (always)
-	Delay sim.Duration // extra latency for Delay/Reorder
+	Op     Op
+	Prob   float64      // apply probability; 0 means 1.0 (always)
+	Delay  sim.Duration // extra latency for Delay/Reorder
+	Factor float64      // latency multiplier for Slow (values <= 1 mean pass)
 
 	After sim.Time // rule active from this virtual time
 	Until sim.Time // inactive at/after this time (0 = forever)
@@ -118,8 +122,9 @@ func (r *Rule) matches(l Layer, now sim.Time, src, dst msg.DeviceID, kind msg.Ki
 
 // Decision is the plane's verdict on one message.
 type Decision struct {
-	Op    Op
-	Delay sim.Duration // extra latency when Op is Delay or Reorder
+	Op     Op
+	Delay  sim.Duration // extra latency when Op is Delay or Reorder
+	Factor float64      // latency multiplier when Op is Slow
 }
 
 // Stats counts the plane's interventions.
@@ -129,6 +134,7 @@ type Stats struct {
 	Delayed   uint64
 	Duped     uint64
 	Reordered uint64
+	Slowed    uint64
 }
 
 // Plane is a configured fault injector. The zero value and nil are both
@@ -185,8 +191,10 @@ func (p *Plane) Filter(l Layer, now sim.Time, src, dst msg.DeviceID, kind msg.Ki
 			p.stats.Duped++
 		case Reorder:
 			p.stats.Reordered++
+		case Slow:
+			p.stats.Slowed++
 		}
-		return Decision{Op: r.Op, Delay: r.Delay}
+		return Decision{Op: r.Op, Delay: r.Delay, Factor: r.Factor}
 	}
 	return Decision{}
 }
@@ -197,4 +205,48 @@ func (p *Plane) Filter(l Layer, now sim.Time, src, dst msg.DeviceID, kind msg.Ki
 // one place; the action itself uses the simulation's ordinary hooks.
 func (p *Plane) CrashAt(eng *sim.Engine, at sim.Time, action func()) {
 	eng.At(at, action)
+}
+
+// PartitionOneWay drops every interconnect frame from src to dst inside
+// [after, until) while the reverse direction keeps flowing — the
+// asymmetric cut that makes failure detectors lie: dst stops hearing
+// src, but src still hears dst.
+func (p *Plane) PartitionOneWay(src, dst msg.DeviceID, after, until sim.Time) *Plane {
+	return p.Add(Rule{Layer: LayerLink, Src: src, Dst: dst, Op: Drop, After: after, Until: until})
+}
+
+// Partition cuts every link between group a and group b, both
+// directions, inside [after, until). Traffic within each group still
+// flows, so each side keeps a coherent (and mutually contradictory)
+// view of the world.
+func (p *Plane) Partition(a, b []msg.DeviceID, after, until sim.Time) *Plane {
+	for _, s := range a {
+		for _, d := range b {
+			p.PartitionOneWay(s, d, after, until)
+			p.PartitionOneWay(d, s, after, until)
+		}
+	}
+	return p
+}
+
+// Flap installs cycles repetitions of the a|b partition starting at
+// start: each period begins with the cut up for the first up of the
+// period and healed for the remainder. Flapping shorter than the
+// failure-detection timeout exercises the gray zone where links die
+// and recover faster than any view can converge.
+func (p *Plane) Flap(a, b []msg.DeviceID, start sim.Time, up, period sim.Duration, cycles int) *Plane {
+	for i := 0; i < cycles; i++ {
+		at := start.Add(sim.Duration(i) * period)
+		p.Partition(a, b, at, at.Add(up))
+	}
+	return p
+}
+
+// SlowMachine multiplies the latency of every interconnect frame into
+// or out of machine id by factor inside [after, until): the machine is
+// alive and answers everything, just 10–100x late — the gray failure
+// that a binary alive/dead detector misclassifies in both directions.
+func (p *Plane) SlowMachine(id msg.DeviceID, factor float64, after, until sim.Time) *Plane {
+	p.Add(Rule{Layer: LayerLink, Src: id, Op: Slow, Factor: factor, After: after, Until: until})
+	return p.Add(Rule{Layer: LayerLink, Dst: id, Op: Slow, Factor: factor, After: after, Until: until})
 }

@@ -124,6 +124,87 @@ func TestDelayCarriesDuration(t *testing.T) {
 	}
 }
 
+func TestSlowCarriesFactor(t *testing.T) {
+	p := New(1).Add(Rule{Op: Slow, Factor: 20})
+	d := p.Filter(LayerLink, 0, 1, 2, msg.KindInvalid)
+	if d.Op != Slow || d.Factor != 20 {
+		t.Fatalf("decision %+v", d)
+	}
+	if s := p.Stats(); s.Slowed != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestPartitionOneWayIsAsymmetric(t *testing.T) {
+	p := New(1).PartitionOneWay(1, 2, 100, 200)
+	if d := p.Filter(LayerLink, 150, 1, 2, msg.KindInvalid); d.Op != Drop {
+		t.Fatalf("cut direction passed: %+v", d)
+	}
+	if d := p.Filter(LayerLink, 150, 2, 1, msg.KindInvalid); d.Op != Pass {
+		t.Fatalf("reverse direction intervened: %+v", d)
+	}
+	if d := p.Filter(LayerLink, 250, 1, 2, msg.KindInvalid); d.Op != Pass {
+		t.Fatalf("cut outlived its window: %+v", d)
+	}
+}
+
+func TestPartitionGroupsCutBothWaysButNotWithin(t *testing.T) {
+	a, b := []msg.DeviceID{1, 2}, []msg.DeviceID{3, 4}
+	p := New(1).Partition(a, b, 0, 0)
+	for _, s := range a {
+		for _, d := range b {
+			if dec := p.Filter(LayerLink, 10, s, d, msg.KindInvalid); dec.Op != Drop {
+				t.Fatalf("%d->%d crossed the partition", s, d)
+			}
+			if dec := p.Filter(LayerLink, 10, d, s, msg.KindInvalid); dec.Op != Drop {
+				t.Fatalf("%d->%d crossed the partition", d, s)
+			}
+		}
+	}
+	if dec := p.Filter(LayerLink, 10, 1, 2, msg.KindInvalid); dec.Op != Pass {
+		t.Fatalf("intra-group traffic was cut: %+v", dec)
+	}
+	if dec := p.Filter(LayerLink, 10, 3, 4, msg.KindInvalid); dec.Op != Pass {
+		t.Fatalf("intra-group traffic was cut: %+v", dec)
+	}
+}
+
+func TestFlapAlternatesUpAndHealed(t *testing.T) {
+	a, b := []msg.DeviceID{1}, []msg.DeviceID{2}
+	p := New(1).Flap(a, b, 1000, 300, 1000, 3)
+	cases := []struct {
+		now  sim.Time
+		want Op
+	}{
+		{500, Pass},  // before start
+		{1100, Drop}, // cycle 0 up
+		{1600, Pass}, // cycle 0 healed
+		{2100, Drop}, // cycle 1 up
+		{2600, Pass}, // cycle 1 healed
+		{3299, Drop}, // cycle 2 up (last tick of the window)
+		{3300, Pass}, // cycle 2 healed
+		{4100, Pass}, // after the last cycle
+	}
+	for _, c := range cases {
+		if d := p.Filter(LayerLink, c.now, 1, 2, msg.KindInvalid); d.Op != c.want {
+			t.Errorf("t=%d: got %v want %v", c.now, d.Op, c.want)
+		}
+	}
+}
+
+func TestSlowMachineCoversBothDirections(t *testing.T) {
+	p := New(1).SlowMachine(3, 40, 0, 0)
+	if d := p.Filter(LayerLink, 10, 3, 1, msg.KindInvalid); d.Op != Slow || d.Factor != 40 {
+		t.Fatalf("outbound: %+v", d)
+	}
+	if d := p.Filter(LayerLink, 10, 1, 3, msg.KindInvalid); d.Op != Slow || d.Factor != 40 {
+		t.Fatalf("inbound: %+v", d)
+	}
+	if d := p.Filter(LayerLink, 10, 1, 2, msg.KindInvalid); d.Op != Pass {
+		t.Fatalf("unrelated link slowed: %+v", d)
+	}
+}
+
 func TestCrashAtFiresAtVirtualTime(t *testing.T) {
 	eng := sim.NewEngine()
 	p := New(1)

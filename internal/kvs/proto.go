@@ -51,6 +51,14 @@ const (
 	// this status, never a silent drop and never NotFound (which would
 	// leak key existence across the boundary).
 	StatusDenied
+	// StatusFenced is a lease refusal: the machine asked to serve as
+	// primary does not (or does not yet) hold a quorum-countersigned
+	// epoch lease for the moment of the request — it might be the old
+	// primary on the wrong side of a partition, or the new primary
+	// still inside the takeover fence that waits out the old lease.
+	// Always typed: a fenced primary refuses loudly so a client retries
+	// elsewhere, instead of silently serving a divergent history.
+	StatusFenced
 )
 
 // Request is a decoded client request.

@@ -54,6 +54,7 @@ var layerDAG = map[string][]string{
 	"nocpu/internal/iommu":       {"nocpu/internal/physmem"},
 	"nocpu/internal/faultinject": {"nocpu/internal/msg", "nocpu/internal/sim"},
 	"nocpu/internal/netsim":      {"nocpu/internal/metrics", "nocpu/internal/sim"},
+	"nocpu/internal/linearize":   {"nocpu/internal/sim"},
 	"nocpu/internal/chaos":       {"nocpu/internal/faultinject", "nocpu/internal/sim"},
 	"nocpu/internal/tenant":      {"nocpu/internal/msg", "nocpu/internal/sim"},
 	"nocpu/internal/overload": {
@@ -155,8 +156,9 @@ var layerDAG = map[string][]string{
 	"nocpu/internal/exp": {
 		"nocpu/internal/adversary", "nocpu/internal/bus", "nocpu/internal/chaos",
 		"nocpu/internal/core", "nocpu/internal/fabric", "nocpu/internal/faultinject",
-		"nocpu/internal/iommu", "nocpu/internal/kvs", "nocpu/internal/metrics",
-		"nocpu/internal/msg", "nocpu/internal/netsim", "nocpu/internal/overload",
+		"nocpu/internal/iommu", "nocpu/internal/kvs", "nocpu/internal/linearize",
+		"nocpu/internal/metrics", "nocpu/internal/msg", "nocpu/internal/netsim",
+		"nocpu/internal/overload",
 		"nocpu/internal/physmem", "nocpu/internal/reconcile", "nocpu/internal/sim",
 		"nocpu/internal/smartnic", "nocpu/internal/smartssd", "nocpu/internal/tenant",
 		"nocpu/internal/trace",

@@ -421,6 +421,47 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 		write("seed-denialreport-overflow", w.buf)
 	}
 
+	// Epoch-lease adversarial seeds (renew, grant, revoke).
+	// A LeaseRenew truncated mid-Until: Seq present, the second u64 cut
+	// to 4 bytes.
+	{
+		var pw writer
+		pw.u64(12)                                      // Seq
+		pw.buf = append(pw.buf, 0x40, 0x4B, 0x4C, 0x00) // half an expiry
+		var w writer
+		w.u16(5)
+		w.u16(1)
+		w.u16(uint16(KindLeaseRenew))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-leaserenew-truncated", w.buf)
+	}
+
+	// A LeaseGrant at the numeric extremes: max round, max expiry. The
+	// codec accepts it; clamping an absurd lease is the router's
+	// judgment, and the mutator should probe around the boundary.
+	write("seed-leasegrant-extremes", Envelope{Src: 2, Dst: 5, Seq: 7, Inc: 1,
+		Msg: &LeaseGrant{Seq: ^uint64(0), Until: ^uint64(0)}}.Encode())
+
+	// A LeaseRevoke claiming 0xFFF0 dead machines in a 10-byte payload:
+	// the dead-list bomb guard must refuse without allocating.
+	{
+		var pw writer
+		pw.u64(12)     // Seq
+		pw.u16(0xFFF0) // dead-count bomb
+		var w writer
+		w.u16(5)
+		w.u16(1)
+		w.u16(uint16(KindLeaseRevoke))
+		w.u32(uint32(len(pw.buf)))
+		w.u32(0)
+		w.u32(0)
+		w.buf = append(w.buf, pw.buf...)
+		write("seed-leaserevoke-bomb", w.buf)
+	}
+
 	// Format-agnostic adversarial seeds.
 	write("seed-empty", []byte{})
 	write("seed-shorthdr", []byte{1, 0, 2, 0})

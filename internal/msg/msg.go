@@ -168,6 +168,18 @@ const (
 	KindTenantGrant  // provisioner → bus: bind device/app to a tenant domain
 	KindDenialReport // bus/device → offender: typed cross-tenant refusal
 
+	// Epoch leases (internal/fabric). A machine may serve as primary (or
+	// act as the reconcile actor) only while holding a virtual-clock
+	// lease countersigned by a quorum of the ring membership. Renew asks
+	// every member to countersign one round; Grant is the countersign;
+	// Revoke is the typed refusal a member sends when its view already
+	// holds the would-be holder dead — carrying that dead set, so a
+	// fenced machine learns why it was fenced instead of timing out in
+	// the dark. Src/Dst are machine addresses.
+	KindLeaseRenew  // holder → ring members: countersign my lease for this round
+	KindLeaseGrant  // member → holder: countersigned until the stated virtual time
+	KindLeaseRevoke // member → holder: refused — my view holds you dead
+
 	kindMax
 )
 
@@ -195,6 +207,8 @@ var kindNames = map[Kind]string{
 	KindSpecGossip: "spec.gossip", KindCondReport: "cond.report",
 	KindDrain: "drain", KindRingConfig: "ring.config",
 	KindTenantGrant: "tenant.grant", KindDenialReport: "denial.report",
+	KindLeaseRenew: "lease.renew", KindLeaseGrant: "lease.grant",
+	KindLeaseRevoke: "lease.revoke",
 }
 
 func (k Kind) String() string {

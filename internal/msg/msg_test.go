@@ -60,6 +60,9 @@ func allMessages() []Message {
 		&RingConfig{Ver: 3, Phase: RingPrepare, Members: []DeviceID{1, 2, 3, 9}},
 		&TenantGrant{Tenant: 2, Device: 7, App: 0x100, CreditWindow: 16, KVSInflight: 8, RxBound: 4},
 		&DenialReport{Tenant: 2, Victim: 1, Class: 3, Of: uint16(KindGrantReq), Detail: "cross-tenant grant refused"},
+		&LeaseRenew{Seq: 12, Until: 5_000_000},
+		&LeaseGrant{Seq: 12, Until: 5_000_000},
+		&LeaseRevoke{Seq: 12, Dead: []DeviceID{3, 7}},
 	}
 }
 

@@ -1182,6 +1182,65 @@ func (m *DenialReport) decode(r *reader) {
 	m.Detail = r.str()
 }
 
+// LeaseRenew asks every current ring member to countersign the sender's
+// machine lease for one round. Seq identifies the round (strictly
+// increasing per holder; stale grants are discarded by Seq); Until is
+// the virtual-clock expiry the holder will assume once a quorum
+// countersigns.
+type LeaseRenew struct {
+	Seq   uint64
+	Until uint64 // sim.Time, as raw nanoseconds
+}
+
+func (*LeaseRenew) Kind() Kind { return KindLeaseRenew }
+func (m *LeaseRenew) encode(w *writer) {
+	w.u64(m.Seq)
+	w.u64(m.Until)
+}
+func (m *LeaseRenew) decode(r *reader) {
+	m.Seq = r.u64()
+	m.Until = r.u64()
+}
+
+// LeaseGrant countersigns one renewal round. Until echoes the renew's
+// expiry: the grantor promises not to treat the holder as replaceable
+// before that virtual time unless its own view declares the holder dead
+// first (in which case it stops granting — dead sets never shrink).
+type LeaseGrant struct {
+	Seq   uint64
+	Until uint64 // sim.Time, as raw nanoseconds
+}
+
+func (*LeaseGrant) Kind() Kind { return KindLeaseGrant }
+func (m *LeaseGrant) encode(w *writer) {
+	w.u64(m.Seq)
+	w.u64(m.Until)
+}
+func (m *LeaseGrant) decode(r *reader) {
+	m.Seq = r.u64()
+	m.Until = r.u64()
+}
+
+// LeaseRevoke is the typed refusal of a renewal round: the grantor's
+// membership view already holds the would-be holder dead, so it will
+// never countersign again. Dead carries the refuser's dead set — the
+// fenced machine learns why it lost its lease (and converges toward
+// the majority view) instead of renewing into silence forever.
+type LeaseRevoke struct {
+	Seq  uint64
+	Dead []DeviceID
+}
+
+func (*LeaseRevoke) Kind() Kind { return KindLeaseRevoke }
+func (m *LeaseRevoke) encode(w *writer) {
+	w.u64(m.Seq)
+	encodeDevs(w, m.Dead)
+}
+func (m *LeaseRevoke) decode(r *reader) {
+	m.Seq = r.u64()
+	m.Dead = decodeDevs(r)
+}
+
 // newMessage returns a zero value of the message type for kind, or nil
 // for an unknown kind.
 func newMessage(k Kind) Message {
@@ -1274,6 +1333,12 @@ func newMessage(k Kind) Message {
 		return &TenantGrant{}
 	case KindDenialReport:
 		return &DenialReport{}
+	case KindLeaseRenew:
+		return &LeaseRenew{}
+	case KindLeaseGrant:
+		return &LeaseGrant{}
+	case KindLeaseRevoke:
+		return &LeaseRevoke{}
 	}
 	return nil
 }

@@ -127,8 +127,16 @@ func (a *Agent) deadSet() map[msg.DeviceID]bool {
 	return out
 }
 
-// act is one actor tick.
+// act is one actor tick. With epoch leases enabled, the actor role is
+// fenced exactly like a primary: a machine that believes it is the
+// lowest live in-ring member but cannot hold a quorum-countersigned
+// lease (it is on the wrong side of a partition) must not drive
+// membership change — otherwise an asymmetric cut elects two actors
+// and they fight over the ring. Leases off, LeaseValid is always true.
 func (a *Agent) act() {
+	if !a.r.LeaseValid() {
+		return
+	}
 	dead := a.deadSet()
 	a.gossipSpec(dead)
 	if a.pendingVer != 0 {

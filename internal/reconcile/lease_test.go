@@ -1,0 +1,142 @@
+package reconcile_test
+
+// False-suspicion regressions: the reconciler must not treat gray
+// failures (fail-slow machines, flapping links) as deaths, and a
+// partitioned actor must be fenced by its lapsed lease rather than
+// fighting the majority over the ring. Every test here runs with
+// Config.Leases set; leases off, LeaseValid is identically true and
+// the E19 goldens pin that path.
+
+import (
+	"testing"
+
+	"nocpu/internal/fabric"
+	"nocpu/internal/faultinject"
+	"nocpu/internal/msg"
+	"nocpu/internal/reconcile"
+	"nocpu/internal/sim"
+)
+
+// A machine running 20x slow is degraded, not dead: the reconciler
+// must not auto-replace it while its lease stays live. A false repair
+// here would be the classic gray-failure outage — evicting a slow
+// machine and paying a data migration for a condition that heals.
+func TestFailSlowMachineNotReplaced(t *testing.T) {
+	plane := faultinject.New(81)
+	plane.SlowMachine(3, 20, sim.Time(8*sim.Millisecond), sim.Time(40*sim.Millisecond))
+
+	cl, fl := bootFleet(t,
+		fabric.Config{N: 4, Spares: 1, Seed: 0xE21A, Leases: true, Net: fabric.NetConfig{Plane: plane}},
+		reconcile.Config{Spec: reconcile.Spec{Size: 4, MaxUnavailable: 1}},
+	)
+	cl.Eng.RunUntil(sim.Time(45 * sim.Millisecond))
+
+	rep := fl.Report()
+	if rep.Stats.Repairs != 0 {
+		t.Fatalf("reconciler repaired a fail-slow machine %d times", rep.Stats.Repairs)
+	}
+	if rep.C3Violations != 0 {
+		t.Fatalf("fail-slow consumed the C3 budget: %d violations", rep.C3Violations)
+	}
+	if st := cl.RouterStatsSum(); st.ViewChanges != 0 {
+		t.Fatalf("fail-slow machine triggered %d view changes", st.ViewChanges)
+	}
+	if !cl.Machine(3).Router.LeaseValid() {
+		t.Fatal("slow machine lost its lease")
+	}
+	ring := cl.Machine(1).Router.RingMembers()
+	for _, id := range []msg.DeviceID{1, 2, 3, 4} {
+		found := false
+		for _, m := range ring {
+			if m == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("machine %d evicted from ring %v by slowness", id, ring)
+		}
+	}
+}
+
+// A link that flaps up and down faster than the failure timeout is a
+// gray failure, not a sequence of deaths: no machine may be declared
+// dead, no repair proposed, and — the satellite's point — none of the
+// C3 disruption budget burned on it.
+func TestFlappingLinkDoesNotBurnBudget(t *testing.T) {
+	plane := faultinject.New(82)
+	// 1ms cut / 2ms healed, 8 cycles: each silence window is far below
+	// the 4ms failure patience and each cut below the 2ms lease.
+	plane.Flap([]msg.DeviceID{1}, []msg.DeviceID{2, 3, 4, 5},
+		sim.Time(9*sim.Millisecond), 1*sim.Millisecond, 3*sim.Millisecond, 8)
+
+	cl, fl := bootFleet(t,
+		fabric.Config{N: 4, Spares: 1, Seed: 0xE21B, Leases: true, Net: fabric.NetConfig{Plane: plane}},
+		reconcile.Config{Spec: reconcile.Spec{Size: 4, MaxUnavailable: 1}},
+	)
+	cl.Eng.RunUntil(sim.Time(40 * sim.Millisecond))
+
+	rep := fl.Report()
+	if rep.Stats.Repairs != 0 {
+		t.Fatalf("flapping link drove %d repairs", rep.Stats.Repairs)
+	}
+	if rep.C3Violations != 0 {
+		t.Fatalf("flapping consumed the C3 budget: %d violations", rep.C3Violations)
+	}
+	st := cl.RouterStatsSum()
+	if st.ViewChanges != 0 || st.SilenceDeaths != 0 {
+		t.Fatalf("flapping was judged as death: viewChanges=%d silenceDeaths=%d",
+			st.ViewChanges, st.SilenceDeaths)
+	}
+	for _, m := range cl.Machines {
+		if m.Router.InRing() && !m.Router.LeaseValid() {
+			t.Fatalf("machine %d lost its lease to a flapping link", m.ID)
+		}
+	}
+}
+
+// A hard partition that exiles the acting machine: the majority must
+// replace it (to them, exile is death), and the exile — still the
+// lowest in-ring machine by its own stale view, with everyone else in
+// its dead set — must NOT commit a rump ring of itself. Its lapsed
+// lease is the only thing standing between this test and split-brain
+// membership.
+func TestPartitionedActorIsFenced(t *testing.T) {
+	plane := faultinject.New(83)
+	plane.Partition([]msg.DeviceID{1}, []msg.DeviceID{2, 3, 4, 5},
+		sim.Time(10*sim.Millisecond), 0)
+
+	cl, fl := bootFleet(t,
+		fabric.Config{N: 4, Spares: 1, Seed: 0xE21C, Leases: true, Net: fabric.NetConfig{Plane: plane}},
+		reconcile.Config{Spec: reconcile.Spec{Size: 4, MaxUnavailable: 1}},
+	)
+
+	// Majority side: m2 takes over as actor once silence declares m1
+	// dead, and repairs the ring with the spare.
+	runUntil(t, cl, 60*sim.Millisecond, "majority repairs the exiled actor", func() bool {
+		ring := cl.Machine(2).Router.RingMembers()
+		return len(ring) == 4 && ring[0] == 2 && ring[3] == 5
+	})
+	cl.Eng.RunFor(10 * sim.Millisecond) // give the exile every chance to misbehave
+
+	r1 := cl.Machine(1).Router
+	if r1.LeaseValid() {
+		t.Fatal("exiled actor still holds a lease without a quorum")
+	}
+	// The fenced exile proposed nothing: no transition staged, and its
+	// ring view is frozen at the last pre-partition commit — it has NOT
+	// committed itself a rump ring despite believing everyone else dead.
+	if r1.PendingVer() != 0 {
+		t.Fatalf("fenced actor staged transition ver=%d", r1.PendingVer())
+	}
+	ring1 := r1.RingMembers()
+	if len(ring1) != 4 || ring1[0] != 1 {
+		t.Fatalf("exiled actor rewrote its own ring: %v", ring1)
+	}
+	rep := fl.Report()
+	if rep.Stats.Repairs == 0 {
+		t.Fatal("majority never repaired the exiled machine away")
+	}
+	if rep.C3Violations != 0 {
+		t.Fatalf("C3 violated %d times during the repair", rep.C3Violations)
+	}
+}
